@@ -1,0 +1,66 @@
+"""Ablation: vague-part sketch type (Sec. III-D Choice 2 + future work).
+
+The paper compares Count Sketch ("cs") against Count-Min ("cms") and
+finds CS wins; it leaves "whether any other sketch fits the vague part
+better" open.  This bench extends the comparison with Count-Mean-Min
+("cmm") — CMS's layout with a collision-noise correction and a median
+aggregate — across a memory ladder.
+"""
+
+from benchmarks.conftest import persist
+from repro.experiments.config import build_trace, default_criteria_for
+from repro.experiments.harness import (
+    FigureResult,
+    build_detector,
+    ground_truth_for,
+    run_detection,
+)
+
+BACKENDS = ("cs", "cms", "cmm")
+MEMORY_POINTS = (512, 1_024, 2_048, 8_192)
+
+
+def run_ablation(scale: int, seed: int = 0) -> FigureResult:
+    trace = build_trace("internet", scale=scale, seed=seed)
+    criteria = default_criteria_for("internet")
+    truth = ground_truth_for(trace, criteria)
+    records = []
+    for backend in BACKENDS:
+        for memory in MEMORY_POINTS:
+            detector = build_detector(
+                "quantilefilter", criteria, memory,
+                seed=seed, vague_backend=backend,
+            )
+            record = run_detection(
+                detector, trace, truth,
+                dataset="internet", memory_bytes=memory,
+                algorithm=f"qf+{backend}",
+            )
+            record.extra["backend"] = backend
+            records.append(record)
+    return FigureResult(
+        figure="ablation-vague-backend",
+        description="Vague-part sketch-type ablation (cs / cms / cmm)",
+        records=records,
+    )
+
+
+def test_vague_backend_ablation(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_ablation, kwargs=dict(scale=bench_scale), rounds=1, iterations=1
+    )
+    print(persist(result))
+
+    def mean_f1(backend):
+        rows = [r for r in result.records if r.extra["backend"] == backend]
+        return sum(r.score.f1 for r in rows) / len(rows)
+
+    # The paper's finding: CS at least matches CMS.
+    assert mean_f1("cs") >= mean_f1("cms") - 0.02
+    # The future-work candidate is at least competitive with CMS too.
+    assert mean_f1("cmm") >= mean_f1("cms") - 0.05
+    # Everything converges at the largest budget.
+    largest = max(MEMORY_POINTS)
+    for record in result.records:
+        if record.memory_bytes == largest:
+            assert record.score.f1 > 0.9, record.extra["backend"]

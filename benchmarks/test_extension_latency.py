@@ -1,0 +1,91 @@
+"""Extension experiment: reporting timeliness.
+
+The paper's metrics deliberately exclude timeliness constraints
+(Sec. V-B: "not yet including any constraints on reporting
+timeliness"), yet its Introduction motivates online detection with
+"potentially missing brief anomalies or delaying warnings".  This bench
+closes that loop: per-key detection latency — items between a key first
+truly qualifying (oracle) and the detector first reporting it — for
+QuantileFilter and for the query-adapted baselines at several query
+cadences.
+
+Expected shape: QuantileFilter reports essentially on time (its error
+mode under pressure is *early*, from collision-inflated Qweights);
+baselines forced to sparse querying (the paper's "sample data less
+frequently" scenario) pay latency roughly proportional to the cadence,
+or miss brief anomalies outright.
+"""
+
+from benchmarks.conftest import persist
+from repro.baselines.squad import Squad
+from repro.detection.adapters import QueryOnInsertAdapter
+from repro.experiments.config import build_trace, default_criteria_for
+from repro.experiments.harness import FigureResult, RunRecord, build_detector
+from repro.metrics.accuracy import score_sets
+from repro.metrics.latency import measure_detection_latency
+
+MEMORY = 32 * 1024
+CADENCES = (1, 10, 100, 1_000)
+
+
+def run_study(scale: int, seed: int = 0) -> FigureResult:
+    trace = build_trace("internet", scale=scale, seed=seed)
+    criteria = default_criteria_for("internet")
+    records = []
+
+    def record_for(name, detector, extra):
+        result = measure_detection_latency(detector, trace, criteria)
+        rec = RunRecord(
+            algorithm=name,
+            dataset="internet",
+            memory_bytes=MEMORY,
+            actual_bytes=detector.nbytes,
+            score=score_sets(set(result.latencies), set(result.latencies)
+                             | set(result.missed_keys)),
+            seconds=0.0,
+            items=len(trace),
+            extra={**extra, **result.as_dict()},
+        )
+        records.append(rec)
+        return result
+
+    qf = build_detector("quantilefilter", criteria, MEMORY, seed=seed)
+    record_for("quantilefilter", qf, {"query_every": 1})
+
+    for cadence in CADENCES:
+        adapter = QueryOnInsertAdapter(
+            Squad(MEMORY, seed=seed), criteria, query_every=cadence
+        )
+        record_for("squad", adapter, {"query_every": cadence})
+    return FigureResult(
+        figure="extension-latency",
+        description="Detection latency (items) vs query cadence "
+        f"at {MEMORY} bytes",
+        records=records,
+    )
+
+
+def test_latency_study(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_study, kwargs=dict(scale=bench_scale), rounds=1, iterations=1
+    )
+    print(persist(result))
+
+    qf = next(r for r in result.records if r.algorithm == "quantilefilter")
+    squad_by_cadence = {
+        r.extra["query_every"]: r
+        for r in result.records if r.algorithm == "squad"
+    }
+
+    # QuantileFilter reports on time or early, never meaningfully late.
+    assert qf.extra["median_latency"] <= 5
+
+    # Sparse querying costs timeliness: latency grows (or detection
+    # collapses into misses) as the cadence coarsens.
+    tight = squad_by_cadence[1]
+    coarse = squad_by_cadence[1_000]
+    tight_cost = tight.extra["mean_latency"] + 1_000 * tight.extra["missed"]
+    coarse_cost = (
+        coarse.extra["mean_latency"] + 1_000 * coarse.extra["missed"]
+    )
+    assert coarse_cost >= tight_cost

@@ -1,0 +1,33 @@
+"""Fig. 11: accuracy vs the candidate:vague memory split.
+
+The paper: mid-range splits are all fine; extreme allocations fluctuate.
+It standardises on 4:1 (candidate 80 %).
+"""
+
+from benchmarks.conftest import persist
+from repro.experiments.figures import fig11_memory_ratio
+
+
+def test_fig11(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig11_memory_ratio,
+        kwargs=dict(dataset="internet", scale=bench_scale, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print(persist(result))
+
+    f1_by_fraction = {
+        r.extra["candidate_fraction"]: r.score.f1 for r in result.records
+    }
+    fractions = sorted(f1_by_fraction)
+    mid = [f for f in fractions if 0.15 <= f <= 0.9]
+
+    # Mid-range splits are all close to the best observed.
+    best = max(f1_by_fraction.values())
+    for fraction in mid:
+        assert f1_by_fraction[fraction] >= best - 0.25, fraction
+
+    # The paper's default (0.8) is within a whisker of the best.
+    default = min(fractions, key=lambda f: abs(f - 0.8))
+    assert f1_by_fraction[default] >= best - 0.1

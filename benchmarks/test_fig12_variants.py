@@ -1,0 +1,44 @@
+"""Fig. 12: F1 of the six QuantileFilter variants + SQUAD reference.
+
+Variants: {comparative, probabilistic, forceful} election x {Count
+Sketch, Count-Min Sketch} vague backend.  Paper findings reproduced
+here: CS variants are the most accurate and nearly election-agnostic;
+CMS variants trail and degrade from comparative towards forceful.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import persist
+from repro.experiments.figures import fig12_variants
+
+
+def test_fig12(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig12_variants,
+        kwargs=dict(dataset="internet", scale=bench_scale, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print(persist(result))
+
+    def mean_f1(backend=None, strategy=None):
+        rows = [
+            r for r in result.records
+            if r.extra.get("backend") == backend
+            and (strategy is None or r.extra.get("strategy") == strategy)
+        ]
+        return float(np.mean([r.score.f1 for r in rows]))
+
+    # CS variants at least match CMS variants on average.
+    assert mean_f1("cs") >= mean_f1("cms") - 0.02
+
+    # CS variants are insensitive to the election strategy.
+    cs_by_strategy = [
+        mean_f1("cs", s) for s in ("comparative", "probabilistic", "forceful")
+    ]
+    assert max(cs_by_strategy) - min(cs_by_strategy) < 0.15
+
+    # Every variant stays usable (the choice "does not significantly
+    # affect overall performance", Sec. III-D Choice 1).
+    variant_rows = [r for r in result.records if "backend" in r.extra]
+    assert min(r.score.f1 for r in variant_rows) > 0.3

@@ -1,0 +1,53 @@
+"""Fig. 4: accuracy vs memory on the Internet dataset, QF vs SOTA.
+
+Regenerates the paper's precision/recall/F1 curves and prints the
+Key-Result-2 space-saving table.  Expected shape: QuantileFilter's
+precision ~1 everywhere with recall converging first; SQUAD second-best,
+converging with memory; SketchPolymer low-precision/high-recall when
+starved; HistSketch needing far more space.
+"""
+
+from benchmarks.conftest import persist
+from repro.experiments.figures import fig4_accuracy_internet, space_saving_table
+
+
+def test_fig4(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig4_accuracy_internet,
+        kwargs=dict(scale=bench_scale, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    saving = space_saving_table(result.records)
+    text = persist(result, {"key result 2: space saving at equal F1": saving})
+    print(text)
+
+    by_algorithm = {}
+    for record in result.records:
+        by_algorithm.setdefault(record.algorithm, []).append(record)
+
+    # Paper shape 1: QF precision stays high at every budget.
+    qf = by_algorithm["quantilefilter"]
+    assert min(r.score.precision for r in qf) > 0.7
+
+    # Paper shape 2: QF's best F1 matches or beats every baseline's.
+    best_qf = max(r.score.f1 for r in qf)
+    for algorithm, records in by_algorithm.items():
+        assert best_qf >= max(r.score.f1 for r in records) - 0.02, algorithm
+
+    # Paper shape 3: at the smallest budget QF leads the field outright.
+    smallest = min(r.memory_bytes for r in result.records)
+    starved = {
+        r.algorithm: r.score.f1
+        for r in result.records
+        if r.memory_bytes == smallest
+    }
+    assert starved["quantilefilter"] == max(starved.values())
+
+    # Key result 2: a positive space-saving factor exists vs some baseline.
+    factors = [
+        row["space_saving_factor"]
+        for row in saving
+        if row["space_saving_factor"] is not None
+    ]
+    assert factors and max(factors) >= 4.0

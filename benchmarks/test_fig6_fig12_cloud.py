@@ -1,0 +1,51 @@
+"""Cloud-dataset variants of Figs. 6 and 12.
+
+The paper shows the threshold sweep (Fig. 6) and the variants
+comparison (Fig. 12) on BOTH datasets; the primary benches run the
+Internet variants, these run the Cloud ones (extreme key cardinality).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import persist
+from repro.experiments.figures import fig6_threshold_sweep, fig12_variants
+
+
+def test_fig6_cloud(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig6_threshold_sweep,
+        kwargs=dict(dataset="cloud", scale=bench_scale, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    result = type(result)(
+        figure="fig6-cloud", description=result.description,
+        records=result.records,
+    )
+    print(persist(result))
+
+    largest = max(r.memory_bytes for r in result.records)
+    f1s = [r.score.f1 for r in result.records if r.memory_bytes == largest]
+    assert min(f1s) > 0.7
+    assert np.std(f1s) < 0.2
+
+
+def test_fig12_cloud(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig12_variants,
+        kwargs=dict(dataset="cloud", scale=bench_scale, seed=0,
+                    include_squad=False),
+        rounds=1,
+        iterations=1,
+    )
+    result = type(result)(
+        figure="fig12-cloud", description=result.description,
+        records=result.records,
+    )
+    print(persist(result))
+
+    def mean_f1(backend):
+        rows = [r for r in result.records if r.extra["backend"] == backend]
+        return float(np.mean([r.score.f1 for r in rows]))
+
+    assert mean_f1("cs") >= mean_f1("cms") - 0.02

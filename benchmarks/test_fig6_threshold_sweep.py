@@ -1,0 +1,29 @@
+"""Fig. 6: QuantileFilter accuracy across thresholds T.
+
+The paper sweeps T over two orders of magnitude and finds accuracy
+stable — the sign-hash cancellation means the abnormal-item proportion
+barely moves the counter state.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import persist
+from repro.experiments.figures import fig6_threshold_sweep
+
+
+def test_fig6_internet(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig6_threshold_sweep,
+        kwargs=dict(dataset="internet", scale=bench_scale, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print(persist(result))
+
+    # Stability: at the largest memory setting, F1 stays high across the
+    # whole threshold range.
+    largest = max(r.memory_bytes for r in result.records)
+    f1s = [r.score.f1 for r in result.records if r.memory_bytes == largest]
+    assert min(f1s) > 0.8
+    # And the spread across thresholds is modest.
+    assert np.std(f1s) < 0.15

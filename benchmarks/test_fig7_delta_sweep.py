@@ -1,0 +1,31 @@
+"""Fig. 7: accuracy of all algorithms across queried quantiles delta.
+
+The paper finds changing delta does not erase QuantileFilter's lead;
+larger delta (easier anomalies) narrows SketchPolymer's recall gap
+without closing the overall gap.
+"""
+
+from benchmarks.conftest import persist
+from repro.experiments.figures import fig7_delta_sweep
+
+
+def test_fig7(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig7_delta_sweep,
+        kwargs=dict(dataset="internet", scale=bench_scale, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print(persist(result))
+
+    # At every delta, QF's F1 is at least the best baseline's.
+    for delta in {r.extra["delta"] for r in result.records}:
+        at_delta = [r for r in result.records if r.extra["delta"] == delta]
+        qf_f1 = next(
+            r.score.f1 for r in at_delta if r.algorithm == "quantilefilter"
+        )
+        best_other = max(
+            (r.score.f1 for r in at_delta if r.algorithm != "quantilefilter"),
+            default=0.0,
+        )
+        assert qf_f1 >= best_other - 0.05, f"delta={delta}"

@@ -1,0 +1,39 @@
+"""Figs. 9 & 10: accuracy and throughput vs array number d and block
+length b.
+
+The paper's finding: both parameters barely affect accuracy; d has a
+visible throughput cost (one more row touched per vague access), which
+motivates the d = 3, b = 6 defaults.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import persist
+from repro.experiments.figures import fig9_fig10_parameter_sweeps
+
+
+def test_fig9_fig10(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig9_fig10_parameter_sweeps,
+        kwargs=dict(dataset="internet", scale=bench_scale, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print(persist(result))
+
+    depth_rows = [r for r in result.records if r.extra["parameter"] == "depth"]
+    block_rows = [
+        r for r in result.records if r.extra["parameter"] == "block_length"
+    ]
+
+    # Fig. 9: accuracy varies little across either sweep.
+    assert np.std([r.score.f1 for r in depth_rows]) < 0.15
+    assert np.std([r.score.f1 for r in block_rows]) < 0.15
+
+    # All settings remain usable.
+    assert min(r.score.f1 for r in depth_rows + block_rows) > 0.5
+
+    # Fig. 10(a): the largest depth is slower than the smallest (more
+    # rows touched per vague-part access).
+    by_depth = {r.extra["value"]: r.mops for r in depth_rows}
+    assert by_depth[min(by_depth)] > by_depth[max(by_depth)] * 0.9

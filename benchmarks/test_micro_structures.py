@@ -1,0 +1,111 @@
+"""Micro-benchmarks of the individual structures (multi-round timing).
+
+Unlike the figure benches (one full experiment per round), these use
+pytest-benchmark's statistics over many rounds to characterise the hot
+paths: sketch updates, the fused insert+estimate, QuantileFilter's
+per-item cost, the batch engine, and the baselines' insert+query loops.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.histsketch import HistSketch
+from repro.baselines.sketchpolymer import SketchPolymer
+from repro.baselines.squad import Squad
+from repro.common.hashing import canonical_key
+from repro.core.criteria import Criteria
+from repro.core.quantile_filter import QuantileFilter
+from repro.core.vectorized import BatchQuantileFilter
+from repro.detection.adapters import QueryOnInsertAdapter
+from repro.sketches.count_sketch import CountSketch
+
+CRITERIA = Criteria(delta=0.95, threshold=200.0, epsilon=30.0)
+N = 5_000
+
+
+@pytest.fixture(scope="module")
+def stream():
+    rng = np.random.default_rng(3)
+    keys = rng.integers(0, 500, size=N).astype(np.int64)
+    values = np.where(keys < 20, 500.0, rng.uniform(0, 150, size=N))
+    return keys, values, keys.tolist(), values.tolist()
+
+
+def test_count_sketch_update(benchmark):
+    sketch = CountSketch(depth=3, width=1024, seed=1)
+    canon = [canonical_key(i) for i in range(100)]
+
+    def run():
+        for key in canon:
+            sketch.update(key, 1.0)
+
+    benchmark(run)
+
+
+def test_count_sketch_fused_update_estimate(benchmark):
+    sketch = CountSketch(depth=3, width=1024, seed=1)
+    canon = [canonical_key(i) for i in range(100)]
+
+    def run():
+        for key in canon:
+            sketch.update_and_estimate(key, 1.0)
+
+    benchmark(run)
+
+
+def test_quantilefilter_insert(benchmark, stream):
+    _, _, key_list, value_list = stream
+    qf = QuantileFilter(CRITERIA, memory_bytes=32 * 1024, seed=1)
+
+    def run():
+        insert = qf.insert
+        for key, value in zip(key_list, value_list):
+            insert(key, value)
+
+    benchmark(run)
+
+
+def test_batch_engine_process(benchmark, stream):
+    keys, values, _, _ = stream
+
+    def run():
+        engine = BatchQuantileFilter(CRITERIA, 32 * 1024, seed=1)
+        engine.process(keys, values)
+
+    benchmark(run)
+
+
+def test_squad_insert_query(benchmark, stream):
+    _, _, key_list, value_list = stream
+    adapter = QueryOnInsertAdapter(Squad(32 * 1024, seed=1), CRITERIA)
+
+    def run():
+        process = adapter.process
+        for key, value in zip(key_list, value_list):
+            process(key, value)
+
+    benchmark(run)
+
+
+def test_sketchpolymer_insert_query(benchmark, stream):
+    _, _, key_list, value_list = stream
+    adapter = QueryOnInsertAdapter(SketchPolymer(32 * 1024, seed=1), CRITERIA)
+
+    def run():
+        process = adapter.process
+        for key, value in zip(key_list, value_list):
+            process(key, value)
+
+    benchmark(run)
+
+
+def test_histsketch_insert_query(benchmark, stream):
+    _, _, key_list, value_list = stream
+    adapter = QueryOnInsertAdapter(HistSketch(32 * 1024, seed=1), CRITERIA)
+
+    def run():
+        process = adapter.process
+        for key, value in zip(key_list, value_list):
+            process(key, value)
+
+    benchmark(run)

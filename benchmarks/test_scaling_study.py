@@ -1,0 +1,32 @@
+"""Scaling study bench: the accuracy-memory transition vs stream size.
+
+Validates the EXPERIMENTS.md scaling argument: the minimal budget for a
+fixed F1 target grows with the workload (keys), while the *bytes per
+distinct key* stay in a narrow band — i.e. the small-scale sweeps probe
+the same transition the paper's 20M-item sweeps do.
+"""
+
+from benchmarks.conftest import persist
+from repro.experiments.scaling import scaling_study
+
+
+def test_scaling_study(benchmark):
+    result = benchmark.pedantic(
+        scaling_study,
+        kwargs=dict(dataset="internet",
+                    scales=(5_000, 20_000, 80_000)),
+        rounds=1,
+        iterations=1,
+    )
+    print(persist(result))
+
+    assert len(result.records) == 3  # every scale reached the target
+    by_scale = sorted(result.records, key=lambda r: r.extra["scale"])
+
+    # The minimal budget is non-decreasing with scale.
+    budgets = [r.memory_bytes for r in by_scale]
+    assert budgets == sorted(budgets)
+
+    # Bytes-per-key stays within one decade across a 16x scale range.
+    per_key = [r.extra["bytes_per_key"] for r in by_scale]
+    assert max(per_key) <= 10 * min(per_key)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Distributed monitoring: shard-local filters merged at an aggregator.
+
+A load balancer sprays one logical stream across N monitor shards; each
+shard runs its own QuantileFilter (identical configuration and seed, so
+their hash families correspond).  Periodically the aggregator merges
+the shards into a global view — Count-Sketch linearity makes the vague
+parts merge exactly, and candidate entries reunify per key.
+
+The payoff demonstrated here: a key whose per-shard traffic sits *under*
+the report threshold on every shard is invisible to shard-local
+detection, but crosses the threshold in the merged view — the
+distributed anomaly only the aggregate can see.
+
+Run:  python examples/distributed_monitoring.py
+"""
+
+import random
+
+from repro import Criteria, QuantileFilter, compute_ground_truth
+
+CRITERIA = Criteria(delta=0.95, threshold=200.0, epsilon=30.0)
+NUM_SHARDS = 4
+SHARD_KWARGS = dict(memory_bytes=32 * 1024, counter_kind="float", seed=17)
+
+
+def make_stream(rng: random.Random, n_items: int):
+    """One logical stream: keys 0-4 hot; key 99 is the *distributed*
+    anomaly — hot, but so evenly spread that no single shard sees enough
+    of it to report alone."""
+    items = []
+    for i in range(n_items):
+        if i % 397 == 0:
+            # ~100 occurrences total -> ~25 per shard: Qweight ~475 per
+            # shard, under the 600 report threshold; ~1900 merged.
+            items.append((99, 500.0))
+            continue
+        key = rng.randrange(300)
+        value = 500.0 if key < 5 else rng.uniform(0, 150)
+        items.append((key, value))
+    return items
+
+
+def main():
+    rng = random.Random(21)
+    items = make_stream(rng, 40_000)
+
+    # Spray round-robin across shards (what an L4 balancer does).
+    shards = [QuantileFilter(CRITERIA, **SHARD_KWARGS)
+              for _ in range(NUM_SHARDS)]
+    for index, (key, value) in enumerate(items):
+        shards[index % NUM_SHARDS].insert(key, value)
+
+    shard_reports = [sorted(shard.reported_keys) for shard in shards]
+    print("shard-local reports:")
+    for shard_id, reported in enumerate(shard_reports):
+        print(f"  shard {shard_id}: {reported}")
+
+    # Aggregate: merge all shards into shard 0's filter.
+    aggregate = shards[0]
+    for shard in shards[1:]:
+        aggregate.merge(shard)
+    print(f"\nafter merge: key 99 global Qweight = "
+          f"{aggregate.query(99):.0f} "
+          f"(report threshold {CRITERIA.report_threshold:.0f})")
+
+    # One more arrival anywhere triggers the global report.
+    report = aggregate.insert(99, 500.0)
+    print(f"next item for key 99 reports it: {report is not None}")
+
+    truth = compute_ground_truth(items, CRITERIA)
+    union_local = set().union(*(set(r) for r in shard_reports))
+    print(f"\nground truth over the logical stream: {sorted(truth)}")
+    print(f"caught by some shard locally:          {sorted(union_local)}")
+    missed_locally = truth - union_local
+    print(f"visible only to the aggregate:         {sorted(missed_locally)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Parameter tuning walkthrough (the Sec. V-D design space).
+
+Sweeps QuantileFilter's three structural knobs on one trace and prints
+accuracy/throughput tables, reproducing the reasoning behind the
+paper's defaults (d = 3, b = 6, candidate:vague = 4:1):
+
+* vague-part depth ``d`` — negligible accuracy effect, linear
+  throughput cost (Figs. 9a/10a),
+* bucket size ``b`` — negligible accuracy effect (Figs. 9b/10b),
+* memory split — flat in the middle, degrading at the extremes
+  (Fig. 11).
+
+Run:  python examples/parameter_tuning.py
+"""
+
+from repro.experiments.config import build_trace, default_criteria_for
+from repro.experiments.harness import (
+    build_detector,
+    format_rows,
+    ground_truth_for,
+    run_detection,
+)
+
+# Deliberately tight: at roomy budgets every setting scores F1 = 1.0 and
+# the sweep is uninformative; ~1 KB sits mid-curve for this trace scale.
+MEMORY = 1024
+SCALE = 30_000
+
+
+def sweep(trace, criteria, truth, parameter, values):
+    rows = []
+    for value in values:
+        detector = build_detector(
+            "quantilefilter", criteria, MEMORY, seed=1, **{parameter: value}
+        )
+        record = run_detection(detector, trace, truth)
+        rows.append({
+            parameter: round(value, 3) if isinstance(value, float) else value,
+            "f1": round(record.score.f1, 4),
+            "precision": round(record.score.precision, 4),
+            "recall": round(record.score.recall, 4),
+            "mops": round(record.mops, 3),
+        })
+    return rows
+
+
+def main():
+    trace = build_trace("internet", scale=SCALE, seed=0)
+    criteria = default_criteria_for("internet")
+    truth = ground_truth_for(trace, criteria)
+    print(f"trace: {len(trace):,} items, {trace.distinct_keys:,} keys, "
+          f"{len(truth)} true outstanding keys, budget {MEMORY // 1024} KB\n")
+
+    print("-- vague-part depth d (paper default 3) --")
+    print(format_rows(sweep(trace, criteria, truth, "depth",
+                            [1, 2, 3, 5, 8, 12])))
+
+    print("\n-- bucket size b (paper default 6) --")
+    print(format_rows(sweep(trace, criteria, truth, "bucket_size",
+                            [1, 2, 4, 6, 8, 12])))
+
+    print("\n-- candidate fraction (paper default 0.8 = 4:1) --")
+    print(format_rows(sweep(trace, criteria, truth, "candidate_fraction",
+                            [1 / 17, 1 / 5, 1 / 2, 4 / 5, 16 / 17])))
+
+    print("\nTakeaway: accuracy is flat across sane settings; pick d by "
+          "throughput (small, odd) and avoid extreme memory splits — "
+          "exactly the paper's d = 3, b = 6, 4:1 defaults.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: detect quantile-outstanding keys in a synthetic stream.
+
+Build a QuantileFilter, stream key-value pairs through it, and get
+outstanding-key reports the moment they qualify — the paper's
+"online insertion + online query" model in ~30 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import Criteria, QuantileFilter, compute_ground_truth
+
+
+def main():
+    # Report any key whose 95 %-quantile value exceeds 200 (ms), after a
+    # rank slack of epsilon = 10 items (suppresses one-off spikes).
+    criteria = Criteria(delta=0.95, threshold=200.0, epsilon=10.0)
+
+    # 64 KB total: ~80 % candidate part, ~20 % Count-Sketch vague part.
+    qf = QuantileFilter(criteria, memory_bytes=64 * 1024, seed=7)
+
+    # Synthetic stream: keys 0-4 are slow services (latencies ~ 500 ms),
+    # keys 5-499 are healthy (latencies < 150 ms).
+    rng = random.Random(42)
+    items = []
+    for _ in range(100_000):
+        key = rng.randrange(500)
+        value = rng.gauss(500, 50) if key < 5 else rng.uniform(1, 150)
+        items.append((key, value))
+
+    first_report_at = {}
+    for index, (key, value) in enumerate(items):
+        report = qf.insert(key, value)
+        if report is not None and report.key not in first_report_at:
+            first_report_at[report.key] = index
+
+    print(f"processed {qf.items_processed:,} items "
+          f"in {qf.nbytes:,} modelled bytes")
+    print(f"candidate-part hit rate: {qf.candidate_hit_rate():.1%}")
+    print(f"outstanding keys: {sorted(qf.reported_keys)}")
+    for key in sorted(first_report_at):
+        print(f"  key {key}: first reported at item #{first_report_at[key]:,}")
+
+    # Sanity-check against the exact (memory-hungry) oracle.
+    truth = compute_ground_truth(items, criteria)
+    print(f"exact oracle agrees: {qf.reported_keys == truth}")
+
+
+if __name__ == "__main__":
+    main()

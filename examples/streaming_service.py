@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""A production-shaped monitor: sizing, windowing, alerts, checkpoints.
+
+Puts the library's operational layer together the way a deployed latency
+monitor would use it:
+
+1. **Size** the structure from workload expectations
+   (`repro.analysis.sizing.recommend`).
+2. Run a **windowed** filter so stale data ages out
+   (`WindowedQuantileFilter`, rotating panes).
+3. Rate-limit operator pages with an **alert policy** and aggregate raw
+   reports in a **report log**.
+4. **Checkpoint** the (inner) filter so a restart does not forget
+   accumulated Qweights — demonstrated with a plain QuantileFilter
+   mid-stream save/restore.
+
+Run:  python examples/streaming_service.py
+"""
+
+import random
+import tempfile
+from pathlib import Path
+
+from repro import Criteria, QuantileFilter, load_filter, save_filter
+from repro.analysis.sizing import recommend
+from repro.core.windowed import WindowedQuantileFilter
+from repro.detection.reports import AlertPolicy, ReportLog
+
+CRITERIA = Criteria(delta=0.95, threshold=250.0, epsilon=15.0)
+N_SERVICES = 1_000
+SLOW_SERVICES = 12
+
+
+def latency(service: int, rng: random.Random) -> float:
+    if service < SLOW_SERVICES:
+        return rng.gauss(400.0, 60.0)
+    return rng.lognormvariate(3.5, 0.8)  # median ~33 ms, occasional spikes
+
+
+def main():
+    rng = random.Random(7)
+
+    # 1. Size the structure from expectations.
+    rec = recommend(
+        expected_keys=N_SERVICES,
+        expected_outstanding=SLOW_SERVICES,
+        criteria=CRITERIA,
+        expected_items_per_key=200.0,
+    )
+    print("sizing recommendation:")
+    print(f"  candidate: {rec.num_buckets} buckets x {rec.bucket_size} "
+          f"entries ({rec.candidate_bytes} B)")
+    print(f"  vague:     {rec.depth} x {rec.vague_width} counters "
+          f"({rec.vague_bytes} B)")
+    print(f"  total:     {rec.total_bytes / 1024:.1f} KB "
+          f"(vs {N_SERVICES * 16 / 1024:.0f} KB for exact tracking)")
+
+    # 2 + 3. Windowed filter with alert hygiene.
+    log = ReportLog()
+    policy = AlertPolicy(cooldown_items=20_000)
+    window = WindowedQuantileFilter(
+        CRITERIA, rec.total_bytes * 2, window_items=60_000, mode="rotating",
+        seed=1,
+    )
+    pages = []
+    for tick in range(120_000):
+        service = rng.randrange(N_SERVICES)
+        report = window.insert(service, latency(service, rng))
+        if report is not None:
+            log.record(report)
+            if policy.should_alert(report):
+                pages.append(report)
+
+    print(f"\nprocessed {window.items_processed:,} items, "
+          f"{window.resets} window rotations")
+    print(f"raw reports: {log.total_reports}, operator pages: {len(pages)} "
+          f"({policy.alerts_suppressed} suppressed by cooldown)")
+    print("noisiest services (reports, mean gap in items):")
+    for summary in log.top(5):
+        print(f"  service {summary.key:4d}: {summary.count:3d} reports, "
+              f"gap ~{summary.mean_gap() or 0:.0f}")
+    flagged = set(log.keys())
+    print(f"all flagged services slow? "
+          f"{all(s < SLOW_SERVICES for s in flagged)}  "
+          f"(found {len(flagged)}/{SLOW_SERVICES})")
+
+    # 4. Checkpoint / restore a filter mid-stream.
+    qf = QuantileFilter(CRITERIA, memory_bytes=rec.total_bytes, seed=2)
+    for _ in range(30_000):
+        service = rng.randrange(N_SERVICES)
+        qf.insert(service, latency(service, rng))
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "monitor.npz"
+        save_filter(qf, path)
+        restored = load_filter(path)
+        print(f"\ncheckpoint round-trip: {path.stat().st_size:,} B on disk, "
+              f"{restored.items_processed:,} items of state, "
+              f"reported keys preserved: "
+              f"{restored.reported_keys == qf.reported_keys}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only lets
+``pip install -e .`` fall back to the legacy setuptools editable path
+when PEP 660 wheel building is unavailable (offline build environments).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""QuantileFilter: online detection of quantile-outstanding keys.
+
+A from-scratch Python reproduction of *"Online Detection of Outstanding
+Quantiles with QuantileFilter"* (Wu et al., ICDE 2024): the
+QuantileFilter sketch itself, every substrate it builds on (Count
+Sketch, hashing, saturating counters), the SOTA baselines it is compared
+against (SQUAD, SketchPolymer, HistSketch), single-key quantile
+estimators (GK, KLL, t-digest, DDSketch), synthetic workloads matching
+the paper's datasets, and the full evaluation harness (Figs. 4-15).
+
+Quickstart::
+
+    from repro import Criteria, QuantileFilter
+
+    # Report any key whose 95 %-quantile value exceeds 200 ms, with a
+    # rank slack of 30 items, using a 64 KB structure.
+    qf = QuantileFilter(Criteria(delta=0.95, threshold=200.0, epsilon=30.0),
+                        memory_bytes=64 * 1024)
+    for key, value in stream:
+        report = qf.insert(key, value)
+        if report is not None:
+            print(f"outstanding: {report.key} (Qweight {report.qweight:.0f})")
+"""
+
+from repro.core.criteria import Criteria
+from repro.core.quantile_filter import QuantileFilter, Report
+from repro.core.naive import NaiveDualCSketch
+from repro.core.vectorized import BatchQuantileFilter
+from repro.core.multi_criteria import MultiCriteriaFilter
+from repro.core.windowed import WindowedQuantileFilter
+from repro.core.persistence import save_filter, load_filter
+from repro.common.errors import ReproError, ParameterError
+from repro.detection.ground_truth import GroundTruthDetector, compute_ground_truth
+from repro.metrics.accuracy import DetectionScore, score_sets
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Criteria",
+    "QuantileFilter",
+    "Report",
+    "NaiveDualCSketch",
+    "BatchQuantileFilter",
+    "MultiCriteriaFilter",
+    "WindowedQuantileFilter",
+    "save_filter",
+    "load_filter",
+    "ReproError",
+    "ParameterError",
+    "GroundTruthDetector",
+    "compute_ground_truth",
+    "DetectionScore",
+    "score_sets",
+    "__version__",
+]

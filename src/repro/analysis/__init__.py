@@ -1,0 +1,20 @@
+"""Analytical companions to the paper's Section IV theorems."""
+
+from repro.analysis.theory import (
+    csketch_width_for,
+    csketch_depth_for,
+    theorem1_error_bound,
+    theorem2_reduction_factor,
+    l2_norm,
+)
+from repro.analysis.sizing import SizingRecommendation, recommend
+
+__all__ = [
+    "csketch_width_for",
+    "csketch_depth_for",
+    "theorem1_error_bound",
+    "theorem2_reduction_factor",
+    "l2_norm",
+    "SizingRecommendation",
+    "recommend",
+]

@@ -1,0 +1,94 @@
+"""Numeric forms of the paper's Section IV analysis.
+
+These functions let the tests and the documentation check the
+implementation against the theory:
+
+* **Theorem 1** (vague part alone): with ``w = ceil(4 / eps^2)`` columns
+  and ``d = ceil(8 ln(1/gamma))`` rows, the Qweight estimate is unbiased
+  and ``P[|err| >= eps * L2] <= gamma`` where ``L2`` is the l2-norm of
+  all true Qweights.
+* **Theorem 2** (top-k removal under Zipf): removing the k largest
+  Qweights shrinks the effective ``L2`` by ``k^(alpha - 0.5)``.
+* **Theorem 3** (candidate part): the bound's ``L2`` only counts mass
+  that ever entered the vague part — checked empirically in the tests,
+  since it is dataset-dependent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.common.errors import ParameterError
+
+
+def csketch_width_for(eps: float) -> int:
+    """Columns needed for relative error ``eps`` (Theorem 1's w)."""
+    if not 0.0 < eps:
+        raise ParameterError(f"eps must be > 0, got {eps}")
+    return math.ceil(4.0 / (eps * eps))
+
+
+def csketch_depth_for(gamma: float) -> int:
+    """Rows needed for failure probability ``gamma`` (Theorem 1's d)."""
+    if not 0.0 < gamma < 1.0:
+        raise ParameterError(f"gamma must be in (0, 1), got {gamma}")
+    return math.ceil(8.0 * math.log(1.0 / gamma))
+
+
+def l2_norm(qweights: Iterable[float]) -> float:
+    """``sqrt(sum Q_i^2)`` — the L2 mass Theorem 1's bound scales with."""
+    return math.sqrt(sum(q * q for q in qweights))
+
+
+def theorem1_error_bound(l2: float, width: int) -> float:
+    """Per-row standard-deviation bound ``L2 / sqrt(w)``.
+
+    This is the variance calculation inside Theorem 1's proof:
+    ``Var(Q*) <= L2^2 / w``, so one row's error has standard deviation
+    at most ``L2 / sqrt(w)`` and Chebyshev gives
+    ``P[|err| >= eps*L2] <= 1 / (w * eps^2)``.
+    """
+    if width < 1:
+        raise ParameterError(f"width must be >= 1, got {width}")
+    if l2 < 0:
+        raise ParameterError(f"l2 must be >= 0, got {l2}")
+    return l2 / math.sqrt(width)
+
+
+def chebyshev_failure_probability(eps: float, width: int) -> float:
+    """Single-row failure probability ``min(1, 1 / (w * eps^2))``."""
+    if eps <= 0:
+        raise ParameterError(f"eps must be > 0, got {eps}")
+    if width < 1:
+        raise ParameterError(f"width must be >= 1, got {width}")
+    return min(1.0, 1.0 / (width * eps * eps))
+
+
+def theorem2_reduction_factor(alpha: float, k: int) -> float:
+    """L2 reduction from removing the top-k Qweights under Zipf(alpha).
+
+    Theorem 2: the residual L2 after dropping the k largest Qweights is
+    at most ``L2 / k^(alpha - 0.5)`` — i.e. this function returns the
+    multiplier ``k^-(alpha - 0.5)``.  Only meaningful for ``alpha > 0.5``
+    (below that, the tail dominates and removing heads does not help).
+    """
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    if alpha <= 0.5:
+        raise ParameterError(
+            f"Theorem 2 requires alpha > 0.5 (tail-summable Qweights), got {alpha}"
+        )
+    return k ** (-(alpha - 0.5))
+
+
+def residual_l2_after_topk(qweights: Iterable[float], k: int) -> float:
+    """Exact residual L2 after removing the k largest |Qweight| keys.
+
+    The empirical quantity Theorem 2 upper-bounds; the tests compare
+    the two on Zipf-distributed Qweight vectors.
+    """
+    if k < 0:
+        raise ParameterError(f"k must be >= 0, got {k}")
+    ordered = sorted((abs(q) for q in qweights), reverse=True)
+    return l2_norm(ordered[k:])

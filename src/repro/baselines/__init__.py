@@ -1,0 +1,25 @@
+"""From-scratch implementations of the paper's SOTA comparators.
+
+Each follows the published design of the corresponding system closely
+enough to reproduce its accuracy/space/speed *shape* on the detection
+task:
+
+* :class:`~repro.baselines.squad.Squad` — heavy-hitter-elected per-key
+  GK summaries plus a background reservoir (SIGMOD'23 "SQUAD").
+* :class:`~repro.baselines.sketchpolymer.SketchPolymer` — early-value
+  filtering plus log-bucketed shared counters (KDD'23).
+* :class:`~repro.baselines.histsketch.HistSketch` — per-key compact
+  histograms with a heavy/light split (ICDE'23).
+
+All three implement
+:class:`~repro.detection.adapters.MultiKeyQuantileEstimator` and are
+driven through :class:`~repro.detection.adapters.QueryOnInsertAdapter`
+in the experiments.
+"""
+
+from repro.baselines.squad import Squad
+from repro.baselines.sketchpolymer import SketchPolymer
+from repro.baselines.histsketch import HistSketch
+from repro.baselines.perkey import PerKeyQuantileStore
+
+__all__ = ["Squad", "SketchPolymer", "HistSketch", "PerKeyQuantileStore"]

@@ -1,0 +1,210 @@
+"""HistSketch (He, Zhu & Huang, ICDE 2023), reimplemented.
+
+"A compact data structure for accurate per-key distribution monitoring."
+The design keeps full per-key histograms for keys that win a heavy part
+slot, and per-bin shared sketches for everything else:
+
+* **Heavy part** — a key-indexed hash table; each slot stores the full
+  key, a ``num_bins``-bin histogram of its values, and an Elastic-style
+  vote counter.  A colliding key votes against the incumbent and
+  replaces it once negative votes exceed ``vote_lambda`` times the
+  incumbent's count (the incumbent's histogram flushes to the light
+  part).
+* **Light part** — one small Count-Min sketch per histogram bin,
+  absorbing evicted and never-elected keys.
+
+Quantile queries reconstruct the key's histogram (heavy slot if owned,
+plus its light-part remainders) and walk the cumulative bin counts.
+Per-slot cost is large — key + votes + ``num_bins`` counters — which is
+the "around 1 GB irrespective of configuration" footprint the
+QuantileFilter paper observes on key-rich datasets: honest accuracy
+needs a heavy slot per monitored key.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, List, Optional
+
+from repro.common.errors import ParameterError
+from repro.common.hashing import canonical_key, mix64
+from repro.detection.adapters import MultiKeyQuantileEstimator
+from repro.quantiles.base import NEG_INF
+from repro.sketches.count_min import CountMinSketch
+
+
+class _HeavySlot:
+    """One heavy-part cell: owner key, histogram, replacement votes."""
+
+    __slots__ = ("key", "histogram", "total", "negative_votes")
+
+    def __init__(self, num_bins: int):
+        self.key: Optional[Hashable] = None
+        self.histogram = [0] * num_bins
+        self.total = 0
+        self.negative_votes = 0
+
+    def reset_to(self, key: Hashable) -> None:
+        self.key = key
+        for i in range(len(self.histogram)):
+            self.histogram[i] = 0
+        self.total = 0
+        self.negative_votes = 0
+
+
+class HistSketch(MultiKeyQuantileEstimator):
+    """Per-key histogram monitoring over a byte budget.
+
+    Parameters
+    ----------
+    memory_bytes:
+        Total budget; ``heavy_fraction`` funds heavy slots, the rest the
+        per-bin light sketches.
+    num_bins:
+        Histogram resolution (log-spaced bins over the value range).
+    vote_lambda:
+        Elastic-style replacement threshold: a slot is usurped when
+        ``negative_votes > vote_lambda * total``.
+    """
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        *,
+        num_bins: int = 16,
+        value_min: float = 1e-3,
+        value_max: float = 1e5,
+        heavy_fraction: float = 0.7,
+        vote_lambda: float = 8.0,
+        depth: int = 2,
+        seed: int = 0,
+    ):
+        if num_bins < 2:
+            raise ParameterError(f"num_bins must be >= 2, got {num_bins}")
+        if value_min <= 0 or value_max <= value_min:
+            raise ParameterError(
+                f"need 0 < value_min < value_max, got {value_min}, {value_max}"
+            )
+        if vote_lambda <= 0:
+            raise ParameterError(f"vote_lambda must be > 0, got {vote_lambda}")
+        self.num_bins = num_bins
+        self.value_min = value_min
+        self.value_max = value_max
+        self.vote_lambda = vote_lambda
+        self._log_span = math.log(value_max / value_min)
+
+        # Heavy slot modelled cost: key 8 B + votes 8 B + bins x 4 B.
+        self._slot_bytes = 16 + 4 * num_bins
+        heavy_budget = max(self._slot_bytes, int(memory_bytes * heavy_fraction))
+        light_budget = max(depth * 4 * num_bins, memory_bytes - heavy_budget)
+        self.num_slots = max(1, heavy_budget // self._slot_bytes)
+        self._slots: List[_HeavySlot] = [
+            _HeavySlot(num_bins) for _ in range(self.num_slots)
+        ]
+        per_bin_bytes = max(depth * 4, light_budget // num_bins)
+        self.light: List[CountMinSketch] = [
+            CountMinSketch(
+                depth=depth,
+                width=max(1, per_bin_bytes // (depth * 4)),
+                counter_kind="int32",
+                seed=seed + 211 + b,
+            )
+            for b in range(num_bins)
+        ]
+        self._slot_seed = mix64(seed ^ 0x0F0F_F0F0_1234_4321)
+
+    # ------------------------------------------------------------------
+    # binning and placement
+    # ------------------------------------------------------------------
+    def bin_of(self, value: float) -> int:
+        """Log-spaced bin index of ``value`` within [0, num_bins)."""
+        value = min(max(value, self.value_min), self.value_max)
+        frac = math.log(value / self.value_min) / self._log_span
+        return min(int(frac * self.num_bins), self.num_bins - 1)
+
+    def bin_upper_value(self, bin_index: int) -> float:
+        """Upper edge of ``bin_index`` (the reported quantile value)."""
+        frac = (bin_index + 1) / self.num_bins
+        return self.value_min * math.exp(frac * self._log_span)
+
+    def _slot_of(self, key_int: int) -> int:
+        return mix64(key_int ^ self._slot_seed) % self.num_slots
+
+    # ------------------------------------------------------------------
+    # MultiKeyQuantileEstimator interface
+    # ------------------------------------------------------------------
+    def insert(self, key: Hashable, value: float) -> None:
+        """Heavy-slot update with voting; losers go to the light part."""
+        key_int = canonical_key(key)
+        slot = self._slots[self._slot_of(key_int)]
+        bin_index = self.bin_of(value)
+
+        if slot.key is None:
+            slot.reset_to(key)
+            slot.histogram[bin_index] += 1
+            slot.total += 1
+            return
+        if slot.key == key:
+            slot.histogram[bin_index] += 1
+            slot.total += 1
+            return
+
+        # Collision: vote against the incumbent, record in light part.
+        slot.negative_votes += 1
+        self.light[bin_index].update(key_int, 1.0)
+        if slot.negative_votes > self.vote_lambda * max(1, slot.total):
+            self._flush_to_light(slot)
+            slot.reset_to(key)
+            slot.histogram[bin_index] += 1
+            slot.total += 1
+
+    def _flush_to_light(self, slot: _HeavySlot) -> None:
+        evicted_int = canonical_key(slot.key)
+        for bin_index, count in enumerate(slot.histogram):
+            if count:
+                self.light[bin_index].update(evicted_int, float(count))
+
+    def quantile(self, key: Hashable, delta: float, epsilon: float = 0.0) -> float:
+        """Histogram walk over heavy (if owned) + light bin counts."""
+        key_int = canonical_key(key)
+        slot = self._slots[self._slot_of(key_int)]
+        counts = [0.0] * self.num_bins
+        if slot.key == key:
+            for b in range(self.num_bins):
+                counts[b] += slot.histogram[b]
+        for b in range(self.num_bins):
+            counts[b] += max(0.0, self.light[b].estimate(key_int))
+        total = sum(counts)
+        if total <= 0:
+            return NEG_INF
+        index = math.floor(delta * total - epsilon)
+        if index < 0:
+            return NEG_INF
+        target = min(index + 1, total)
+        cumulative = 0.0
+        for b, count in enumerate(counts):
+            cumulative += count
+            if cumulative >= target:
+                return self.bin_upper_value(b)
+        return self.bin_upper_value(self.num_bins - 1)
+
+    def reset_key(self, key: Hashable) -> bool:
+        """Zero the key's heavy histogram after a report (if owned)."""
+        key_int = canonical_key(key)
+        slot = self._slots[self._slot_of(key_int)]
+        if slot.key == key:
+            for b in range(self.num_bins):
+                slot.histogram[b] = 0
+            slot.total = 0
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Modelled footprint: heavy slots + all per-bin sketches."""
+        heavy = self.num_slots * self._slot_bytes
+        light = sum(sketch.nbytes for sketch in self.light)
+        return heavy + light

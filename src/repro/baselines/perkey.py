@@ -1,0 +1,111 @@
+"""The holistic per-key approach (paper Sec. II-B, first category).
+
+"[Single-key algorithms] are usually not suited for multi-key scenarios
+as they require building and maintaining a separate data structure for
+each key, significantly increasing storage use."  This baseline is that
+approach, made concrete: a dictionary from key to its own quantile
+estimator (GK / KLL / t-digest / DDSketch / Q-digest / exact,
+selectable).
+
+Its accuracy is excellent — each key gets a dedicated summary — but its
+memory grows with the number of distinct keys, unboundedly on the
+Cloud-like workload.  An optional ``max_keys`` cap models a deployment
+that simply stops admitting new keys when full, which converts the
+memory blow-up into a recall collapse; both failure modes are what
+QuantileFilter exists to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional
+
+from repro.common.errors import ParameterError
+from repro.detection.adapters import MultiKeyQuantileEstimator
+from repro.quantiles.base import NEG_INF, QuantileSketch
+from repro.quantiles.ddsketch import DDSketch
+from repro.quantiles.exact import ExactQuantile
+from repro.quantiles.gk import GKSummary
+from repro.quantiles.kll import KLLSketch
+from repro.quantiles.qdigest import QDigest
+from repro.quantiles.tdigest import TDigest
+
+#: Registered per-key estimator factories.
+ESTIMATOR_FACTORIES: Dict[str, Callable[[], QuantileSketch]] = {
+    "gk": lambda: GKSummary(eps=0.01),
+    "kll": lambda: KLLSketch(k=128),
+    "tdigest": lambda: TDigest(compression=100),
+    "ddsketch": lambda: DDSketch(alpha=0.02),
+    "qdigest": lambda: QDigest(k=64),
+    "exact": ExactQuantile,
+}
+
+
+class PerKeyQuantileStore(MultiKeyQuantileEstimator):
+    """One quantile estimator per distinct key.
+
+    Parameters
+    ----------
+    estimator:
+        Which single-key summary to instantiate per key (a name from
+        :data:`ESTIMATOR_FACTORIES`).
+    max_keys:
+        Optional admission cap; once reached, unseen keys are silently
+        dropped (their quantiles answer ``-inf``).  ``None`` = unbounded
+        memory, the paper's "intolerable storage demands" regime.
+    """
+
+    def __init__(self, estimator: str = "gk", max_keys: Optional[int] = None):
+        if estimator not in ESTIMATOR_FACTORIES:
+            raise ParameterError(
+                f"unknown estimator {estimator!r}; "
+                f"choose from {sorted(ESTIMATOR_FACTORIES)}"
+            )
+        if max_keys is not None and max_keys < 1:
+            raise ParameterError(f"max_keys must be >= 1, got {max_keys}")
+        self.estimator_name = estimator
+        self.max_keys = max_keys
+        self._factory = ESTIMATOR_FACTORIES[estimator]
+        self._stores: Dict[Hashable, QuantileSketch] = {}
+        self.dropped_items = 0
+
+    # ------------------------------------------------------------------
+    # MultiKeyQuantileEstimator interface
+    # ------------------------------------------------------------------
+    def insert(self, key: Hashable, value: float) -> None:
+        """Route the value to the key's own summary (admitting if room)."""
+        store = self._stores.get(key)
+        if store is None:
+            if self.max_keys is not None and len(self._stores) >= self.max_keys:
+                self.dropped_items += 1
+                return
+            store = self._factory()
+            self._stores[key] = store
+        store.insert(value)
+
+    def quantile(self, key: Hashable, delta: float, epsilon: float = 0.0) -> float:
+        """The key's own summary, or ``-inf`` if never admitted."""
+        store = self._stores.get(key)
+        if store is None:
+            return NEG_INF
+        return store.quantile(delta, epsilon)
+
+    def reset_key(self, key: Hashable) -> bool:
+        """Clear the key's summary after a report."""
+        store = self._stores.get(key)
+        if store is None:
+            return False
+        store.clear()
+        return True
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Live footprint: every per-key summary plus 8 B of key each."""
+        return sum(8 + store.nbytes for store in self._stores.values())
+
+    @property
+    def tracked_keys(self) -> int:
+        """Number of keys currently holding a summary."""
+        return len(self._stores)

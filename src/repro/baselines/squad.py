@@ -1,0 +1,136 @@
+"""SQUAD (Shahout, Friedman & Ben Basat, SIGMOD 2023), reimplemented.
+
+"Together is better: heavy hitters quantile estimation" combines:
+
+* a heavy-hitter structure (SpaceSaving here) that decides which keys
+  deserve dedicated per-key quantile summaries,
+* a GK summary per elected heavy key, and
+* a uniform reservoir sample of the whole stream that answers (coarsely)
+  for keys without their own summary.
+
+Querying a tracked key walks its GK summary — the binary-search cost
+footnote 2 of the QuantileFilter paper attributes to GK-based
+solutions.  Querying an untracked key filters the reservoir, which is
+slower still and noisy at small sample sizes; this is why SQUAD's recall
+converges to 100 % only as memory grows (Figs. 4-5 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from repro.common.errors import ParameterError
+from repro.detection.adapters import MultiKeyQuantileEstimator
+from repro.quantiles.base import NEG_INF, paper_quantile_index
+from repro.quantiles.gk import GKSummary
+from repro.sketches.sampling import KeyedReservoirSampler
+from repro.sketches.space_saving import SpaceSaving
+
+#: Rough modelled bytes for one heavy-key slot: SpaceSaving entry (16 B)
+#: plus a typical GK summary (~36 tuples x 16 B at eps = 0.01 over the
+#: per-key value counts the experiments see).
+_BYTES_PER_HEAVY_SLOT = 600
+#: Modelled bytes per reservoir slot (key + value).
+_BYTES_PER_SAMPLE_SLOT = 16
+
+
+class Squad(MultiKeyQuantileEstimator):
+    """Heavy-hitter quantile estimation over a byte budget.
+
+    Parameters
+    ----------
+    memory_bytes:
+        Total budget; ``heavy_fraction`` of it funds heavy-key slots,
+        the rest the reservoir.
+    heavy_fraction:
+        Share of the budget for SpaceSaving + per-key summaries.
+    gk_eps:
+        Rank accuracy of each per-key GK summary.
+    """
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        *,
+        heavy_fraction: float = 0.75,
+        gk_eps: float = 0.01,
+        seed: int = 0,
+    ):
+        if memory_bytes < _BYTES_PER_HEAVY_SLOT + _BYTES_PER_SAMPLE_SLOT:
+            raise ParameterError(
+                f"memory_bytes too small for SQUAD: {memory_bytes} "
+                f"(need >= {_BYTES_PER_HEAVY_SLOT + _BYTES_PER_SAMPLE_SLOT})"
+            )
+        if not 0.0 < heavy_fraction < 1.0:
+            raise ParameterError(
+                f"heavy_fraction must be in (0, 1), got {heavy_fraction}"
+            )
+        heavy_budget = int(memory_bytes * heavy_fraction)
+        sample_budget = memory_bytes - heavy_budget
+        capacity = max(1, heavy_budget // _BYTES_PER_HEAVY_SLOT)
+        self.gk_eps = gk_eps
+        self.heavy = SpaceSaving(capacity)
+        self.summaries: Dict[Hashable, GKSummary] = {}
+        self.reservoir = KeyedReservoirSampler(
+            max(1, sample_budget // _BYTES_PER_SAMPLE_SLOT), seed=seed
+        )
+
+    # ------------------------------------------------------------------
+    # MultiKeyQuantileEstimator interface
+    # ------------------------------------------------------------------
+    def insert(self, key: Hashable, value: float) -> None:
+        """Feed one item to the electorate, summaries and reservoir."""
+        evicted = self.heavy.update(key)
+        if evicted is not None:
+            # The evicted key's summary is lost — an inherent SQUAD error
+            # source when the heavy set churns.
+            self.summaries.pop(evicted, None)
+        if key in self.heavy:
+            summary = self.summaries.get(key)
+            if summary is None:
+                summary = GKSummary(eps=self.gk_eps)
+                self.summaries[key] = summary
+            summary.insert(value)
+        self.reservoir.offer(key, value)
+
+    def quantile(self, key: Hashable, delta: float, epsilon: float = 0.0) -> float:
+        """Per-key summary if elected; reservoir sub-sample otherwise."""
+        summary = self.summaries.get(key)
+        if summary is not None and summary.count > 0:
+            return summary.quantile(delta, epsilon)
+        return self._sample_quantile(key, delta, epsilon)
+
+    def _sample_quantile(self, key: Hashable, delta: float, epsilon: float) -> float:
+        values: List[float] = self.reservoir.values_for(key)
+        if not values:
+            return NEG_INF
+        values.sort()
+        # The sample is a p-thinned view of the key's stream, so the rank
+        # slack epsilon shrinks by the sampling probability.
+        p = min(1.0, self.reservoir.capacity / max(1, self.reservoir.seen))
+        index = paper_quantile_index(len(values), delta, epsilon * p)
+        if index is None:
+            return NEG_INF
+        return values[index]
+
+    def reset_key(self, key: Hashable) -> bool:
+        """Clear a tracked key's summary after a report (if it has one)."""
+        summary = self.summaries.get(key)
+        if summary is not None:
+            summary.clear()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Live modelled footprint: electorate + summaries + reservoir."""
+        summaries = sum(s.nbytes for s in self.summaries.values())
+        return self.heavy.nbytes + summaries + self.reservoir.nbytes
+
+    @property
+    def tracked_keys(self) -> int:
+        """Number of keys currently holding a per-key summary."""
+        return len(self.summaries)

@@ -1,0 +1,31 @@
+"""Shared low-level substrates: hashing, counters, memory accounting.
+
+These modules are deliberately dependency-light; everything else in the
+package builds on them.  All randomness is seeded explicitly so that
+experiments are reproducible run-to-run.
+"""
+
+from repro.common.errors import ReproError, ParameterError
+from repro.common.hashing import (
+    HashFamily,
+    SignHashFamily,
+    FingerprintHasher,
+    canonical_key,
+    mix64,
+)
+from repro.common.counters import CounterArray, probabilistic_round
+from repro.common.memory import MemoryModel, sizeof_counter
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "HashFamily",
+    "SignHashFamily",
+    "FingerprintHasher",
+    "canonical_key",
+    "mix64",
+    "CounterArray",
+    "probabilistic_round",
+    "MemoryModel",
+    "sizeof_counter",
+]

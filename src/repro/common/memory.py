@@ -1,0 +1,93 @@
+"""Memory accounting for accuracy-vs-space experiments.
+
+The paper's headline result is a space saving of 50-500x at equal
+accuracy, so every structure in this package reports its footprint in
+*modelled* bytes — the bytes the structure would occupy in the compact
+array layout the paper assumes (counters at their declared width,
+fingerprints at their declared bit length), not Python object overhead.
+This matches how sketch papers report memory and makes the curves
+comparable to the paper's x-axes.
+
+:class:`MemoryModel` additionally solves the inverse problem the
+experiment harness needs: given a total budget in bytes and a structure's
+per-slot cost, how many slots can it afford?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.common.errors import ParameterError
+
+#: Bytes per counter for each counter kind (matches numpy itemsize).
+_COUNTER_BYTES = {
+    "int8": 1,
+    "int16": 2,
+    "int32": 4,
+    "int64": 8,
+    "float": 8,
+}
+
+
+def sizeof_counter(kind: str) -> int:
+    """Bytes occupied by one counter of the given kind."""
+    try:
+        return _COUNTER_BYTES[kind]
+    except KeyError:
+        raise ParameterError(
+            f"unknown counter kind {kind!r}; choose from {sorted(_COUNTER_BYTES)}"
+        ) from None
+
+
+def bits_to_bytes(bits: int) -> int:
+    """Bytes needed to store ``bits`` bits, rounded up."""
+    if bits < 0:
+        raise ParameterError(f"bit count must be non-negative, got {bits}")
+    return (bits + 7) // 8
+
+
+@dataclass
+class MemoryModel:
+    """Itemised memory budget for a composite structure.
+
+    Components are registered with :meth:`add` and the total is
+    :attr:`total_bytes`.  The experiment harness uses the breakdown to
+    print per-part memory in reports.
+    """
+
+    components: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, nbytes: int) -> None:
+        """Register (or accumulate into) a named component."""
+        if nbytes < 0:
+            raise ParameterError(f"component {name!r} has negative size {nbytes}")
+        self.components[name] = self.components.get(name, 0) + int(nbytes)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of all registered component sizes."""
+        return sum(self.components.values())
+
+    def breakdown(self) -> Dict[str, int]:
+        """Copy of the per-component byte counts."""
+        return dict(self.components)
+
+
+def split_budget(total_bytes: int, candidate_fraction: float) -> tuple:
+    """Split a byte budget between candidate and vague parts.
+
+    The paper allocates candidate:vague = 4:1 by default
+    (``candidate_fraction = 0.8``).  Returns
+    ``(candidate_bytes, vague_bytes)``; both are at least 1 so neither
+    part degenerates to zero slots under tiny budgets.
+    """
+    if total_bytes < 2:
+        raise ParameterError(f"budget must be at least 2 bytes, got {total_bytes}")
+    if not 0.0 < candidate_fraction < 1.0:
+        raise ParameterError(
+            f"candidate_fraction must be in (0, 1), got {candidate_fraction}"
+        )
+    candidate = max(1, int(total_bytes * candidate_fraction))
+    vague = max(1, total_bytes - candidate)
+    return candidate, vague

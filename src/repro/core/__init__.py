@@ -1,0 +1,62 @@
+"""QuantileFilter — the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.criteria.Criteria` — the ``(epsilon, delta, T)``
+  filtering criteria and the Qweight conversion derived from them.
+* :class:`~repro.core.quantile_filter.QuantileFilter` — the two-part
+  (candidate + vague) online detector.
+* :class:`~repro.core.naive.NaiveDualCSketch` — the paper's Section II-D
+  strawman, kept as a baseline.
+* :class:`~repro.core.vectorized.BatchQuantileFilter` — numpy-accelerated
+  batch engine with identical semantics, used for throughput runs.
+* :class:`~repro.core.multi_criteria.MultiCriteriaFilter` — several
+  criteria per key via key-tuple expansion (Sec. III-C).
+"""
+
+from repro.core.criteria import Criteria
+from repro.core.qweight import (
+    exact_qweight,
+    quantile_exceeds_threshold,
+    qweight_exceeds_report_threshold,
+)
+from repro.core.candidate import CandidatePart
+from repro.core.vague import VaguePart
+from repro.core.strategies import (
+    ReplacementStrategy,
+    ComparativeReplacement,
+    ProbabilisticReplacement,
+    ForcefulReplacement,
+    make_strategy,
+)
+from repro.core.quantile_filter import QuantileFilter, Report
+from repro.core.naive import NaiveDualCSketch
+from repro.core.vectorized import BatchQuantileFilter
+from repro.core.multi_criteria import MultiCriteriaFilter
+from repro.core.windowed import WindowedQuantileFilter
+from repro.core.persistence import save_filter, load_filter
+from repro.core.inspect import describe, health_warnings
+
+__all__ = [
+    "Criteria",
+    "exact_qweight",
+    "quantile_exceeds_threshold",
+    "qweight_exceeds_report_threshold",
+    "CandidatePart",
+    "VaguePart",
+    "ReplacementStrategy",
+    "ComparativeReplacement",
+    "ProbabilisticReplacement",
+    "ForcefulReplacement",
+    "make_strategy",
+    "QuantileFilter",
+    "Report",
+    "NaiveDualCSketch",
+    "BatchQuantileFilter",
+    "MultiCriteriaFilter",
+    "WindowedQuantileFilter",
+    "save_filter",
+    "load_filter",
+    "describe",
+    "health_warnings",
+]

@@ -1,0 +1,92 @@
+"""The ``(epsilon, delta, T)`` filtering criteria and Qweight conversion.
+
+The paper's central algebraic move (Sec. III-A) is to replace the
+quantile comparison ``q_{eps,delta} > T`` with a running-sum comparison:
+assign each item the weight
+
+* ``-1``                     if its value ``v <= T``,
+* ``+delta / (1 - delta)``   if its value ``v > T``,
+
+and report the key exactly when the summed weight (its *Qweight*)
+reaches ``epsilon / (1 - delta)``.  :class:`Criteria` packages the three
+user parameters together with those two derived constants so every
+structure in the package shares one source of truth for the conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class Criteria:
+    """Filtering criteria ``(epsilon, delta, T)`` (paper Definition 4).
+
+    Parameters
+    ----------
+    delta:
+        The quantile of interest, strictly inside (0, 1) — e.g. 0.95 for
+        "95 % latency".
+    threshold:
+        The value threshold ``T``; a key is outstanding when its
+        ``(epsilon, delta)``-quantile exceeds it.
+    epsilon:
+        Allowed rank deviation (>= 0).  Larger epsilon delays reports:
+        at least ``epsilon`` extra values must exceed ``T`` before a key
+        qualifies, which suppresses premature and infrequent-key reports.
+
+    Derived attributes
+    ------------------
+    positive_weight:
+        ``delta / (1 - delta)`` — the Qweight contribution of an item
+        with ``v > T``.
+    report_threshold:
+        ``epsilon / (1 - delta)`` — a key is reported once its Qweight
+        reaches this (Sec. III-A conversion lemma).
+    """
+
+    delta: float
+    threshold: float
+    epsilon: float = 0.0
+    positive_weight: float = field(init=False, repr=False)
+    report_threshold: float = field(init=False, repr=False)
+
+    def __post_init__(self):
+        if not 0.0 < self.delta < 1.0:
+            raise ParameterError(f"delta must be in (0, 1), got {self.delta}")
+        if self.epsilon < 0:
+            raise ParameterError(f"epsilon must be >= 0, got {self.epsilon}")
+        one_minus = 1.0 - self.delta
+        object.__setattr__(self, "positive_weight", self.delta / one_minus)
+        object.__setattr__(self, "report_threshold", self.epsilon / one_minus)
+
+    def item_weight(self, value: float) -> float:
+        """Qweight of one item under these criteria."""
+        return self.positive_weight if value > self.threshold else -1.0
+
+    def with_updates(self, **changes) -> "Criteria":
+        """A copy with some of (delta, threshold, epsilon) replaced.
+
+        Used by the dynamic-modification experiments (Figs. 13-15) which
+        change one parameter at a time for half the keys.
+        """
+        allowed = {"delta", "threshold", "epsilon"}
+        unknown = set(changes) - allowed
+        if unknown:
+            raise ParameterError(
+                f"unknown criteria fields {sorted(unknown)}; allowed: {sorted(allowed)}"
+            )
+        return Criteria(
+            delta=changes.get("delta", self.delta),
+            threshold=changes.get("threshold", self.threshold),
+            epsilon=changes.get("epsilon", self.epsilon),
+        )
+
+
+#: The paper's default evaluation criteria (Sec. V-A): delta = 95 %,
+#: epsilon = 30; the threshold is dataset-specific and supplied by the
+#: experiment configs.
+DEFAULT_DELTA = 0.95
+DEFAULT_EPSILON = 30.0

@@ -1,0 +1,104 @@
+"""Structure introspection: human-readable state dumps for debugging.
+
+When a deployment misbehaves — recall dropping, counters saturating,
+election churn — the first question is "what does the structure look
+like right now?".  :func:`describe` renders a QuantileFilter's state as
+a text report: part sizes, occupancy, hit rates, counter statistics,
+the top candidate entries, and health warnings derived from the
+monitoring thresholds documented in ``docs/operations.md``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.quantile_filter import QuantileFilter
+
+
+def health_warnings(qf: QuantileFilter) -> List[str]:
+    """Heuristic warnings about a filter's current state.
+
+    Empty list = nothing suspicious.  Thresholds follow the operations
+    guide: low candidate hit rate, high counter saturation, explosive
+    election churn, or a candidate part packed solid.
+    """
+    warnings: List[str] = []
+    if qf.items_processed >= 1_000:
+        hit_rate = qf.candidate_hit_rate()
+        if hit_rate < 0.2:
+            warnings.append(
+                f"candidate hit rate {hit_rate:.1%} is low — the hot-key "
+                "population exceeds the candidate capacity; grow "
+                "num_buckets or the memory budget"
+            )
+        saturation = qf.vague.sketch.counters.saturation_fraction()
+        if saturation > 0.2:
+            warnings.append(
+                f"{saturation:.1%} of vague counters are saturated — widen "
+                "counters (counter_kind) or shorten the reset window"
+            )
+        swap_rate = qf.swaps / qf.items_processed
+        if swap_rate > 0.2:
+            warnings.append(
+                f"election churn {swap_rate:.1%} per item — bucket "
+                "minimums keep losing; more buckets would stabilise the "
+                "candidate set"
+            )
+    if qf.candidate.occupancy() > 0.98 and qf.candidate.entry_count() > 10:
+        warnings.append(
+            "candidate part is packed solid — new keys can only enter by "
+            "eviction"
+        )
+    return warnings
+
+
+def describe(qf: QuantileFilter, top_k: int = 5) -> str:
+    """Render a filter's current state as a multi-line text report."""
+    lines: List[str] = []
+    lines.append(
+        f"QuantileFilter — {qf.nbytes:,} modelled bytes "
+        f"({qf.candidate.nbytes:,} candidate + {qf.vague.nbytes:,} vague)"
+    )
+    lines.append(
+        f"criteria: delta={qf.criteria.delta} T={qf.criteria.threshold} "
+        f"epsilon={qf.criteria.epsilon} "
+        f"(report at Qweight >= {qf.criteria.report_threshold:g})"
+    )
+    lines.append(
+        f"candidate: {qf.candidate.num_buckets} buckets x "
+        f"{qf.candidate.bucket_size} entries, "
+        f"{qf.candidate.fp_bits}-bit fingerprints, "
+        f"occupancy {qf.candidate.occupancy():.1%} "
+        f"({qf.candidate.entry_count()} entries)"
+    )
+    counters = qf.vague.sketch.counters
+    data = counters.data
+    lines.append(
+        f"vague [{qf.vague.backend}]: {qf.vague.depth} x {qf.vague.width} "
+        f"{counters.kind} counters, "
+        f"saturation {counters.saturation_fraction():.2%}, "
+        f"|counter| mean {float(np.abs(data).mean()):.2f} "
+        f"max {float(np.abs(data).max()):.0f}"
+    )
+    lines.append(
+        f"traffic: {qf.items_processed:,} items, "
+        f"{qf.report_count} reports ({len(qf.reported_keys)} distinct keys), "
+        f"hit rate {qf.candidate_hit_rate():.1%}, "
+        f"{qf.vague_inserts:,} vague inserts, {qf.swaps:,} swaps"
+    )
+    top = qf.top_candidates(k=top_k)
+    if top:
+        lines.append(f"top {len(top)} candidate Qweights:")
+        for fp, bucket, qweight in top:
+            lines.append(
+                f"  fp=0x{fp:04x} bucket={bucket} Qweight={qweight:.1f}"
+            )
+    warnings = health_warnings(qf)
+    if warnings:
+        lines.append("warnings:")
+        lines.extend(f"  ! {w}" for w in warnings)
+    else:
+        lines.append("health: ok")
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Multiple simultaneous criteria per key (paper Sec. III-C, third mode).
+
+One QuantileFilter entry holds a single Qweight, which can serve only
+one ``(delta, T)`` pair.  To watch, say, both the 99th and the 95th
+percentile of the same key, the paper expands each data key into ``r``
+composite keys ``(key, criterion_index)`` and inserts each item ``r``
+times.  :class:`MultiCriteriaFilter` packages that expansion, demultiplexes
+reports back to ``(criterion_index, key)``, and exposes per-criterion
+reported-key sets.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Sequence, Set, Tuple
+
+from repro.common.errors import ParameterError
+from repro.core.criteria import Criteria
+from repro.core.quantile_filter import QuantileFilter, Report
+
+
+class MultiCriteriaFilter:
+    """QuantileFilter watching ``r`` criteria for every key.
+
+    Parameters
+    ----------
+    criteria_list:
+        The ``r`` monitoring criteria.  Cost per item grows linearly
+        with ``r`` (the paper recommends small ``r``).
+    memory_bytes:
+        Budget of the single underlying QuantileFilter shared by all
+        composite keys.
+    filter_kwargs:
+        Extra keyword arguments forwarded to the underlying filter.
+    """
+
+    def __init__(
+        self,
+        criteria_list: Sequence[Criteria],
+        memory_bytes: int,
+        **filter_kwargs,
+    ):
+        if not criteria_list:
+            raise ParameterError("criteria_list must contain at least one Criteria")
+        self.criteria_list: List[Criteria] = list(criteria_list)
+        # The default criteria slot is unused (every insert passes an
+        # explicit override), but the filter requires one.
+        self._filter = QuantileFilter(
+            self.criteria_list[0], memory_bytes, **filter_kwargs
+        )
+        self.reported_by_criterion: List[Set[Hashable]] = [
+            set() for _ in self.criteria_list
+        ]
+        self.items_processed = 0
+
+    def insert(self, key: Hashable, value: float) -> List[Tuple[int, Report]]:
+        """Insert one item under every criterion.
+
+        Returns the (possibly empty) list of triggered reports as
+        ``(criterion_index, report)`` pairs, where the report's key is
+        the original data key.
+        """
+        self.items_processed += 1
+        results: List[Tuple[int, Report]] = []
+        for index, criteria in enumerate(self.criteria_list):
+            composite = self._composite_key(key, index)
+            raw = self._filter.insert(composite, value, criteria=criteria)
+            if raw is not None:
+                report = Report(
+                    key=key,
+                    qweight=raw.qweight,
+                    source=raw.source,
+                    item_index=raw.item_index,
+                )
+                self.reported_by_criterion[index].add(key)
+                results.append((index, report))
+        return results
+
+    def query(self, key: Hashable, criterion_index: int) -> float:
+        """Qweight estimate of ``key`` under one criterion."""
+        self._check_index(criterion_index)
+        return self._filter.query(self._composite_key(key, criterion_index))
+
+    def delete(self, key: Hashable, criterion_index: int) -> None:
+        """Clear ``key``'s Qweight under one criterion."""
+        self._check_index(criterion_index)
+        self._filter.delete(self._composite_key(key, criterion_index))
+
+    def reset(self) -> None:
+        """Clear the underlying filter (all criteria at once)."""
+        self._filter.reset()
+
+    def _composite_key(self, key: Hashable, index: int) -> tuple:
+        if isinstance(key, tuple):
+            return key + (index,)
+        return (key, index)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < len(self.criteria_list):
+            raise ParameterError(
+                f"criterion_index {index} out of range "
+                f"[0, {len(self.criteria_list)})"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        """Modelled memory footprint of the shared underlying filter."""
+        return self._filter.nbytes

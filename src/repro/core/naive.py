@@ -1,0 +1,131 @@
+"""The naive dual-Csketch solution (paper Sec. II-D).
+
+Two Count Sketches count, per key, the values above and below the
+threshold; after each insert the key's two frequencies are queried and
+Definition 4's count condition is evaluated.  Kept as a baseline because
+it motivates both QuantileFilter techniques:
+
+* it spends three sketch passes per item (one insert + two queries)
+  where the Qweight trick needs one, and
+* its reset subtracts *estimated* frequencies, compounding collision
+  error — which the candidate part largely eliminates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Hashable, Optional, Set
+
+from repro.common.hashing import canonical_key
+from repro.common.memory import sizeof_counter
+from repro.core.criteria import Criteria
+from repro.core.quantile_filter import Report
+from repro.quantiles.base import RANK_EPS
+from repro.sketches.count_sketch import CountSketch
+
+
+class NaiveDualCSketch:
+    """Above/below dual Count Sketch detector.
+
+    Parameters
+    ----------
+    criteria:
+        The ``(epsilon, delta, T)`` criteria.
+    memory_bytes:
+        Total budget, split ``above_fraction`` / rest between the two
+        sketches (the paper notes the pair "may differ in size"; with
+        ~5 % anomalous items the above-sketch can be smaller).
+    """
+
+    def __init__(
+        self,
+        criteria: Criteria,
+        memory_bytes: int,
+        *,
+        depth: int = 3,
+        above_fraction: float = 0.5,
+        counter_kind: str = "int32",
+        seed: int = 0,
+        track_reports: bool = True,
+        on_report: Optional[Callable[[Report], None]] = None,
+    ):
+        self.criteria = criteria
+        per_counter = sizeof_counter(counter_kind)
+        above_bytes = max(depth * per_counter, int(memory_bytes * above_fraction))
+        below_bytes = max(depth * per_counter, memory_bytes - above_bytes)
+        self.above = CountSketch(
+            depth=depth,
+            width=max(1, above_bytes // (depth * per_counter)),
+            counter_kind=counter_kind,
+            seed=seed,
+        )
+        self.below = CountSketch(
+            depth=depth,
+            width=max(1, below_bytes // (depth * per_counter)),
+            counter_kind=counter_kind,
+            seed=seed + 1,
+        )
+        self._track_reports = track_reports
+        self._on_report = on_report
+        self.reported_keys: Set[Hashable] = set()
+        self.items_processed = 0
+        self.report_count = 0
+
+    def insert(
+        self,
+        key: Hashable,
+        value: float,
+        criteria: Optional[Criteria] = None,
+    ) -> Optional[Report]:
+        """One insert + two queries + the count-condition check."""
+        crit = criteria if criteria is not None else self.criteria
+        item_index = self.items_processed
+        self.items_processed += 1
+
+        key_int = canonical_key(key)
+        if value > crit.threshold:
+            self.above.update(key_int, 1.0)
+        else:
+            self.below.update(key_int, 1.0)
+
+        # Estimates can dip below zero under collisions; clamp as counts.
+        freq_above = max(0.0, self.above.estimate(key_int))
+        freq_below = max(0.0, self.below.estimate(key_int))
+        total = freq_above + freq_below
+        index = math.floor(total * crit.delta - crit.epsilon + RANK_EPS)
+        if index >= 0 and freq_below <= index:
+            # Reset by subtracting the (estimated) frequencies — the
+            # error-compounding step the paper criticises.
+            self.above.delete(key_int, freq_above)
+            self.below.delete(key_int, freq_below)
+            report = Report(
+                key=key,
+                qweight=freq_above * crit.positive_weight - freq_below,
+                source="naive",
+                item_index=item_index,
+            )
+            self.report_count += 1
+            if self._track_reports:
+                self.reported_keys.add(key)
+            if self._on_report is not None:
+                self._on_report(report)
+            return report
+        return None
+
+    def query(self, key: Hashable) -> float:
+        """Qweight-equivalent estimate derived from the two frequencies."""
+        key_int = canonical_key(key)
+        freq_above = max(0.0, self.above.estimate(key_int))
+        freq_below = max(0.0, self.below.estimate(key_int))
+        return freq_above * self.criteria.positive_weight - freq_below
+
+    def reset(self) -> None:
+        """Clear both sketches."""
+        self.above.clear()
+        self.below.clear()
+
+    @property
+    def nbytes(self) -> int:
+        """Modelled total memory footprint in bytes."""
+        return self.above.nbytes + self.below.nbytes

@@ -1,0 +1,163 @@
+"""Checkpoint a QuantileFilter to disk and restore it.
+
+A monitor process restarting should not forget every key's accumulated
+Qweight, so the filter's full state — configuration, candidate entries,
+vague counters, per-key criteria overrides, instrumentation counters and
+(when serialisable) the reported-key history — round-trips through one
+compressed ``.npz`` file.
+
+Restoration rebuilds the filter with the *same seed and dimensions*, so
+all hash families address identical cells, then overwrites the arrays.
+Two RNG streams are not checkpointed: the probabilistic-rounding RNG and
+the probabilistic-replacement RNG.  Neither affects any stored estimate;
+only future random tie-breaks diverge from a never-checkpointed run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.common.errors import TraceFormatError
+from repro.core.criteria import Criteria
+from repro.core.quantile_filter import QuantileFilter
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def _criteria_to_dict(criteria: Criteria) -> dict:
+    return {
+        "delta": criteria.delta,
+        "threshold": criteria.threshold,
+        "epsilon": criteria.epsilon,
+    }
+
+
+def _criteria_from_dict(payload: dict) -> Criteria:
+    return Criteria(
+        delta=payload["delta"],
+        threshold=payload["threshold"],
+        epsilon=payload["epsilon"],
+    )
+
+
+def _json_safe_key(key) -> list:
+    """Encode a reported key as a (type-tag, value) pair, or raise."""
+    if isinstance(key, bool) or not isinstance(key, (int, str)):
+        raise TypeError(f"key {key!r} of type {type(key).__name__}")
+    return ["int" if isinstance(key, int) else "str", key]
+
+
+def save_filter(
+    qf: QuantileFilter, path: PathLike, include_history: bool = True
+) -> None:
+    """Checkpoint ``qf`` to ``path`` (compressed npz).
+
+    ``include_history=True`` also stores the deduplicated reported-key
+    set and the per-key criteria overrides; both require keys to be
+    plain ints or strings (tuple keys raise ``TraceFormatError`` —
+    checkpoint with ``include_history=False`` in that case).
+    """
+    path = Path(path)
+    meta = {
+        "version": _FORMAT_VERSION,
+        "criteria": _criteria_to_dict(qf.criteria),
+        "num_buckets": qf.candidate.num_buckets,
+        "bucket_size": qf.candidate.bucket_size,
+        "fp_bits": qf.candidate.fp_bits,
+        "depth": qf.vague.depth,
+        "vague_width": qf.vague.width,
+        "vague_backend": qf.vague.backend,
+        "counter_kind": qf.vague.sketch.counters.kind,
+        "strategy": qf.strategy.name,
+        "seed": qf._seed,
+        "items_processed": qf.items_processed,
+        "report_count": qf.report_count,
+        "candidate_hits": qf.candidate_hits,
+        "vague_inserts": qf.vague_inserts,
+        "swaps": qf.swaps,
+        "track_reports": qf._track_reports,
+        "has_history": bool(include_history),
+    }
+    if include_history:
+        try:
+            meta["reported_keys"] = [
+                _json_safe_key(key) for key in qf.reported_keys
+            ]
+            meta["key_criteria"] = [
+                [_json_safe_key(key), _criteria_to_dict(crit)]
+                for key, crit in qf._key_criteria.items()
+            ]
+        except TypeError as exc:
+            raise TraceFormatError(
+                f"cannot serialise history ({exc}); "
+                "checkpoint with include_history=False"
+            ) from None
+
+    np.savez_compressed(
+        path,
+        candidate_fps=qf.candidate._fps,
+        candidate_qws=qf.candidate._qws,
+        vague_counters=qf.vague.sketch.counters.data,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_filter(path: PathLike) -> QuantileFilter:
+    """Restore a filter checkpointed by :func:`save_filter`."""
+    path = Path(path)
+    try:
+        with np.load(path) as archive:
+            candidate_fps = archive["candidate_fps"]
+            candidate_qws = archive["candidate_qws"]
+            vague_counters = archive["vague_counters"]
+            meta = json.loads(archive["meta"].tobytes().decode("utf-8"))
+    except (KeyError, OSError, ValueError, json.JSONDecodeError) as exc:
+        raise TraceFormatError(f"cannot read checkpoint {path}: {exc}") from exc
+    if meta.get("version") != _FORMAT_VERSION:
+        raise TraceFormatError(
+            f"unsupported checkpoint version {meta.get('version')!r} in {path}"
+        )
+
+    qf = QuantileFilter(
+        _criteria_from_dict(meta["criteria"]),
+        num_buckets=meta["num_buckets"],
+        bucket_size=meta["bucket_size"],
+        fp_bits=meta["fp_bits"],
+        depth=meta["depth"],
+        vague_width=meta["vague_width"],
+        vague_backend=meta["vague_backend"],
+        counter_kind=meta["counter_kind"],
+        strategy=meta["strategy"],
+        seed=meta["seed"],
+        track_reports=meta["track_reports"],
+    )
+    qf.candidate._fps[...] = candidate_fps
+    qf.candidate._qws[...] = candidate_qws
+    qf.vague.sketch.counters.data[...] = vague_counters
+    if meta["vague_backend"] == "cmm":
+        # Rebuild the row totals the correction uses.
+        qf.vague.sketch._row_totals = [
+            float(row.sum()) for row in vague_counters
+        ]
+    qf.items_processed = meta["items_processed"]
+    qf.report_count = meta["report_count"]
+    qf.candidate_hits = meta["candidate_hits"]
+    qf.vague_inserts = meta["vague_inserts"]
+    qf.swaps = meta["swaps"]
+    if meta.get("has_history"):
+        qf.reported_keys = {
+            key if tag == "str" else int(key)
+            for tag, key in meta.get("reported_keys", [])
+        }
+        for encoded_key, crit in meta.get("key_criteria", []):
+            tag, key = encoded_key
+            qf._key_criteria[key if tag == "str" else int(key)] = (
+                _criteria_from_dict(crit)
+            )
+    return qf

@@ -1,0 +1,109 @@
+"""Exact Qweight arithmetic and the conversion lemma, in checkable form.
+
+These pure functions implement both sides of the paper's Section III-A
+equivalence so tests can verify it mechanically:
+
+    ``q_{epsilon,delta}(V) > T``  <=>  ``Qw(V) >= epsilon / (1 - delta)``
+
+They are also what the ground-truth oracle uses: note that the quantile
+side only depends on ``(n, count_above_T)``, never on the actual sorted
+values, which makes exact online detection cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.core.criteria import Criteria
+from repro.quantiles.base import RANK_EPS, paper_quantile_index
+
+
+def exact_qweight(values: Iterable[float], criteria: Criteria) -> float:
+    """Sum of per-item Qweights over ``values`` (paper's Qw definition)."""
+    return sum(criteria.item_weight(v) for v in values)
+
+
+def qweight_from_counts(n: int, above: int, criteria: Criteria) -> float:
+    """Qweight from aggregate counts: ``above`` items over T, rest under."""
+    return above * criteria.positive_weight - (n - above)
+
+
+def quantile_exceeds_threshold(values: Sequence[float], criteria: Criteria) -> bool:
+    """Direct Definition 3/4 check: is ``q_{epsilon,delta}(values) > T``?
+
+    Sorts the values and inspects the index ``floor(delta*n - epsilon)``;
+    a negative index means the quantile is ``-inf`` (never exceeds).
+    """
+    ordered = sorted(values)
+    index = paper_quantile_index(len(ordered), criteria.delta, criteria.epsilon)
+    if index is None:
+        return False
+    return ordered[index] > criteria.threshold
+
+
+def counts_exceed_threshold(n: int, above: int, criteria: Criteria) -> bool:
+    """Count-only form of :func:`quantile_exceeds_threshold`.
+
+    ``q_{eps,delta} > T`` iff the number of values <= T fits strictly
+    below the quantile index, i.e. ``n - above <= floor(delta*n - eps)``
+    with a non-negative index.
+    """
+    index = math.floor(criteria.delta * n - criteria.epsilon + RANK_EPS)
+    if index < 0:
+        return False
+    return (n - above) <= index
+
+
+def qweight_exceeds_report_threshold(values: Iterable[float], criteria: Criteria) -> bool:
+    """Qweight side of the conversion: ``Qw >= epsilon / (1 - delta)``.
+
+    The paper proves this is equivalent to
+    :func:`quantile_exceeds_threshold`; the property tests exercise that
+    equivalence over random multisets.  The comparison tolerates
+    :data:`~repro.quantiles.base.RANK_EPS` of floating-point slack so
+    exact-boundary cases resolve the same way on both sides.
+    """
+    threshold = criteria.report_threshold - RANK_EPS * (1 + criteria.report_threshold)
+    return exact_qweight(values, criteria) >= threshold
+
+
+class ExactQweightTracker:
+    """Streaming exact Qweight for one key with reset-on-report semantics.
+
+    This is the per-key state of the ground-truth oracle: it keeps the
+    pair ``(n, above)`` for the values seen since the last report, feeds
+    each arrival through the Definition 4 rule, and resets when it
+    reports.
+    """
+
+    __slots__ = ("criteria", "n", "above")
+
+    def __init__(self, criteria: Criteria):
+        self.criteria = criteria
+        self.n = 0
+        self.above = 0
+
+    def offer(self, value: float) -> bool:
+        """Process one value; returns True when the key must be reported.
+
+        Definition 4: the arriving value joins ``V_x`` and the
+        post-insert quantile is tested; on a report ``V_x`` resets.
+        """
+        self.n += 1
+        if value > self.criteria.threshold:
+            self.above += 1
+        if counts_exceed_threshold(self.n, self.above, self.criteria):
+            self.reset()
+            return True
+        return False
+
+    @property
+    def qweight(self) -> float:
+        """Exact Qweight of the values since the last report."""
+        return qweight_from_counts(self.n, self.above, self.criteria)
+
+    def reset(self) -> None:
+        """Empty the tracked value set (after a report or criteria change)."""
+        self.n = 0
+        self.above = 0

@@ -1,0 +1,106 @@
+"""Candidate-election replacement strategies (Sec. III-D, Choice 1).
+
+When a full bucket's weakest entry competes with a key arriving through
+the vague part, one of three policies decides the swap:
+
+* **Comparative** (paper default): swap iff the vague estimate strictly
+  exceeds the bucket minimum.
+* **Probabilistic**: swap with probability
+  ``max(est / (est + min_qw), 0)`` — a smooth version that lets slightly
+  weaker keys in occasionally.
+* **Forceful**: always swap (recency wins over magnitude).
+
+Fig. 12 compares all three against both vague backends; the paper finds
+the choice barely matters with a Count-Sketch vague part.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.common.errors import ParameterError
+
+
+class ReplacementStrategy(ABC):
+    """Decides whether a vague-part key displaces a candidate entry."""
+
+    #: Registry name, set by subclasses.
+    name = ""
+
+    @abstractmethod
+    def should_replace(self, estimate: float, min_qweight: float) -> bool:
+        """True when the arriving key (vague estimate ``estimate``)
+        should displace the bucket's weakest entry (``min_qweight``)."""
+
+
+class ComparativeReplacement(ReplacementStrategy):
+    """Swap iff the estimate strictly beats the bucket minimum."""
+
+    name = "comparative"
+
+    def should_replace(self, estimate: float, min_qweight: float) -> bool:
+        return estimate > min_qweight
+
+
+class ProbabilisticReplacement(ReplacementStrategy):
+    """Swap with probability ``max(est / (est + min_qw), 0)``.
+
+    The paper's formula is clamped into [0, 1]: a non-positive estimate
+    never swaps, and an estimate that dominates a negative minimum
+    always does.
+    """
+
+    name = "probabilistic"
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def should_replace(self, estimate: float, min_qweight: float) -> bool:
+        if estimate <= 0:
+            return False
+        denominator = estimate + min_qweight
+        if denominator <= 0:
+            # Estimate positive but min so negative the ratio exceeds 1.
+            return True
+        probability = min(1.0, estimate / denominator)
+        return self._rng.random() < probability
+
+
+class ForcefulReplacement(ReplacementStrategy):
+    """Always swap, regardless of Qweight sizes."""
+
+    name = "forceful"
+
+    def should_replace(self, estimate: float, min_qweight: float) -> bool:
+        return True
+
+
+_STRATEGIES = {
+    ComparativeReplacement.name: ComparativeReplacement,
+    ProbabilisticReplacement.name: ProbabilisticReplacement,
+    ForcefulReplacement.name: ForcefulReplacement,
+}
+
+
+def make_strategy(name: str, seed: int = 0) -> ReplacementStrategy:
+    """Instantiate a strategy by registry name.
+
+    ``"probabilistic"`` takes the seed; the deterministic strategies
+    ignore it.
+    """
+    try:
+        cls = _STRATEGIES[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown replacement strategy {name!r}; "
+            f"choose from {sorted(_STRATEGIES)}"
+        ) from None
+    if cls is ProbabilisticReplacement:
+        return cls(seed=seed)
+    return cls()
+
+
+def strategy_names() -> tuple:
+    """All registered strategy names (for sweeps and CLI choices)."""
+    return tuple(sorted(_STRATEGIES))

@@ -1,0 +1,24 @@
+"""Online outstanding-key detection layer.
+
+Everything that can solve Definition 4 — QuantileFilter, the naive dual
+sketch, the SOTA baselines wrapped in query adapters, and the exact
+oracle — is exposed through one small interface
+(:class:`~repro.detection.base.Detector`) so the experiment harness can
+run them interchangeably.
+"""
+
+from repro.detection.base import Detector, DetectorStats
+from repro.detection.ground_truth import GroundTruthDetector, compute_ground_truth
+from repro.detection.adapters import (
+    MultiKeyQuantileEstimator,
+    QueryOnInsertAdapter,
+)
+
+__all__ = [
+    "Detector",
+    "DetectorStats",
+    "GroundTruthDetector",
+    "compute_ground_truth",
+    "MultiKeyQuantileEstimator",
+    "QueryOnInsertAdapter",
+]

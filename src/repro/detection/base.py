@@ -1,0 +1,56 @@
+"""The detector interface the experiment harness drives.
+
+A detector consumes ``(key, value)`` items one at a time and accumulates
+a deduplicated set of reported keys.  The accuracy metric
+(Sec. V-B "Metrics") streams the whole dataset through a detector and
+compares that set with the ground truth's.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Hashable, Optional, Set
+
+
+@dataclass
+class DetectorStats:
+    """Summary counters published by every detector after a run."""
+
+    items_processed: int
+    report_count: int
+    nbytes: int
+
+
+class Detector(ABC):
+    """One online outstanding-key detector (Definition 4 solver)."""
+
+    #: Display name used in experiment tables.
+    name = "detector"
+
+    @abstractmethod
+    def process(self, key: Hashable, value: float) -> Optional[Hashable]:
+        """Consume one item; return the key if it was reported, else None."""
+
+    @property
+    @abstractmethod
+    def reported_keys(self) -> Set[Hashable]:
+        """Deduplicated set of all keys reported so far."""
+
+    @property
+    @abstractmethod
+    def nbytes(self) -> int:
+        """Modelled memory footprint in bytes."""
+
+    @property
+    @abstractmethod
+    def items_processed(self) -> int:
+        """Number of items consumed so far."""
+
+    def stats(self) -> DetectorStats:
+        """Run summary for reporting."""
+        return DetectorStats(
+            items_processed=self.items_processed,
+            report_count=len(self.reported_keys),
+            nbytes=self.nbytes,
+        )

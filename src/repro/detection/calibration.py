@@ -1,0 +1,171 @@
+"""Automatic threshold calibration.
+
+The paper sets T by hand per dataset "to ensure the proportion of
+abnormal items is around 5 %".  A deployed monitor rarely knows its
+value distribution up front, and the distribution drifts.
+:class:`AutoThresholdCalibrator` automates the paper's calibration rule:
+a KLL sketch summarises the global value distribution online, and every
+``recalibrate_every`` items the threshold moves to the value quantile
+that puts ``target_abnormal_fraction`` of the traffic above it.
+
+:class:`AutoThresholdFilter` wires the calibrator to a QuantileFilter.
+Per Sec. III-C, a criteria change resets affected value sets — but a
+*global* T change would mean deleting every key, so instead the filter
+applies the new T prospectively (new items are weighed against the new
+T) and optionally performs a structure reset when the threshold moved
+by more than ``reset_on_relative_change``.  Gradual drift therefore
+recalibrates for free; regime changes trigger one clean reset.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.common.errors import ParameterError
+from repro.core.criteria import Criteria
+from repro.core.quantile_filter import QuantileFilter, Report
+from repro.quantiles.kll import KLLSketch
+
+
+class AutoThresholdCalibrator:
+    """Track the global value distribution; propose thresholds.
+
+    Parameters
+    ----------
+    target_abnormal_fraction:
+        Desired share of items above the threshold (the paper's ~5 %).
+    recalibrate_every:
+        How many observed values between threshold proposals.
+    k:
+        KLL accuracy parameter for the value summary.
+    min_samples:
+        No proposals until this many values have been seen.
+    """
+
+    def __init__(
+        self,
+        target_abnormal_fraction: float = 0.05,
+        recalibrate_every: int = 10_000,
+        k: int = 256,
+        min_samples: int = 1_000,
+        seed: int = 0,
+    ):
+        if not 0.0 < target_abnormal_fraction < 1.0:
+            raise ParameterError(
+                "target_abnormal_fraction must be in (0, 1), got "
+                f"{target_abnormal_fraction}"
+            )
+        if recalibrate_every < 1:
+            raise ParameterError(
+                f"recalibrate_every must be >= 1, got {recalibrate_every}"
+            )
+        if min_samples < 1:
+            raise ParameterError(f"min_samples must be >= 1, got {min_samples}")
+        self.target_abnormal_fraction = target_abnormal_fraction
+        self.recalibrate_every = recalibrate_every
+        self.min_samples = min_samples
+        self._sketch = KLLSketch(k=k, seed=seed)
+        self._since_proposal = 0
+
+    def observe(self, value: float) -> Optional[float]:
+        """Record one value; returns a new threshold when due."""
+        self._sketch.insert(value)
+        self._since_proposal += 1
+        if (
+            self._sketch.count >= self.min_samples
+            and self._since_proposal >= self.recalibrate_every
+        ):
+            self._since_proposal = 0
+            return self.current_threshold()
+        return None
+
+    def current_threshold(self) -> Optional[float]:
+        """The value quantile matching the target abnormal share."""
+        if self._sketch.count < self.min_samples:
+            return None
+        return self._sketch.quantile(1.0 - self.target_abnormal_fraction)
+
+    @property
+    def samples_seen(self) -> int:
+        """Values observed so far."""
+        return self._sketch.count
+
+    @property
+    def nbytes(self) -> int:
+        """Modelled footprint of the value summary."""
+        return self._sketch.nbytes
+
+
+class AutoThresholdFilter:
+    """QuantileFilter whose T self-calibrates to the value distribution.
+
+    Parameters
+    ----------
+    base_criteria:
+        Supplies delta and epsilon; its threshold is the bootstrap value
+        used until the calibrator has enough samples.
+    memory_bytes:
+        Budget of the underlying filter.
+    calibrator:
+        An :class:`AutoThresholdCalibrator` (constructed with defaults
+        when omitted).
+    reset_on_relative_change:
+        When a recalibration moves T by more than this relative amount,
+        the filter's structures reset (accumulated Qweights were earned
+        against a threshold too different to keep).  ``None`` disables
+        resets — T changes apply prospectively only.
+    """
+
+    def __init__(
+        self,
+        base_criteria: Criteria,
+        memory_bytes: int,
+        calibrator: Optional[AutoThresholdCalibrator] = None,
+        reset_on_relative_change: Optional[float] = 0.5,
+        **filter_kwargs,
+    ):
+        if reset_on_relative_change is not None and reset_on_relative_change <= 0:
+            raise ParameterError(
+                "reset_on_relative_change must be > 0 or None, got "
+                f"{reset_on_relative_change}"
+            )
+        self.criteria = base_criteria
+        self.calibrator = calibrator or AutoThresholdCalibrator()
+        self.reset_on_relative_change = reset_on_relative_change
+        self.filter = QuantileFilter(base_criteria, memory_bytes,
+                                     **filter_kwargs)
+        self.threshold_changes = 0
+        self.structure_resets = 0
+
+    def insert(self, key: Hashable, value: float) -> Optional[Report]:
+        """Observe, maybe recalibrate, then detect under the current T."""
+        proposal = self.calibrator.observe(value)
+        if proposal is not None and proposal != self.criteria.threshold:
+            self._apply_threshold(proposal)
+        return self.filter.insert(key, value, criteria=self.criteria)
+
+    def _apply_threshold(self, new_threshold: float) -> None:
+        old = self.criteria.threshold
+        self.criteria = self.criteria.with_updates(threshold=new_threshold)
+        self.threshold_changes += 1
+        if self.reset_on_relative_change is None or old == 0:
+            return
+        relative = abs(new_threshold - old) / abs(old)
+        if relative > self.reset_on_relative_change:
+            self.filter.reset()
+            self.structure_resets += 1
+
+    @property
+    def reported_keys(self):
+        """Deduplicated reported keys of the underlying filter."""
+        return self.filter.reported_keys
+
+    @property
+    def current_threshold(self) -> float:
+        """The threshold items are currently weighed against."""
+        return self.criteria.threshold
+
+    @property
+    def nbytes(self) -> int:
+        """Filter plus calibrator footprint."""
+        return self.filter.nbytes + self.calibrator.nbytes

@@ -1,0 +1,144 @@
+"""Exact online detection — the oracle that defines true positives.
+
+Definition 4 only needs, per key, the pair ``(n, count_above_T)`` of the
+values since the last report (the quantile test reduces to a count
+comparison; see :mod:`repro.core.qweight`).  The oracle therefore runs
+in O(1) exact time per item — it is "cheating" on memory (one entry per
+distinct key), which is precisely the cost the sketches avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional, Set, Tuple
+
+from repro.core.criteria import Criteria
+from repro.core.qweight import ExactQweightTracker
+from repro.detection.base import Detector
+
+
+class GroundTruthDetector(Detector):
+    """Exact Definition 4 detector with per-key reset-on-report state."""
+
+    name = "ground-truth"
+
+    def __init__(self, criteria: Criteria):
+        self.criteria = criteria
+        self._trackers: Dict[Hashable, ExactQweightTracker] = {}
+        self._key_criteria: Dict[Hashable, Criteria] = {}
+        self._reported: Set[Hashable] = set()
+        self._items = 0
+
+    def process(self, key: Hashable, value: float) -> Optional[Hashable]:
+        """Exact Definition 4 step for one item."""
+        self._items += 1
+        tracker = self._trackers.get(key)
+        if tracker is None:
+            crit = self._key_criteria.get(key, self.criteria)
+            tracker = ExactQweightTracker(crit)
+            self._trackers[key] = tracker
+        if tracker.offer(value):
+            self._reported.add(key)
+            return key
+        return None
+
+    def set_key_criteria(self, key: Hashable, criteria: Criteria) -> None:
+        """Per-key criteria override; resets the key's tracked values."""
+        self._key_criteria[key] = criteria
+        tracker = self._trackers.get(key)
+        if tracker is not None:
+            tracker.criteria = criteria
+            tracker.reset()
+
+    @property
+    def reported_keys(self) -> Set[Hashable]:
+        return self._reported
+
+    @property
+    def items_processed(self) -> int:
+        return self._items
+
+    @property
+    def nbytes(self) -> int:
+        """Modelled bytes: key 8 B + two 4 B counters per distinct key."""
+        return 16 * len(self._trackers)
+
+    def key_state(self, key: Hashable) -> Tuple[int, int]:
+        """Current ``(n, above)`` of ``key`` (testing/debugging hook)."""
+        tracker = self._trackers.get(key)
+        if tracker is None:
+            return 0, 0
+        return tracker.n, tracker.above
+
+
+def compute_ground_truth(
+    items: Iterable[Tuple[Hashable, float]], criteria: Criteria
+) -> Set[Hashable]:
+    """True outstanding-key set of a finite stream.
+
+    Convenience wrapper: streams ``items`` through a fresh
+    :class:`GroundTruthDetector` and returns its deduplicated report set.
+    """
+    oracle = GroundTruthDetector(criteria)
+    for key, value in items:
+        oracle.process(key, value)
+    return oracle.reported_keys
+
+
+class WindowedGroundTruthDetector(Detector):
+    """Exact Definition 4 over tumbling windows.
+
+    The exact reference for :class:`~repro.core.windowed.WindowedQuantileFilter`
+    in tumbling mode: every key's value set additionally resets at the
+    global window boundaries (every ``window_items`` processed items),
+    exactly as the windowed filter's structure reset does.
+    """
+
+    name = "windowed-ground-truth"
+
+    def __init__(self, criteria: Criteria, window_items: int):
+        if window_items < 1:
+            from repro.common.errors import ParameterError
+
+            raise ParameterError(
+                f"window_items must be >= 1, got {window_items}"
+            )
+        self.criteria = criteria
+        self.window_items = window_items
+        self._inner = GroundTruthDetector(criteria)
+        self._reported: Set[Hashable] = set()
+        self._items = 0
+        self._since_reset = 0
+        self.resets = 0
+
+    def process(self, key: Hashable, value: float) -> Optional[Hashable]:
+        """One item, with the tumbling reset applied first."""
+        if self._since_reset >= self.window_items:
+            # Fresh per-key state; keep the criteria overrides.
+            fresh = GroundTruthDetector(self.criteria)
+            fresh._key_criteria = self._inner._key_criteria
+            self._inner = fresh
+            self.resets += 1
+            self._since_reset = 0
+        self._items += 1
+        self._since_reset += 1
+        reported = self._inner.process(key, value)
+        if reported is not None:
+            self._reported.add(reported)
+        return reported
+
+    def set_key_criteria(self, key: Hashable, criteria: Criteria) -> None:
+        """Per-key criteria override (survives window resets)."""
+        self._inner.set_key_criteria(key, criteria)
+
+    @property
+    def reported_keys(self) -> Set[Hashable]:
+        return self._reported
+
+    @property
+    def items_processed(self) -> int:
+        return self._items
+
+    @property
+    def nbytes(self) -> int:
+        """Modelled bytes of the current window's per-key state."""
+        return self._inner.nbytes

@@ -1,0 +1,120 @@
+"""Report aggregation and alert hygiene for long-running monitors.
+
+Definition 4 fires a report every time a key's quantile re-crosses the
+threshold — at most once per ``epsilon`` items per key, but on a hot key
+that is still a steady drumbeat.  Operators usually want the *alert*
+layer deduplicated and rate-limited on top of the raw reports.
+:class:`ReportLog` aggregates the raw stream (per-key counts,
+first/last trigger positions) and :class:`AlertPolicy` turns it into
+alerts with a per-key cooldown.
+
+Both attach to any detector via its ``on_report`` callback::
+
+    log = ReportLog()
+    qf = QuantileFilter(criteria, memory_bytes=..., on_report=log.record)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+from repro.common.errors import ParameterError
+from repro.core.quantile_filter import Report
+
+
+@dataclass
+class KeyReportSummary:
+    """Aggregated report history of one key."""
+
+    key: Hashable
+    count: int = 0
+    first_item_index: int = -1
+    last_item_index: int = -1
+    last_qweight: float = 0.0
+    sources: Dict[str, int] = field(default_factory=dict)
+
+    def mean_gap(self) -> Optional[float]:
+        """Average items between this key's reports (None if < 2)."""
+        if self.count < 2:
+            return None
+        return (self.last_item_index - self.first_item_index) / (self.count - 1)
+
+
+class ReportLog:
+    """Accumulate raw reports into per-key summaries."""
+
+    def __init__(self):
+        self._summaries: Dict[Hashable, KeyReportSummary] = {}
+        self.total_reports = 0
+
+    def record(self, report: Report) -> None:
+        """Ingest one report (wire this to ``on_report``)."""
+        summary = self._summaries.get(report.key)
+        if summary is None:
+            summary = KeyReportSummary(
+                key=report.key, first_item_index=report.item_index
+            )
+            self._summaries[report.key] = summary
+        summary.count += 1
+        summary.last_item_index = report.item_index
+        summary.last_qweight = report.qweight
+        summary.sources[report.source] = summary.sources.get(report.source, 0) + 1
+        self.total_reports += 1
+
+    def summary(self, key: Hashable) -> Optional[KeyReportSummary]:
+        """The key's aggregate, or None if it never reported."""
+        return self._summaries.get(key)
+
+    def keys(self) -> List[Hashable]:
+        """All keys that have reported, most-reported first."""
+        return sorted(
+            self._summaries, key=lambda k: self._summaries[k].count,
+            reverse=True,
+        )
+
+    def top(self, n: int) -> List[KeyReportSummary]:
+        """The ``n`` most frequently reported keys' summaries."""
+        return [self._summaries[key] for key in self.keys()[:n]]
+
+    def __len__(self) -> int:
+        return len(self._summaries)
+
+    def clear(self) -> None:
+        """Drop all aggregated history."""
+        self._summaries.clear()
+        self.total_reports = 0
+
+
+class AlertPolicy:
+    """Per-key cooldown between operator-facing alerts.
+
+    A key's first report always alerts; subsequent reports alert only
+    after at least ``cooldown_items`` further stream items have passed
+    since its last alert.  This is alert hygiene *on top of* epsilon —
+    epsilon spaces the reports, the cooldown spaces the pages.
+    """
+
+    def __init__(self, cooldown_items: int = 0):
+        if cooldown_items < 0:
+            raise ParameterError(
+                f"cooldown_items must be >= 0, got {cooldown_items}"
+            )
+        self.cooldown_items = cooldown_items
+        self._last_alert_index: Dict[Hashable, int] = {}
+        self.alerts_emitted = 0
+        self.alerts_suppressed = 0
+
+    def should_alert(self, report: Report) -> bool:
+        """Decide (and record) whether this report becomes an alert."""
+        last = self._last_alert_index.get(report.key)
+        if last is not None and report.item_index - last < self.cooldown_items:
+            self.alerts_suppressed += 1
+            return False
+        self._last_alert_index[report.key] = report.item_index
+        self.alerts_emitted += 1
+        return True
+
+    def reset_key(self, key: Hashable) -> None:
+        """Forget a key's cooldown (e.g. after operator acknowledgement)."""
+        self._last_alert_index.pop(key, None)

@@ -1,0 +1,38 @@
+"""Experiment harness reproducing the paper's evaluation (Figs. 4-15).
+
+:mod:`repro.experiments.figures` holds one driver per paper figure; each
+returns a :class:`~repro.experiments.harness.FigureResult` whose rows
+are the same series the paper plots.  ``repro-experiments`` (the CLI in
+:mod:`repro.experiments.cli`) runs them from the command line, and the
+``benchmarks/`` tree runs them under pytest-benchmark.
+"""
+
+from repro.experiments.config import (
+    PaperDefaults,
+    DatasetSpec,
+    DATASETS,
+    build_trace,
+    default_criteria_for,
+)
+from repro.experiments.harness import (
+    FigureResult,
+    RunRecord,
+    build_detector,
+    run_detection,
+    accuracy_sweep,
+    format_rows,
+)
+
+__all__ = [
+    "PaperDefaults",
+    "DatasetSpec",
+    "DATASETS",
+    "build_trace",
+    "default_criteria_for",
+    "FigureResult",
+    "RunRecord",
+    "build_detector",
+    "run_detection",
+    "accuracy_sweep",
+    "format_rows",
+]

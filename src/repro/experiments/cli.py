@@ -1,0 +1,125 @@
+"""Command-line entry point: ``repro-experiments <figure> [options]``.
+
+Runs any paper figure's driver and prints its table, e.g.::
+
+    repro-experiments fig4 --scale 100000 --seed 1
+    repro-experiments fig8 --dataset cloud
+    repro-experiments all --scale 20000
+
+``all`` runs every figure at the given scale (slow at large scales).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import figures
+from repro.experiments.harness import FigureResult, format_rows
+from repro.experiments.scaling import scaling_study
+
+#: Figure name -> (driver, whether it takes a dataset argument).
+_DRIVERS: Dict[str, Callable[..., FigureResult]] = {
+    "fig4": figures.fig4_accuracy_internet,
+    "fig5": figures.fig5_accuracy_cloud,
+    "fig6": figures.fig6_threshold_sweep,
+    "fig7": figures.fig7_delta_sweep,
+    "fig8": figures.fig8_throughput,
+    "fig9": figures.fig9_fig10_parameter_sweeps,
+    "fig10": figures.fig9_fig10_parameter_sweeps,
+    "fig11": figures.fig11_memory_ratio,
+    "fig12": figures.fig12_variants,
+    "fig13": figures.fig13_modify_epsilon,
+    "fig14": figures.fig14_modify_delta,
+    "fig15": figures.fig15_modify_threshold,
+    "scaling": scaling_study,
+}
+
+_DATASET_AWARE = {
+    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "fig15", "scaling",
+}
+
+#: Drivers that do not take the per-figure ``scale`` parameter.
+_NO_SCALE = {"scaling"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the QuantileFilter paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(_DRIVERS) + ["all", "report"],
+        help="which paper figure to regenerate ('report' writes all of "
+        "them to one Markdown file)",
+    )
+    parser.add_argument(
+        "--out", default="REPORT.md",
+        help="output path for the 'report' command (default REPORT.md)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=None,
+        help="stream length (default: the driver's CI-friendly default)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--dataset", default=None,
+        help="dataset name for dataset-aware figures (internet/cloud/zipf-*)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit rows as JSON instead of a text table",
+    )
+    return parser
+
+
+def _run_one(name: str, args: argparse.Namespace) -> FigureResult:
+    driver = _DRIVERS[name]
+    kwargs = {"seed": args.seed}
+    if args.scale is not None and name not in _NO_SCALE:
+        kwargs["scale"] = args.scale
+    if args.dataset is not None and name in _DATASET_AWARE:
+        kwargs["dataset"] = args.dataset
+    return driver(**kwargs)
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.figure == "report":
+        from repro.experiments.report import write_report
+
+        kwargs = {"seed": args.seed}
+        if args.scale is not None:
+            kwargs["scale"] = args.scale
+        path = write_report(args.out, **kwargs)
+        print(f"report written to {path}")
+        return 0
+    names = sorted(_DRIVERS) if args.figure == "all" else [args.figure]
+    # fig9 and fig10 share one driver; don't run it twice under "all".
+    if args.figure == "all":
+        names.remove("fig10")
+    for name in names:
+        result = _run_one(name, args)
+        if args.json:
+            print(json.dumps({"figure": result.figure, "rows": result.rows()}))
+        else:
+            print(result)
+            print()
+        if name == "fig4":
+            print("-- key result 2: space saving at equal F1 --")
+            print(format_rows(figures.space_saving_table(result.records)))
+            print()
+        if name == "fig8":
+            print("-- key result 1: speed ratio at F1 >= 0.5 --")
+            print(format_rows(figures.speed_ratio_table(result.records)))
+            print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

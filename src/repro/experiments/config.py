@@ -1,0 +1,168 @@
+"""Experiment configuration: paper defaults and dataset registry.
+
+The paper's Section V-A settings are encoded once here:
+
+* QuantileFilter: bucket size b = 6, vague depth d = 3, candidate:vague
+  memory split 4:1, 16-bit fingerprints.
+* Criteria: delta = 0.95, epsilon = 30; T calibrated per dataset so
+  ~5 % of items are "abnormal" (T = 300 ms Internet, 20 s Cloud,
+  300 ms Zipf).
+* Datasets at a CI-friendly default scale; pass ``scale`` to grow them
+  towards the paper's 20M+ items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.common.errors import ParameterError
+from repro.core.criteria import Criteria
+from repro.streams.caida_like import CaidaLikeConfig, generate_caida_like_trace
+from repro.streams.cloud_like import CloudLikeConfig, generate_cloud_like_trace
+from repro.streams.model import Trace
+from repro.streams.zipf import ZipfConfig, generate_zipf_trace
+
+
+@dataclass(frozen=True)
+class PaperDefaults:
+    """Section V-A default algorithm parameters."""
+
+    bucket_size: int = 6
+    depth: int = 3
+    candidate_fraction: float = 0.8  # candidate:vague = 4:1
+    fp_bits: int = 16
+    delta: float = 0.95
+    epsilon: float = 30.0
+
+
+PAPER = PaperDefaults()
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One registered dataset: builder plus its default threshold."""
+
+    name: str
+    builder: Callable[[int, int], Trace]
+    default_threshold: float
+    description: str
+
+
+def _internet(scale: int, seed: int) -> Trace:
+    return generate_caida_like_trace(
+        CaidaLikeConfig(num_items=scale, num_keys=max(100, scale // 40), seed=seed)
+    )
+
+
+def _cloud(scale: int, seed: int) -> Trace:
+    return generate_cloud_like_trace(
+        CloudLikeConfig(num_items=scale, recurring_keys=max(100, scale // 50), seed=seed)
+    )
+
+
+def _zipf_large(scale: int, seed: int) -> Trace:
+    """Many-key Zipf variant (the paper's 4.2M-key flavour, scaled)."""
+    return generate_zipf_trace(
+        ZipfConfig(
+            num_items=scale,
+            num_keys=max(100, scale // 8),
+            alpha=1.0,
+            offset_mean=140.0,
+            offset_std=110.0,
+            seed=seed,
+        )
+    )
+
+
+def _zipf_small(scale: int, seed: int) -> Trace:
+    """Few-key Zipf variant (the paper's 120K-key flavour, scaled)."""
+    return generate_zipf_trace(
+        ZipfConfig(
+            num_items=scale,
+            num_keys=max(50, scale // 100),
+            alpha=1.3,
+            offset_mean=150.0,
+            offset_std=120.0,
+            seed=seed,
+        )
+    )
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "internet": DatasetSpec(
+        name="internet",
+        builder=_internet,
+        default_threshold=300.0,  # ms, paper's Internet setting
+        description="CAIDA-like backbone trace (Zipfian flows, latency values)",
+    ),
+    "cloud": DatasetSpec(
+        name="cloud",
+        builder=_cloud,
+        default_threshold=20.0,  # s, paper's Cloud setting
+        description="Yahoo-like flow trace (extreme key cardinality, durations)",
+    ),
+    "zipf-large": DatasetSpec(
+        name="zipf-large",
+        builder=_zipf_large,
+        default_threshold=300.0,  # ms, paper's Zipf setting
+        description="Synthetic Zipf trace, many keys (paper's 4.2M-key variant)",
+    ),
+    "zipf-small": DatasetSpec(
+        name="zipf-small",
+        builder=_zipf_small,
+        default_threshold=300.0,
+        description="Synthetic Zipf trace, few keys (paper's 120K-key variant)",
+    ),
+}
+
+#: Default stream length for figure drivers: small enough for CI, large
+#: enough that accuracy curves have their asymptotic shape.
+DEFAULT_SCALE = 40_000
+
+
+def build_trace(dataset: str, scale: int = DEFAULT_SCALE, seed: int = 0) -> Trace:
+    """Build a registered dataset at the requested scale."""
+    try:
+        spec = DATASETS[dataset]
+    except KeyError:
+        raise ParameterError(
+            f"unknown dataset {dataset!r}; choose from {sorted(DATASETS)}"
+        ) from None
+    if scale < 1:
+        raise ParameterError(f"scale must be >= 1, got {scale}")
+    return spec.builder(scale, seed)
+
+
+def default_criteria_for(
+    dataset: str,
+    delta: float = PAPER.delta,
+    epsilon: float = PAPER.epsilon,
+    threshold: float = None,
+) -> Criteria:
+    """The paper's default criteria with the dataset's threshold."""
+    try:
+        spec = DATASETS[dataset]
+    except KeyError:
+        raise ParameterError(
+            f"unknown dataset {dataset!r}; choose from {sorted(DATASETS)}"
+        ) from None
+    return Criteria(
+        delta=delta,
+        threshold=spec.default_threshold if threshold is None else threshold,
+        epsilon=epsilon,
+    )
+
+
+def memory_sweep_points(small: int = 1 << 10, large: int = 1 << 19, points: int = 6):
+    """Geometric byte-budget ladder for accuracy-vs-memory sweeps.
+
+    The paper sweeps 2^15..2^30 bytes on 20M+ item traces; at the default
+    40K-item scale the interesting transition happens between ~1 KB and
+    ~512 KB, so those are the defaults.  (The floor stays above SQUAD's
+    minimum constructible footprint of ~620 bytes.)
+    """
+    if points < 2:
+        raise ParameterError(f"points must be >= 2, got {points}")
+    ratio = (large / small) ** (1.0 / (points - 1))
+    return [int(round(small * ratio ** i)) for i in range(points)]

@@ -1,0 +1,239 @@
+"""Shared machinery for running detectors over traces and scoring them.
+
+One :class:`RunRecord` per (algorithm, configuration, trace) run carries
+accuracy, throughput and memory together; figure drivers assemble lists
+of records into :class:`FigureResult` objects and
+:func:`format_rows` renders them as the text tables the benchmarks
+print.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set
+
+from repro.common.errors import ParameterError
+from repro.baselines.histsketch import HistSketch
+from repro.baselines.perkey import PerKeyQuantileStore
+from repro.baselines.sketchpolymer import SketchPolymer
+from repro.baselines.squad import Squad
+from repro.core.criteria import Criteria
+from repro.detection.adapters import (
+    NaiveDetector,
+    QuantileFilterDetector,
+    QueryOnInsertAdapter,
+)
+from repro.detection.base import Detector
+from repro.detection.ground_truth import GroundTruthDetector
+from repro.experiments.config import PAPER
+from repro.metrics.accuracy import DetectionScore, score_sets
+from repro.streams.model import Trace
+
+#: Algorithms the harness can build by name.  ``perkey-gk`` is the
+#: holistic one-summary-per-key approach; its ``memory_bytes`` budget is
+#: converted into an admission cap (keys it can afford at ~600 B each).
+ALGORITHMS = (
+    "quantilefilter", "naive", "squad", "sketchpolymer", "histsketch",
+    "perkey-gk",
+)
+
+#: Modelled cost of one holistic per-key GK summary + key (bytes).
+_PERKEY_SLOT_BYTES = 600
+
+
+@dataclass
+class RunRecord:
+    """One detector run: configuration, accuracy and speed together."""
+
+    algorithm: str
+    dataset: str
+    memory_bytes: int
+    actual_bytes: int
+    score: DetectionScore
+    seconds: float
+    items: int
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def mops(self) -> float:
+        """Million items processed per second in this run."""
+        if self.seconds <= 0:
+            return float("inf")
+        return self.items / self.seconds / 1e6
+
+    def as_dict(self) -> dict:
+        row = {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "memory_bytes": self.memory_bytes,
+            "actual_bytes": self.actual_bytes,
+            "seconds": round(self.seconds, 4),
+            "mops": round(self.mops, 4),
+            **{k: round(v, 4) if isinstance(v, float) else v
+               for k, v in self.score.as_dict().items()},
+        }
+        row.update(self.extra)
+        return row
+
+
+@dataclass
+class FigureResult:
+    """All runs backing one paper figure, plus identification."""
+
+    figure: str
+    description: str
+    records: List[RunRecord]
+
+    def rows(self) -> List[dict]:
+        """Flat dict rows (for printing and JSON export)."""
+        return [record.as_dict() for record in self.records]
+
+    def __str__(self) -> str:
+        header = f"== {self.figure}: {self.description} =="
+        return header + "\n" + format_rows(self.rows())
+
+
+def build_detector(
+    algorithm: str,
+    criteria: Criteria,
+    memory_bytes: int,
+    seed: int = 0,
+    **overrides,
+) -> Detector:
+    """Construct any registered detector at a byte budget.
+
+    ``overrides`` reach the underlying structure's constructor, so
+    parameter sweeps (depth, bucket size, strategy, backend, ...) go
+    through here too.
+    """
+    if algorithm == "quantilefilter":
+        kwargs = dict(
+            bucket_size=PAPER.bucket_size,
+            depth=PAPER.depth,
+            candidate_fraction=PAPER.candidate_fraction,
+            fp_bits=PAPER.fp_bits,
+            seed=seed,
+        )
+        kwargs.update(overrides)
+        return QuantileFilterDetector.build(criteria, memory_bytes, **kwargs)
+    if algorithm == "naive":
+        return NaiveDetector.build(criteria, memory_bytes, seed=seed, **overrides)
+    if algorithm == "squad":
+        return QueryOnInsertAdapter(
+            Squad(memory_bytes, seed=seed, **overrides), criteria
+        )
+    if algorithm == "sketchpolymer":
+        return QueryOnInsertAdapter(
+            SketchPolymer(memory_bytes, seed=seed, **overrides), criteria
+        )
+    if algorithm == "histsketch":
+        return QueryOnInsertAdapter(
+            HistSketch(memory_bytes, seed=seed, **overrides), criteria
+        )
+    if algorithm == "perkey-gk":
+        max_keys = max(1, memory_bytes // _PERKEY_SLOT_BYTES)
+        return QueryOnInsertAdapter(
+            PerKeyQuantileStore(estimator="gk", max_keys=max_keys, **overrides),
+            criteria,
+        )
+    raise ParameterError(
+        f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
+    )
+
+
+def ground_truth_for(trace: Trace, criteria: Criteria) -> Set[Hashable]:
+    """True outstanding-key set of a trace under ``criteria``."""
+    oracle = GroundTruthDetector(criteria)
+    for key, value in trace.items():
+        oracle.process(key, value)
+    return oracle.reported_keys
+
+
+def run_detection(
+    detector: Detector,
+    trace: Trace,
+    truth: Set[Hashable],
+    dataset: str = "",
+    memory_bytes: int = 0,
+    algorithm: str = "",
+) -> RunRecord:
+    """Stream the trace through a detector, timing and scoring it."""
+    start = time.perf_counter()
+    process = detector.process
+    for key, value in trace.items():
+        process(key, value)
+    seconds = time.perf_counter() - start
+    return RunRecord(
+        algorithm=algorithm or getattr(detector, "name", type(detector).__name__),
+        dataset=dataset or trace.name,
+        memory_bytes=memory_bytes,
+        actual_bytes=detector.nbytes,
+        score=score_sets(detector.reported_keys, truth),
+        seconds=seconds,
+        items=len(trace),
+    )
+
+
+def accuracy_sweep(
+    trace: Trace,
+    criteria: Criteria,
+    algorithms: Sequence[str],
+    memory_points: Sequence[int],
+    dataset: str = "",
+    seed: int = 0,
+    truth: Optional[Set[Hashable]] = None,
+    detector_overrides: Optional[Dict[str, dict]] = None,
+) -> List[RunRecord]:
+    """The Fig. 4/5 core loop: every algorithm at every byte budget."""
+    if truth is None:
+        truth = ground_truth_for(trace, criteria)
+    detector_overrides = detector_overrides or {}
+    records = []
+    for algorithm in algorithms:
+        for memory in memory_points:
+            detector = build_detector(
+                algorithm,
+                criteria,
+                memory,
+                seed=seed,
+                **detector_overrides.get(algorithm, {}),
+            )
+            records.append(
+                run_detection(
+                    detector,
+                    trace,
+                    truth,
+                    dataset=dataset or trace.name,
+                    memory_bytes=memory,
+                    algorithm=algorithm,
+                )
+            )
+    return records
+
+
+def format_rows(rows: List[dict]) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    table = [columns]
+    for row in rows:
+        table.append([_fmt(row.get(col, "")) for col in columns])
+    widths = [max(len(line[i]) for line in table) for i in range(len(columns))]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths)).rstrip()
+        for line in table
+    ]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,15 @@
+"""Evaluation metrics: detection accuracy and processing throughput."""
+
+from repro.metrics.accuracy import DetectionScore, score_detection, score_sets
+from repro.metrics.throughput import ThroughputResult, measure_throughput
+from repro.metrics.latency import LatencyResult, measure_detection_latency
+
+__all__ = [
+    "DetectionScore",
+    "score_detection",
+    "score_sets",
+    "ThroughputResult",
+    "measure_throughput",
+    "LatencyResult",
+    "measure_detection_latency",
+]

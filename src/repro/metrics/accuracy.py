@@ -1,0 +1,73 @@
+"""Detection-accuracy metrics (paper Sec. V-B "Metrics").
+
+The paper streams the whole dataset through each algorithm, deduplicates
+its reported keys, and compares that set with the true outstanding-key
+set: precision, recall and F1 over the set comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Set
+
+from repro.detection.base import Detector
+
+
+@dataclass(frozen=True)
+class DetectionScore:
+    """Precision / recall / F1 plus the raw confusion counts."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); defined as 1.0 when nothing was reported
+        (no positive predictions means no wrong positive predictions)."""
+        denominator = self.true_positives + self.false_positives
+        if denominator == 0:
+            return 1.0
+        return self.true_positives / denominator
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); defined as 1.0 when nothing was outstanding."""
+        denominator = self.true_positives + self.false_negatives
+        if denominator == 0:
+            return 1.0
+        return self.true_positives / denominator
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        p, r = self.precision, self.recall
+        if p + r == 0:
+            return 0.0
+        return 2.0 * p * r / (p + r)
+
+    def as_dict(self) -> dict:
+        """Flat dict of all five numbers (for tables and JSON export)."""
+        return {
+            "tp": self.true_positives,
+            "fp": self.false_positives,
+            "fn": self.false_negatives,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+        }
+
+
+def score_sets(reported: Set[Hashable], truth: Set[Hashable]) -> DetectionScore:
+    """Score a deduplicated reported-key set against the true set."""
+    true_positives = len(reported & truth)
+    return DetectionScore(
+        true_positives=true_positives,
+        false_positives=len(reported) - true_positives,
+        false_negatives=len(truth) - true_positives,
+    )
+
+
+def score_detection(detector: Detector, truth: Set[Hashable]) -> DetectionScore:
+    """Score a finished detector run against the true set."""
+    return score_sets(detector.reported_keys, truth)

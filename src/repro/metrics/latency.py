@@ -1,0 +1,111 @@
+"""Detection latency: how long after a key truly qualifies is it reported?
+
+The paper's accuracy metrics deliberately exclude timeliness
+("not yet including any constraints on reporting timeliness",
+Sec. V-B) even though timeliness is the whole point of online detection
+— so this module measures it as an extension experiment.
+
+For each key, the *oracle first-report index* is when the exact
+Definition 4 process first fires; the *detector first-report index* is
+when the algorithm under test first reports the key.  Detection latency
+is their difference in stream items (0 = reported on the exact item the
+key qualified).  Keys the detector reports early (possible under sketch
+noise) get negative latency; keys it never reports are misses and are
+tracked separately rather than averaged in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List
+
+import numpy as np
+
+from repro.core.criteria import Criteria
+from repro.detection.base import Detector
+from repro.detection.ground_truth import GroundTruthDetector
+from repro.streams.model import Trace
+
+
+@dataclass
+class LatencyResult:
+    """Latency distribution of one detector run against the oracle."""
+
+    latencies: Dict[Hashable, int] = field(default_factory=dict)
+    missed_keys: List[Hashable] = field(default_factory=list)
+    early_keys: List[Hashable] = field(default_factory=list)
+    items: int = 0
+
+    @property
+    def detected(self) -> int:
+        """Truly-outstanding keys the detector reported (late or not)."""
+        return len(self.latencies)
+
+    @property
+    def missed(self) -> int:
+        """Truly-outstanding keys the detector never reported."""
+        return len(self.missed_keys)
+
+    def _values(self) -> np.ndarray:
+        return np.asarray(list(self.latencies.values()), dtype=np.float64)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean items between qualification and report (detected keys)."""
+        values = self._values()
+        return float(values.mean()) if values.size else 0.0
+
+    @property
+    def median_latency(self) -> float:
+        values = self._values()
+        return float(np.median(values)) if values.size else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile over detected keys (q in [0, 100])."""
+        values = self._values()
+        return float(np.percentile(values, q)) if values.size else 0.0
+
+    def as_dict(self) -> dict:
+        """Flat summary row for experiment tables."""
+        return {
+            "detected": self.detected,
+            "missed": self.missed,
+            "early": len(self.early_keys),
+            "mean_latency": round(self.mean_latency, 2),
+            "median_latency": round(self.median_latency, 2),
+            "p95_latency": round(self.percentile(95), 2),
+        }
+
+
+def measure_detection_latency(
+    detector: Detector, trace: Trace, criteria: Criteria
+) -> LatencyResult:
+    """Run detector and oracle in lockstep; collect per-key latencies.
+
+    Latency is measured from each key's FIRST oracle report to its
+    first detector report.  Keys the detector flags before the oracle
+    (sketch-noise early reports on truly-outstanding keys) count as
+    latency <= 0 and are listed in ``early_keys``; detector reports on
+    keys the oracle never flags are false positives and belong to the
+    accuracy metric, not here.
+    """
+    oracle = GroundTruthDetector(criteria)
+    oracle_first: Dict[Hashable, int] = {}
+    detector_first: Dict[Hashable, int] = {}
+    for index, (key, value) in enumerate(trace.items()):
+        if oracle.process(key, value) is not None:
+            oracle_first.setdefault(key, index)
+        if detector.process(key, value) is not None:
+            detector_first.setdefault(key, index)
+
+    result = LatencyResult(items=len(trace))
+    for key, qualified_at in oracle_first.items():
+        reported_at = detector_first.get(key)
+        if reported_at is None:
+            result.missed_keys.append(key)
+            continue
+        latency = reported_at - qualified_at
+        result.latencies[key] = latency
+        if latency < 0:
+            result.early_keys.append(key)
+    return result

@@ -1,0 +1,26 @@
+"""Single-key quantile estimators (the paper's "prior art" substrates).
+
+Each estimator summarises the value multiset of *one* key and answers
+rank/quantile queries.  They share the small interface defined in
+:mod:`repro.quantiles.base` so the multi-key baselines (SQUAD and the
+per-key holistic approach) can plug any of them in.
+"""
+
+from repro.quantiles.base import QuantileSketch, paper_quantile_index
+from repro.quantiles.exact import ExactQuantile
+from repro.quantiles.gk import GKSummary
+from repro.quantiles.kll import KLLSketch
+from repro.quantiles.tdigest import TDigest
+from repro.quantiles.ddsketch import DDSketch
+from repro.quantiles.qdigest import QDigest
+
+__all__ = [
+    "QuantileSketch",
+    "paper_quantile_index",
+    "ExactQuantile",
+    "GKSummary",
+    "KLLSketch",
+    "TDigest",
+    "DDSketch",
+    "QDigest",
+]

@@ -1,0 +1,79 @@
+"""Shared interface and rank conventions for single-key quantile sketches.
+
+The paper's Definition 2/3 uses 0-indexed sorted order: the
+``delta``-quantile of ``n`` values is the element at index
+``floor(delta * n)`` and the ``(epsilon, delta)``-quantile is at index
+``floor(delta * n - epsilon)`` (or ``-inf`` when that index is
+negative).  :func:`paper_quantile_index` centralises that arithmetic so
+every estimator and detector agrees on it exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Optional
+
+NEG_INF = float("-inf")
+
+#: Tolerance for rank arithmetic at exact floating-point boundaries.
+#: ``delta * n`` computed in binary can land an ulp above or below the
+#: exact product (e.g. ``0.95 * 20 == 19.000000000000004``); every rank
+#: comparison in the package nudges by this amount so the quantile side
+#: and the Qweight side of the conversion lemma always agree.
+RANK_EPS = 1e-9
+
+
+def paper_quantile_index(n: int, delta: float, epsilon: float = 0.0) -> Optional[int]:
+    """0-based sorted index of the ``(epsilon, delta)``-quantile.
+
+    Returns ``None`` when the index is negative, which the paper defines
+    as a quantile of ``-inf`` (the key cannot be outstanding yet).
+    """
+    if n <= 0:
+        return None
+    index = math.floor(delta * n - epsilon + RANK_EPS)
+    if index < 0:
+        return None
+    # Guard against floating-point delta*n landing exactly on n.
+    return min(index, n - 1)
+
+
+class QuantileSketch(ABC):
+    """Interface every single-key quantile estimator implements.
+
+    Implementations summarise the value multiset of one key.  ``insert``
+    must be O(polylog) amortised; ``quantile`` may be slower (that is the
+    offline-query cost the paper criticises, and the throughput
+    experiments measure it honestly).
+    """
+
+    @abstractmethod
+    def insert(self, value: float) -> None:
+        """Add one value to the summarised multiset."""
+
+    @abstractmethod
+    def quantile(self, delta: float, epsilon: float = 0.0) -> float:
+        """Estimated value at the paper's ``(epsilon, delta)`` index.
+
+        Returns ``-inf`` when the multiset is too small for that index
+        to exist (matching Definition 3).
+        """
+
+    @property
+    @abstractmethod
+    def count(self) -> int:
+        """Number of values inserted so far."""
+
+    @property
+    @abstractmethod
+    def nbytes(self) -> int:
+        """Modelled memory footprint in bytes."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Forget all inserted values."""
+
+    def is_empty(self) -> bool:
+        """True when no values have been inserted."""
+        return self.count == 0

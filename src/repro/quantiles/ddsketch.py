@@ -1,0 +1,167 @@
+"""DDSketch (Masson, Rim & Lee, VLDB 2019) with bucket collapsing.
+
+DDSketch guarantees *relative* value error ``alpha``: every positive
+value ``v`` lands in the log-bucket ``ceil(log_gamma(v))`` with
+``gamma = (1 + alpha) / (1 - alpha)``, so any value reported for a rank
+is within a factor ``(1 +/- alpha)`` of the true one.  When the bucket
+count exceeds ``max_buckets`` the lowest buckets collapse together,
+preserving the guarantee for upper quantiles (the tail-latency case the
+paper's applications care about).
+
+Zero and negative values go to dedicated side stores, as in the
+reference implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.common.errors import ParameterError
+from repro.quantiles.base import NEG_INF, QuantileSketch, paper_quantile_index
+
+
+class DDSketch(QuantileSketch):
+    """Relative-error quantile sketch over log-spaced buckets.
+
+    Parameters
+    ----------
+    alpha:
+        Relative accuracy in (0, 1); e.g. 0.01 means reported quantile
+        values are within 1 % of the true value.
+    max_buckets:
+        Cap on stored buckets per sign; the lowest positive buckets
+        collapse when exceeded.
+    """
+
+    def __init__(self, alpha: float = 0.01, max_buckets: int = 2048):
+        if not 0.0 < alpha < 1.0:
+            raise ParameterError(f"alpha must be in (0, 1), got {alpha}")
+        if max_buckets < 2:
+            raise ParameterError(f"max_buckets must be >= 2, got {max_buckets}")
+        self.alpha = alpha
+        self.max_buckets = max_buckets
+        self._gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._log_gamma = math.log(self._gamma)
+        self._pos: Dict[int, int] = {}
+        self._neg: Dict[int, int] = {}
+        self._zero = 0
+        self._count = 0
+        self._min_pos_key: int = 0  # collapse floor; 0 = no collapse yet
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def _bucket_index(self, value: float) -> int:
+        return int(math.ceil(math.log(value) / self._log_gamma))
+
+    def insert(self, value: float) -> None:
+        """Add one value to the appropriate sign store / bucket."""
+        self._count += 1
+        if value > 0:
+            idx = self._bucket_index(value)
+            if self._min_pos_key and idx < self._min_pos_key:
+                idx = self._min_pos_key
+            self._pos[idx] = self._pos.get(idx, 0) + 1
+            if len(self._pos) > self.max_buckets:
+                self._collapse_lowest()
+        elif value < 0:
+            idx = self._bucket_index(-value)
+            self._neg[idx] = self._neg.get(idx, 0) + 1
+        else:
+            self._zero += 1
+
+    def _collapse_lowest(self) -> None:
+        keys = sorted(self._pos)
+        lowest, second = keys[0], keys[1]
+        self._pos[second] += self._pos.pop(lowest)
+        self._min_pos_key = second
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def quantile(self, delta: float, epsilon: float = 0.0) -> float:
+        """Value at the target rank, within relative error ``alpha``."""
+        index = paper_quantile_index(self._count, delta, epsilon)
+        if index is None:
+            return NEG_INF
+        target = index + 1
+        cumulative = 0
+        # Negative buckets first (most negative value = largest |bucket|).
+        for key in sorted(self._neg, reverse=True):
+            cumulative += self._neg[key]
+            if cumulative >= target:
+                return -self._bucket_value(key)
+        cumulative += self._zero
+        if cumulative >= target:
+            return 0.0
+        for key in sorted(self._pos):
+            cumulative += self._pos[key]
+            if cumulative >= target:
+                return self._bucket_value(key)
+        # Rounding slack: return the largest representable value.
+        if self._pos:
+            return self._bucket_value(max(self._pos))
+        if self._zero:
+            return 0.0
+        if self._neg:
+            return -self._bucket_value(min(self._neg))
+        return NEG_INF
+
+    def _bucket_value(self, key: int) -> float:
+        """Representative value of bucket ``key`` (its geometric centre)."""
+        return 2.0 * (self._gamma ** key) / (self._gamma + 1.0)
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def bucket_count(self) -> int:
+        """Total stored buckets across both signs."""
+        return len(self._pos) + len(self._neg)
+
+    @property
+    def nbytes(self) -> int:
+        """Modelled bytes: bucket key 4 B + count 4 B, plus zero store."""
+        return 8 * (len(self._pos) + len(self._neg)) + 8
+
+    def clear(self) -> None:
+        self._pos.clear()
+        self._neg.clear()
+        self._zero = 0
+        self._count = 0
+        self._min_pos_key = 0
+
+    # ------------------------------------------------------------------
+    # merging (distributed deployments)
+    # ------------------------------------------------------------------
+    def merge(self, other: "DDSketch") -> None:
+        """Fold another DDSketch into this one (bucket-wise addition).
+
+        Requires equal ``alpha`` (same bucket geometry).  The relative
+        error guarantee is preserved; the collapse floor becomes the
+        larger of the two, and a collapse pass restores ``max_buckets``.
+        """
+        if self._gamma != other._gamma:
+            raise ParameterError(
+                f"cannot merge DDSketches with different alpha: "
+                f"{self.alpha} vs {other.alpha}"
+            )
+        floor = max(self._min_pos_key, other._min_pos_key)
+        for key, count in other._pos.items():
+            target = max(key, floor) if floor else key
+            self._pos[target] = self._pos.get(target, 0) + count
+        if floor:
+            self._min_pos_key = floor
+            for key in [k for k in self._pos if k < floor]:
+                self._pos[floor] = self._pos.get(floor, 0) + self._pos.pop(key)
+        for key, count in other._neg.items():
+            self._neg[key] = self._neg.get(key, 0) + count
+        self._zero += other._zero
+        self._count += other._count
+        while len(self._pos) > self.max_buckets:
+            self._collapse_lowest()

@@ -1,0 +1,52 @@
+"""Exact quantile computation from a sorted buffer.
+
+This is the zero-error comparator (Sec. II-B "exact quantile calculation
+algorithms") and the reference oracle the tests validate the approximate
+sketches against.  Memory grows linearly with the number of values, which
+is exactly the cost the approximate structures exist to avoid.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List
+
+from repro.quantiles.base import NEG_INF, QuantileSketch, paper_quantile_index
+
+
+class ExactQuantile(QuantileSketch):
+    """Keep every value in sorted order; answer quantiles exactly."""
+
+    def __init__(self):
+        self._values: List[float] = []
+
+    def insert(self, value: float) -> None:
+        """Insert one value, keeping the buffer sorted (O(n) worst case)."""
+        bisect.insort(self._values, value)
+
+    def quantile(self, delta: float, epsilon: float = 0.0) -> float:
+        """Exact value at the paper's ``(epsilon, delta)`` index."""
+        index = paper_quantile_index(len(self._values), delta, epsilon)
+        if index is None:
+            return NEG_INF
+        return self._values[index]
+
+    def rank(self, value: float) -> int:
+        """Number of stored values <= ``value``."""
+        return bisect.bisect_right(self._values, value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def nbytes(self) -> int:
+        """Modelled bytes: 8 per stored value."""
+        return 8 * len(self._values)
+
+    def clear(self) -> None:
+        self._values.clear()
+
+    def values(self) -> List[float]:
+        """Copy of the sorted values (for tests and debugging)."""
+        return list(self._values)

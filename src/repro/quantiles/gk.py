@@ -1,0 +1,142 @@
+"""Greenwald-Khanna quantile summary (SIGMOD 2001).
+
+GK maintains a list of tuples ``(v, g, delta)`` where ``g`` is the gap
+in minimum rank to the previous tuple and ``delta`` bounds the rank
+uncertainty of the tuple itself.  The invariant ``g + delta <= 2*eps*n``
+guarantees any rank query is answered within ``eps * n``.
+
+This is both a baseline in its own right (the holistic per-key approach)
+and the per-heavy-key summary inside SQUAD.  The query does a linear scan
+over the summary — the "binary search during querying" cost footnote 2 of
+the paper attributes to GK-based solutions; the throughput experiments
+charge that cost honestly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.common.errors import ParameterError
+from repro.quantiles.base import NEG_INF, QuantileSketch, paper_quantile_index
+
+
+class GKSummary(QuantileSketch):
+    """GK summary with additive rank error ``eps * n``.
+
+    Parameters
+    ----------
+    eps:
+        Rank-accuracy parameter in (0, 1); the summary holds
+        O((1/eps) * log(eps * n)) tuples.
+    """
+
+    def __init__(self, eps: float = 0.01):
+        if not 0.0 < eps < 1.0:
+            raise ParameterError(f"eps must be in (0, 1), got {eps}")
+        self.eps = eps
+        # Each tuple is (value, g, delta).
+        self._tuples: List[Tuple[float, int, int]] = []
+        self._count = 0
+        self._since_compress = 0
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, value: float) -> None:
+        """Insert one value (amortised O(summary size / compress period))."""
+        self._count += 1
+        threshold = math.floor(2 * self.eps * self._count)
+
+        if not self._tuples or value < self._tuples[0][0]:
+            self._tuples.insert(0, (value, 1, 0))
+        elif value >= self._tuples[-1][0]:
+            self._tuples.append((value, 1, 0))
+        else:
+            # Find first tuple with larger value; new tuple's uncertainty
+            # inherits the insertion neighbourhood's bound.
+            idx = self._find_insert_position(value)
+            self._tuples.insert(idx, (value, 1, max(0, threshold - 1)))
+
+        self._since_compress += 1
+        if self._since_compress >= max(1, int(1.0 / (2 * self.eps))):
+            self._compress()
+            self._since_compress = 0
+
+    def _find_insert_position(self, value: float) -> int:
+        lo, hi = 0, len(self._tuples)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._tuples[mid][0] <= value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _compress(self) -> None:
+        """Merge adjacent tuples whose combined band fits the invariant."""
+        if len(self._tuples) < 3:
+            return
+        threshold = math.floor(2 * self.eps * self._count)
+        merged: List[Tuple[float, int, int]] = [self._tuples[0]]
+        for value, g, delta in self._tuples[1:-1]:
+            prev_value, prev_g, prev_delta = merged[-1]
+            # Try to merge the previous tuple INTO the current one
+            # (standard GK merges towards the right neighbour).
+            if len(merged) > 1 and prev_g + g + delta <= threshold:
+                merged[-1] = (value, prev_g + g, delta)
+            else:
+                merged.append((value, g, delta))
+        merged.append(self._tuples[-1])
+        self._tuples = merged
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def quantile(self, delta: float, epsilon: float = 0.0) -> float:
+        """Value whose rank is within ``eps * n`` of the target index."""
+        index = paper_quantile_index(self._count, delta, epsilon)
+        if index is None:
+            return NEG_INF
+        target_rank = index + 1  # ranks are 1-based inside the summary
+        bound = self.eps * self._count
+        min_rank = 0
+        for value, g, tuple_delta in self._tuples:
+            min_rank += g
+            max_rank = min_rank + tuple_delta
+            if target_rank - min_rank <= bound and max_rank - target_rank <= bound:
+                return value
+        return self._tuples[-1][0] if self._tuples else NEG_INF
+
+    def rank_bounds(self, value: float) -> Tuple[int, int]:
+        """(min rank, max rank) of ``value`` implied by the summary."""
+        min_rank = 0
+        max_rank = 0
+        for v, g, tuple_delta in self._tuples:
+            if v > value:
+                break
+            min_rank += g
+            max_rank = min_rank + tuple_delta
+        return min_rank, max_rank
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def tuples(self) -> int:
+        """Number of summary tuples currently held."""
+        return len(self._tuples)
+
+    @property
+    def nbytes(self) -> int:
+        """Modelled bytes: value 8 B + g 4 B + delta 4 B per tuple."""
+        return 16 * len(self._tuples)
+
+    def clear(self) -> None:
+        self._tuples.clear()
+        self._count = 0
+        self._since_compress = 0

@@ -1,0 +1,163 @@
+"""KLL quantile sketch (Karnin, Lang & Liberty, FOCS 2016).
+
+KLL keeps a hierarchy of *compactors*.  Level ``h`` holds values each
+representing ``2**h`` original values.  When a level overflows it is
+sorted and every other element (random offset) is promoted to the next
+level, halving the stored count while keeping rank estimates unbiased.
+Capacities shrink geometrically from the top level down
+(``k * c**depth_below_top``), which is what gives KLL its optimal
+space bound.
+
+Queries materialise the weighted value list and scan the cumulative
+weight — the "offline query" cost the paper measures for KLL-backed
+baselines.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.common.errors import ParameterError
+from repro.quantiles.base import NEG_INF, QuantileSketch, paper_quantile_index
+
+_CAPACITY_DECAY = 2.0 / 3.0
+_MIN_CAPACITY = 2
+
+
+class KLLSketch(QuantileSketch):
+    """KLL sketch with top-level capacity ``k``.
+
+    Parameters
+    ----------
+    k:
+        Top compactor capacity; rank error is O(n / k) with high
+        probability.  The sketch holds roughly ``3 * k`` values total.
+    seed:
+        Seeds the random compaction-offset choices.
+    """
+
+    def __init__(self, k: int = 200, seed: int = 0):
+        if k < _MIN_CAPACITY:
+            raise ParameterError(f"k must be >= {_MIN_CAPACITY}, got {k}")
+        self.k = k
+        self._rng = random.Random(seed)
+        self._compactors: List[List[float]] = [[]]
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # insertion and compaction
+    # ------------------------------------------------------------------
+    def insert(self, value: float) -> None:
+        """Add one value; triggers compaction cascades as levels fill."""
+        self._compactors[0].append(value)
+        self._count += 1
+        if len(self._compactors[0]) >= self._capacity(0):
+            self._compact_cascade()
+
+    def _capacity(self, level: int) -> int:
+        depth_below_top = len(self._compactors) - level - 1
+        cap = int(self.k * (_CAPACITY_DECAY ** depth_below_top)) + 1
+        return max(cap, _MIN_CAPACITY)
+
+    def _compact_cascade(self) -> None:
+        level = 0
+        while level < len(self._compactors):
+            if len(self._compactors[level]) < self._capacity(level):
+                break
+            self._compact_level(level)
+            level += 1
+
+    def _compact_level(self, level: int) -> None:
+        if level + 1 == len(self._compactors):
+            self._compactors.append([])
+        buf = self._compactors[level]
+        buf.sort()
+        offset = self._rng.randrange(2)
+        promoted = buf[offset::2]
+        self._compactors[level + 1].extend(promoted)
+        self._compactors[level] = []
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def quantile(self, delta: float, epsilon: float = 0.0) -> float:
+        """Value at the weighted rank matching the paper's index."""
+        index = paper_quantile_index(self._count, delta, epsilon)
+        if index is None:
+            return NEG_INF
+        pairs = self._weighted_items()
+        if not pairs:
+            return NEG_INF
+        target = index + 1
+        cumulative = 0
+        for value, weight in pairs:
+            cumulative += weight
+            if cumulative >= target:
+                return value
+        return pairs[-1][0]
+
+    def rank(self, value: float) -> int:
+        """Estimated number of inserted values <= ``value``."""
+        total = 0
+        for level, buf in enumerate(self._compactors):
+            weight = 1 << level
+            total += weight * sum(1 for v in buf if v <= value)
+        return total
+
+    def _weighted_items(self) -> List[tuple]:
+        pairs = []
+        for level, buf in enumerate(self._compactors):
+            weight = 1 << level
+            pairs.extend((v, weight) for v in buf)
+        pairs.sort(key=lambda p: p[0])
+        return pairs
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def levels(self) -> int:
+        """Number of compactor levels currently allocated."""
+        return len(self._compactors)
+
+    @property
+    def stored_items(self) -> int:
+        """Number of values physically stored across all levels."""
+        return sum(len(buf) for buf in self._compactors)
+
+    @property
+    def nbytes(self) -> int:
+        """Modelled bytes: 8 per stored value plus 8 per level header."""
+        return 8 * self.stored_items + 8 * len(self._compactors)
+
+    def clear(self) -> None:
+        self._compactors = [[]]
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # merging (distributed deployments)
+    # ------------------------------------------------------------------
+    def merge(self, other: "KLLSketch") -> None:
+        """Fold another KLL sketch into this one.
+
+        Standard KLL merge: concatenate compactors level by level, then
+        re-run the compaction cascade wherever capacities are exceeded.
+        Rank-error guarantees compose (the merged sketch behaves like
+        one built over the concatenated stream).
+        """
+        while len(self._compactors) < len(other._compactors):
+            self._compactors.append([])
+        for level, buf in enumerate(other._compactors):
+            self._compactors[level].extend(buf)
+        self._count += other._count
+        # Compact any level pushed over capacity, bottom-up.
+        level = 0
+        while level < len(self._compactors):
+            if len(self._compactors[level]) >= self._capacity(level):
+                self._compact_level(level)
+            level += 1

@@ -1,0 +1,155 @@
+"""Q-digest (Shrivastava, Buragohain, Agrawal & Suri, SenSys 2004).
+
+The sensor-network quantile summary the paper cites among the single-key
+prior art.  Values are mapped into a universe ``[0, 2^log_universe)``
+and counted in nodes of an implicit complete binary tree; a node is kept
+only while it is "interesting":
+
+    ``count(node) + count(sibling) + count(parent) > n / k``
+
+(compression invariant), which caps the digest at ``O(k log U)`` nodes
+while guaranteeing rank error ``<= n * log(U) / k``.
+
+Quantile queries walk the kept nodes in post-order of their value
+ranges, accumulating counts to the target rank.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.common.errors import ParameterError
+from repro.quantiles.base import NEG_INF, QuantileSketch, paper_quantile_index
+
+
+class QDigest(QuantileSketch):
+    """Q-digest over integers in ``[0, 2^log_universe)``.
+
+    Parameters
+    ----------
+    k:
+        Compression factor; larger k = more nodes = tighter ranks
+        (error ``<= n * log_universe / k``).
+    log_universe:
+        Bits of the value universe; float inputs are clamped and
+        truncated into it.
+    """
+
+    def __init__(self, k: int = 64, log_universe: int = 16):
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        if not 1 <= log_universe <= 30:
+            raise ParameterError(
+                f"log_universe must be in [1, 30], got {log_universe}"
+            )
+        self.k = k
+        self.log_universe = log_universe
+        self._universe = 1 << log_universe
+        # Node ids follow the heap convention: root 1; node v's children
+        # 2v and 2v+1; leaves are ids in [U, 2U).
+        self._counts: Dict[int, int] = {}
+        self._count = 0
+        self._since_compress = 0
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def _leaf_of(self, value: float) -> int:
+        clamped = min(max(int(value), 0), self._universe - 1)
+        return self._universe + clamped
+
+    def insert(self, value: float) -> None:
+        """Count one value at its leaf; compress periodically."""
+        leaf = self._leaf_of(value)
+        self._counts[leaf] = self._counts.get(leaf, 0) + 1
+        self._count += 1
+        self._since_compress += 1
+        if self._since_compress >= max(16, self.k):
+            self.compress()
+            self._since_compress = 0
+
+    def compress(self) -> None:
+        """Merge un-interesting sibling pairs upward (the Q-digest
+        compression pass), bottom level first."""
+        if self._count == 0:
+            return
+        threshold = self._count // self.k
+        for level in range(self.log_universe, 0, -1):
+            level_start = 1 << level
+            level_end = 1 << (level + 1)
+            for node in [
+                n for n in list(self._counts)
+                if level_start <= n < level_end
+            ]:
+                count = self._counts.get(node)
+                if count is None:
+                    continue
+                sibling = node ^ 1
+                parent = node >> 1
+                total = (
+                    count
+                    + self._counts.get(sibling, 0)
+                    + self._counts.get(parent, 0)
+                )
+                if total <= threshold:
+                    self._counts[parent] = total
+                    self._counts.pop(node, None)
+                    self._counts.pop(sibling, None)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _node_range(self, node: int) -> Tuple[int, int]:
+        """Value range [lo, hi] covered by ``node``."""
+        depth = node.bit_length() - 1
+        span = 1 << (self.log_universe - depth)
+        lo = (node - (1 << depth)) * span
+        return lo, lo + span - 1
+
+    def quantile(self, delta: float, epsilon: float = 0.0) -> float:
+        """Value at the target rank, within ``n * logU / k`` ranks."""
+        index = paper_quantile_index(self._count, delta, epsilon)
+        if index is None:
+            return NEG_INF
+        target = index + 1
+        # Sort kept nodes by (range upper bound, range size): a node's
+        # count is attributed at its upper bound, smaller ranges first —
+        # the standard Q-digest rank walk.
+        ordered = sorted(
+            self._counts.items(),
+            key=lambda item: (self._node_range(item[0])[1],
+                              self._node_range(item[0])[1]
+                              - self._node_range(item[0])[0]),
+        )
+        cumulative = 0
+        for node, count in ordered:
+            cumulative += count
+            if cumulative >= target:
+                return float(self._node_range(node)[1])
+        return float(self._node_range(ordered[-1][0])[1]) if ordered else NEG_INF
+
+    def rank_error_bound(self) -> float:
+        """The structural rank-error guarantee ``n * logU / k``."""
+        return self._count * self.log_universe / self.k
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def node_count(self) -> int:
+        """Number of tree nodes currently kept."""
+        return len(self._counts)
+
+    @property
+    def nbytes(self) -> int:
+        """Modelled bytes: node id 4 B + count 4 B per kept node."""
+        return 8 * len(self._counts)
+
+    def clear(self) -> None:
+        self._counts.clear()
+        self._count = 0
+        self._since_compress = 0

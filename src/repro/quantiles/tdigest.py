@@ -1,0 +1,169 @@
+"""t-digest (Dunning & Ertl 2019), merging variant.
+
+Centroids ``(mean, weight)`` partition the value distribution; the
+``k1`` scale function caps each centroid's weight so clusters stay small
+near the tails (where quantile accuracy matters most) and large in the
+middle.  Incoming values buffer up and are merged into the centroid list
+periodically, giving amortised O(log n)-ish inserts.
+
+Used as an alternative per-key summary for the holistic baseline and in
+cross-validation tests against the exact oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.common.errors import ParameterError
+from repro.quantiles.base import NEG_INF, QuantileSketch, paper_quantile_index
+
+
+def _k1(q: float, compression: float) -> float:
+    """The t-digest ``k1`` scale function (arcsin-based)."""
+    return (compression / (2.0 * math.pi)) * math.asin(2.0 * q - 1.0)
+
+
+class TDigest(QuantileSketch):
+    """Merging t-digest with the ``k1`` scale function.
+
+    Parameters
+    ----------
+    compression:
+        The ``delta`` parameter of the paper (typically 100-500); the
+        digest keeps O(compression) centroids.
+    buffer_size:
+        Incoming values accumulate here before each merge pass; larger
+        buffers amortise merge cost better.
+    """
+
+    def __init__(self, compression: float = 100.0, buffer_size: int = 512):
+        if compression < 10:
+            raise ParameterError(f"compression must be >= 10, got {compression}")
+        if buffer_size < 1:
+            raise ParameterError(f"buffer_size must be >= 1, got {buffer_size}")
+        self.compression = float(compression)
+        self.buffer_size = buffer_size
+        self._centroids: List[Tuple[float, float]] = []  # (mean, weight), sorted
+        self._buffer: List[float] = []
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, value: float) -> None:
+        """Buffer one value; merge when the buffer fills."""
+        self._buffer.append(value)
+        self._count += 1
+        if len(self._buffer) >= self.buffer_size:
+            self._merge_buffer()
+
+    def _merge_buffer(self) -> None:
+        if not self._buffer:
+            return
+        incoming = [(v, 1.0) for v in self._buffer]
+        self._buffer.clear()
+        self._centroids = self._recluster(
+            sorted(self._centroids + incoming, key=lambda c: c[0])
+        )
+
+    def _recluster(
+        self, merged_input: List[Tuple[float, float]]
+    ) -> List[Tuple[float, float]]:
+        """One merge pass over a sorted ``(mean, weight)`` list under the
+        k1 scale function — used by both buffer flushes and merges."""
+        if not merged_input:
+            return []
+        total = sum(w for _, w in merged_input)
+        result: List[Tuple[float, float]] = []
+        cur_mean, cur_weight = merged_input[0]
+        weight_so_far = 0.0
+        k_lower = _k1(0.0, self.compression)
+        for mean, weight in merged_input[1:]:
+            q_candidate = (weight_so_far + cur_weight + weight) / total
+            if _k1(q_candidate, self.compression) - k_lower <= 1.0:
+                # Merge into the current centroid (weighted mean update).
+                new_weight = cur_weight + weight
+                cur_mean += (mean - cur_mean) * weight / new_weight
+                cur_weight = new_weight
+            else:
+                result.append((cur_mean, cur_weight))
+                weight_so_far += cur_weight
+                k_lower = _k1(weight_so_far / total, self.compression)
+                cur_mean, cur_weight = mean, weight
+        result.append((cur_mean, cur_weight))
+        return result
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def quantile(self, delta: float, epsilon: float = 0.0) -> float:
+        """Interpolated value at the paper's ``(epsilon, delta)`` index."""
+        index = paper_quantile_index(self._count, delta, epsilon)
+        if index is None:
+            return NEG_INF
+        self._merge_buffer()
+        if not self._centroids:
+            return NEG_INF
+        target = index + 0.5  # centre-of-mass rank convention
+        cumulative = 0.0
+        prev_mean = self._centroids[0][0]
+        prev_centre = 0.0
+        for mean, weight in self._centroids:
+            centre = cumulative + weight / 2.0
+            if centre >= target:
+                if centre == prev_centre:
+                    return mean
+                frac = (target - prev_centre) / (centre - prev_centre)
+                frac = min(max(frac, 0.0), 1.0)
+                return prev_mean + frac * (mean - prev_mean)
+            cumulative += weight
+            prev_mean = mean
+            prev_centre = centre
+        return self._centroids[-1][0]
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def centroid_count(self) -> int:
+        """Number of centroids after flushing the buffer."""
+        self._merge_buffer()
+        return len(self._centroids)
+
+    @property
+    def nbytes(self) -> int:
+        """Modelled bytes: 16 per centroid + 8 per buffered value."""
+        return 16 * len(self._centroids) + 8 * len(self._buffer)
+
+    def clear(self) -> None:
+        self._centroids.clear()
+        self._buffer.clear()
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # merging (distributed deployments)
+    # ------------------------------------------------------------------
+    def merge(self, other: "TDigest") -> None:
+        """Fold another t-digest into this one.
+
+        Requires equal ``compression``.  The other digest's centroids
+        and buffered values join this digest's input and one merge pass
+        re-clusters under the shared k1 scale function — the textbook
+        "merging digest" operation.
+        """
+        if self.compression != other.compression:
+            raise ParameterError(
+                f"cannot merge t-digests with different compression: "
+                f"{self.compression} vs {other.compression}"
+            )
+        other._merge_buffer()
+        self._merge_buffer()
+        self._centroids = self._recluster(
+            sorted(self._centroids + other._centroids, key=lambda c: c[0])
+        )
+        self._count += other._count

@@ -1,0 +1,23 @@
+"""Generic sketch substrates.
+
+These are the classic frequency-estimation structures the paper builds
+on or compares with: Count Sketch (the vague part's backend), Count-Min
+Sketch (the alternative backend of Fig. 12), SpaceSaving (SQUAD's
+heavy-hitter electorate) and reservoir sampling (SQUAD's background
+sample).
+"""
+
+from repro.sketches.count_sketch import CountSketch
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.count_mean_min import CountMeanMinSketch
+from repro.sketches.space_saving import SpaceSaving
+from repro.sketches.sampling import KeyedReservoirSampler, ReservoirSampler
+
+__all__ = [
+    "CountSketch",
+    "CountMinSketch",
+    "CountMeanMinSketch",
+    "SpaceSaving",
+    "ReservoirSampler",
+    "KeyedReservoirSampler",
+]

@@ -1,0 +1,143 @@
+"""Count-Mean-Min sketch (Deng & Rafiei 2007), signed-weight variant.
+
+The QuantileFilter paper leaves "which of the existing dozens of
+sketches suits the vague part best" as future work (Sec. III-D,
+Choice 2).  Count-Mean-Min is a natural third candidate between the two
+the paper tests: it keeps CMS's layout (no sign hashes) but corrects
+each row's counter by the expected collision noise
+
+    ``noise_r = (row_total - counter) / (width - 1)``
+
+and aggregates rows by the *median* of the corrected values, making the
+estimate approximately unbiased — the property that makes Count Sketch
+work for Qweights.  The vague-backend ablation benchmark compares all
+three.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import List
+
+import numpy as np
+
+from repro.common.counters import CounterArray
+from repro.common.hashing import HashFamily
+from repro.common.validation import require_positive_int
+
+
+class CountMeanMinSketch:
+    """A ``depth x width`` Count-Mean-Min sketch over integer keys.
+
+    Interface-compatible with :class:`~repro.sketches.count_sketch.CountSketch`
+    (update / estimate / delete / fused update_and_estimate / clear).
+    """
+
+    __slots__ = ("depth", "width", "counters", "_hashes", "_row_totals")
+
+    def __init__(
+        self,
+        depth: int = 3,
+        width: int = 1024,
+        counter_kind: str = "int32",
+        seed: int = 0,
+    ):
+        require_positive_int("depth", depth)
+        require_positive_int("width", width)
+        self.depth = depth
+        self.width = width
+        self.counters = CounterArray(depth, width, kind=counter_kind, seed=seed)
+        self._hashes = HashFamily(depth, width, seed=seed)
+        # Exact running totals per row (cheap: one float per row) so the
+        # noise correction does not need a row scan per query.
+        self._row_totals = [0.0] * depth
+
+    # ------------------------------------------------------------------
+    # scalar path
+    # ------------------------------------------------------------------
+    def update(self, key_int: int, weight: float = 1.0) -> None:
+        """Add ``weight`` to the key's counter in every row."""
+        for row in range(self.depth):
+            self.counters.add(row, self._hashes.index(row, key_int), weight)
+            self._row_totals[row] += weight
+
+    def estimate(self, key_int: int) -> float:
+        """Median over rows of the noise-corrected counters."""
+        return statistics.median(self._corrected_rows(key_int))
+
+    def delete(self, key_int: int, amount: float) -> None:
+        """Subtract ``amount`` from the key's counter in every row."""
+        for row in range(self.depth):
+            self.counters.add(row, self._hashes.index(row, key_int), -amount)
+            self._row_totals[row] -= amount
+
+    def update_and_estimate(self, key_int: int, weight: float) -> float:
+        """Fused insert + corrected-median estimate (one hash pass)."""
+        corrected: List[float] = []
+        for row in range(self.depth):
+            col = self._hashes.index(row, key_int)
+            self.counters.add(row, col, weight)
+            self._row_totals[row] += weight
+            corrected.append(self._correct(row, self.counters.get(row, col)))
+        return statistics.median(corrected)
+
+    def _correct(self, row: int, counter: float) -> float:
+        if self.width <= 1:
+            return counter
+        noise = (self._row_totals[row] - counter) / (self.width - 1)
+        return counter - noise
+
+    def _corrected_rows(self, key_int: int) -> List[float]:
+        return [
+            self._correct(
+                row, self.counters.get(row, self._hashes.index(row, key_int))
+            )
+            for row in range(self.depth)
+        ]
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Reset all counters and row totals."""
+        self.counters.clear()
+        self._row_totals = [0.0] * self.depth
+
+    @property
+    def nbytes(self) -> int:
+        """Modelled bytes: counter matrix + one 8 B total per row."""
+        return self.counters.nbytes + 8 * self.depth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CountMeanMinSketch(depth={self.depth}, width={self.width}, "
+            f"kind={self.counters.kind!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # merging (distributed deployments)
+    # ------------------------------------------------------------------
+    def merge(self, other: "CountMeanMinSketch") -> None:
+        """Fold another sketch into this one (counters and row totals).
+
+        Both operands must share depth, width and hash seeds; the noise
+        correction stays exact because row totals are also summed.
+        """
+        from repro.common.errors import ParameterError
+
+        if (self.depth, self.width) != (other.depth, other.width):
+            raise ParameterError(
+                f"cannot merge {self.depth}x{self.width} with "
+                f"{other.depth}x{other.width} sketches"
+            )
+        if self._hashes._seeds != other._hashes._seeds:
+            raise ParameterError(
+                "cannot merge sketches with different hash seeds"
+            )
+        merged = self.counters.data.astype(np.float64) + other.counters.data
+        if not self.counters._is_float:
+            merged = np.clip(merged, self.counters._lo, self.counters._hi)
+        self.counters.data = merged.astype(self.counters.data.dtype)
+        self._row_totals = [
+            a + b for a, b in zip(self._row_totals, other._row_totals)
+        ]

@@ -1,0 +1,184 @@
+"""Count Sketch (Charikar, Chen & Farach-Colton 2002) with weighted updates.
+
+This is the vague part's backend.  Compared to the textbook structure it
+supports everything QuantileFilter needs:
+
+* **weighted updates**, including negative and fractional weights (the
+  Qweight ``delta/(1-delta)`` is fractional for most ``delta``); the
+  underlying :class:`~repro.common.counters.CounterArray` handles
+  probabilistic rounding and overflow saturation,
+* **estimate** as the median of the ``d`` signed counters (unbiased,
+  Theorem 1 of the paper),
+* **delete**, i.e. subtracting a given amount from every counter the key
+  maps to — used when a key is reported (reset) or promoted to the
+  candidate part.
+
+Keys are canonical 64-bit integers; callers canonicalise once with
+:func:`repro.common.hashing.canonical_key`.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import List
+
+import numpy as np
+
+from repro.common.counters import CounterArray
+from repro.common.hashing import HashFamily, SignHashFamily
+from repro.common.validation import require_positive_int
+
+
+class CountSketch:
+    """A ``depth x width`` Count Sketch over integer keys.
+
+    Parameters
+    ----------
+    depth:
+        Number of rows ``d`` (independent hash functions).  The estimate
+        is the median over rows, so odd values behave best; the paper
+        uses 3.
+    width:
+        Number of counters ``w`` per row.
+    counter_kind:
+        Storage width of each counter (see
+        :data:`repro.common.counters.COUNTER_KINDS`).
+    seed:
+        Seeds the hash families and the rounding RNG.
+    """
+
+    __slots__ = ("depth", "width", "counters", "_hashes", "_signs")
+
+    def __init__(
+        self,
+        depth: int = 3,
+        width: int = 1024,
+        counter_kind: str = "int32",
+        seed: int = 0,
+    ):
+        require_positive_int("depth", depth)
+        require_positive_int("width", width)
+        self.depth = depth
+        self.width = width
+        self.counters = CounterArray(depth, width, kind=counter_kind, seed=seed)
+        self._hashes = HashFamily(depth, width, seed=seed)
+        self._signs = SignHashFamily(depth, seed=seed + 1)
+
+    # ------------------------------------------------------------------
+    # scalar path
+    # ------------------------------------------------------------------
+    def update(self, key_int: int, weight: float = 1.0) -> None:
+        """Add ``weight`` to the key's signed counter in every row."""
+        for row in range(self.depth):
+            col = self._hashes.index(row, key_int)
+            sign = self._signs.sign(row, key_int)
+            self.counters.add(row, col, sign * weight)
+
+    def estimate(self, key_int: int) -> float:
+        """Median-of-rows estimate of the key's accumulated weight."""
+        return statistics.median(self._row_estimates(key_int))
+
+    def delete(self, key_int: int, amount: float) -> None:
+        """Subtract ``amount`` from the key's signed counters in all rows.
+
+        Used by QuantileFilter to reset a reported key (``amount`` = its
+        current estimate) or to evict a key promoted to the candidate
+        part.
+        """
+        for row in range(self.depth):
+            col = self._hashes.index(row, key_int)
+            sign = self._signs.sign(row, key_int)
+            self.counters.add(row, col, -sign * amount)
+
+    def update_and_estimate(self, key_int: int, weight: float) -> float:
+        """Fused insert+query: one pass over the rows instead of two.
+
+        This is the paper's "Technique 1" efficiency point — online
+        detection needs the post-insert estimate for every item, so the
+        hash computations are shared between the update and the query.
+        """
+        estimates: List[float] = []
+        for row in range(self.depth):
+            col = self._hashes.index(row, key_int)
+            sign = self._signs.sign(row, key_int)
+            self.counters.add(row, col, sign * weight)
+            estimates.append(sign * self.counters.get(row, col))
+        return statistics.median(estimates)
+
+    def _row_estimates(self, key_int: int) -> List[float]:
+        return [
+            self._signs.sign(row, key_int)
+            * self.counters.get(row, self._hashes.index(row, key_int))
+            for row in range(self.depth)
+        ]
+
+    # ------------------------------------------------------------------
+    # batch path (numpy)
+    # ------------------------------------------------------------------
+    def update_batch(self, keys: np.ndarray, weights: np.ndarray) -> None:
+        """Vectorised :meth:`update` over ``uint64`` key / float arrays."""
+        cols = self._hashes.indices_batch(keys)
+        signs = self._signs.signs_batch(keys)
+        rows = np.repeat(np.arange(self.depth), keys.shape[0])
+        self.counters.add_batch(
+            rows, cols.ravel(), (signs * weights[None, :]).ravel()
+        )
+
+    def estimate_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`estimate` returning one float per key."""
+        cols = self._hashes.indices_batch(keys)
+        signs = self._signs.signs_batch(keys)
+        vals = self.counters.data[
+            np.arange(self.depth)[:, None], cols
+        ].astype(np.float64)
+        return np.median(signs * vals, axis=0)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Reset all counters to zero (the paper's periodic reset)."""
+        self.counters.clear()
+
+    @property
+    def nbytes(self) -> int:
+        """Modelled memory footprint in bytes."""
+        return self.counters.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CountSketch(depth={self.depth}, width={self.width}, "
+            f"kind={self.counters.kind!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # merging (distributed deployments)
+    # ------------------------------------------------------------------
+    def merge(self, other: "CountSketch") -> None:
+        """Fold another sketch into this one (counter-wise addition).
+
+        Count Sketch is linear: the merge of two sketches built with the
+        SAME hash families (same depth/width/seed) over streams A and B
+        equals one sketch built over A + B.  Used when several monitor
+        shards each sketch a slice of the traffic.
+        """
+        self._check_mergeable(other)
+        merged = self.counters.data.astype(np.float64) + other.counters.data
+        if not self.counters._is_float:
+            merged = np.clip(merged, self.counters._lo, self.counters._hi)
+        self.counters.data = merged.astype(self.counters.data.dtype)
+
+    def _check_mergeable(self, other: "CountSketch") -> None:
+        from repro.common.errors import ParameterError
+
+        if (self.depth, self.width) != (other.depth, other.width):
+            raise ParameterError(
+                f"cannot merge {self.depth}x{self.width} with "
+                f"{other.depth}x{other.width} sketches"
+            )
+        if self._hashes._seeds != other._hashes._seeds or (
+            self._signs._seeds != other._signs._seeds
+        ):
+            raise ParameterError(
+                "cannot merge sketches with different hash seeds"
+            )

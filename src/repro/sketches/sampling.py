@@ -1,0 +1,131 @@
+"""Reservoir sampling (Vitter's Algorithm R).
+
+SQUAD complements its per-heavy-key summaries with a uniform sample of
+the whole stream so that quantiles of non-heavy keys can still be
+answered (coarsely).  :class:`ReservoirSampler` provides that uniform
+sample with a fixed memory footprint; :class:`KeyedReservoirSampler`
+additionally maintains a key -> values index over the reservoir so
+per-key lookups are O(hits) instead of O(capacity) — essential when the
+detection adapter queries after every insert.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Generic, Hashable, List, Tuple, TypeVar
+
+from repro.common.validation import require_positive_int
+
+T = TypeVar("T")
+
+
+class ReservoirSampler(Generic[T]):
+    """Maintain a uniform random sample of ``capacity`` stream items.
+
+    After ``n`` calls to :meth:`offer`, every item seen so far is in the
+    reservoir with probability ``min(1, capacity / n)`` — the textbook
+    Algorithm R invariant.
+    """
+
+    def __init__(self, capacity: int, seed: int = 0):
+        require_positive_int("capacity", capacity)
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._items: List[T] = []
+        self._seen = 0
+
+    def offer(self, item: T) -> None:
+        """Present one stream item to the sampler."""
+        self._seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return
+        slot = self._rng.randrange(self._seen)
+        if slot < self.capacity:
+            self._items[slot] = item
+
+    @property
+    def seen(self) -> int:
+        """Total number of items offered so far."""
+        return self._seen
+
+    def sample(self) -> List[T]:
+        """Copy of the current reservoir contents."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def clear(self) -> None:
+        """Empty the reservoir and reset the seen-count."""
+        self._items.clear()
+        self._seen = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Modelled bytes: 16 per slot (key 8 B + value 8 B)."""
+        return self.capacity * 16
+
+
+class KeyedReservoirSampler:
+    """Algorithm R over ``(key, value)`` pairs with a per-key index.
+
+    Holds the same uniform sample a plain reservoir would (identical
+    replacement policy and probabilities) while keeping a ``key ->
+    values`` multimap in sync, so :meth:`values_for` answers without
+    scanning the reservoir.  The index is bookkeeping over the same
+    entries, so modelled memory stays 16 bytes per slot.
+    """
+
+    def __init__(self, capacity: int, seed: int = 0):
+        require_positive_int("capacity", capacity)
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._items: List[Tuple[Hashable, float]] = []
+        self._index: Dict[Hashable, List[float]] = {}
+        self._seen = 0
+
+    def offer(self, key: Hashable, value: float) -> None:
+        """Present one stream item to the sampler."""
+        self._seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append((key, value))
+            self._index.setdefault(key, []).append(value)
+            return
+        slot = self._rng.randrange(self._seen)
+        if slot >= self.capacity:
+            return
+        old_key, old_value = self._items[slot]
+        bucket = self._index[old_key]
+        bucket.remove(old_value)
+        if not bucket:
+            del self._index[old_key]
+        self._items[slot] = (key, value)
+        self._index.setdefault(key, []).append(value)
+
+    def values_for(self, key: Hashable) -> List[float]:
+        """Sampled values of ``key`` currently in the reservoir."""
+        return list(self._index.get(key, ()))
+
+    @property
+    def seen(self) -> int:
+        """Total number of items offered so far."""
+        return self._seen
+
+    def sample(self) -> List[Tuple[Hashable, float]]:
+        """Copy of the current reservoir contents."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def clear(self) -> None:
+        """Empty the reservoir and reset the seen-count."""
+        self._items.clear()
+        self._index.clear()
+        self._seen = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Modelled bytes: 16 per slot (key 8 B + value 8 B)."""
+        return self.capacity * 16

@@ -1,0 +1,108 @@
+"""SpaceSaving heavy-hitter tracker (Metwally, Agrawal & El Abbadi 2005).
+
+SQUAD elects which keys deserve a per-key quantile summary with a
+heavy-hitter structure; this is that substrate.  The classic algorithm
+keeps ``capacity`` (key, count, error) entries; an unseen key replaces
+the current minimum entry and inherits its count as over-estimation
+error.
+
+The implementation keeps O(1) amortised updates with a dict plus a lazy
+min index (a full min scan only when the cached minimum entry was
+displaced), which is plenty for the stream sizes the experiments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.common.validation import require_positive_int
+
+
+@dataclass
+class _Entry:
+    count: int
+    error: int
+
+
+class SpaceSaving:
+    """Track approximate top-``capacity`` keys by frequency.
+
+    ``count`` over-estimates the true frequency by at most ``error``.
+    A key's true frequency ``f`` satisfies ``count - error <= f <= count``.
+    """
+
+    def __init__(self, capacity: int):
+        require_positive_int("capacity", capacity)
+        self.capacity = capacity
+        self._entries: Dict[Hashable, _Entry] = {}
+        self._min_key: Optional[Hashable] = None  # lazy cache, may be stale
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def update(self, key: Hashable, count: int = 1) -> Optional[Hashable]:
+        """Record ``count`` occurrences of ``key``.
+
+        Returns the key that was evicted to make room, or ``None`` when
+        nothing was displaced.  SQUAD uses the eviction signal to retire
+        the evicted key's quantile summary.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.count += count
+            if key == self._min_key:
+                self._min_key = None  # cached min may no longer be minimal
+            return None
+        if len(self._entries) < self.capacity:
+            self._entries[key] = _Entry(count=count, error=0)
+            self._min_key = None
+            return None
+        victim = self._find_min_key()
+        victim_entry = self._entries.pop(victim)
+        self._entries[key] = _Entry(
+            count=victim_entry.count + count, error=victim_entry.count
+        )
+        self._min_key = None
+        return victim
+
+    def _find_min_key(self) -> Hashable:
+        if self._min_key is not None and self._min_key in self._entries:
+            return self._min_key
+        self._min_key = min(self._entries, key=lambda k: self._entries[k].count)
+        return self._min_key
+
+    def estimate(self, key: Hashable) -> int:
+        """Upper-bound frequency estimate (0 for untracked keys)."""
+        entry = self._entries.get(key)
+        return entry.count if entry is not None else 0
+
+    def guaranteed_count(self, key: Hashable) -> int:
+        """Lower-bound frequency (``count - error``; 0 if untracked)."""
+        entry = self._entries.get(key)
+        return entry.count - entry.error if entry is not None else 0
+
+    def keys(self) -> Iterable[Hashable]:
+        """Currently tracked keys (insertion order, not sorted)."""
+        return self._entries.keys()
+
+    def top(self, k: Optional[int] = None) -> List[Tuple[Hashable, int]]:
+        """The ``k`` tracked keys with the highest estimated counts."""
+        ranked = sorted(
+            self._entries.items(), key=lambda item: item[1].count, reverse=True
+        )
+        pairs = [(key, entry.count) for key, entry in ranked]
+        return pairs if k is None else pairs[:k]
+
+    def clear(self) -> None:
+        """Drop all tracked keys."""
+        self._entries.clear()
+        self._min_key = None
+
+    @property
+    def nbytes(self) -> int:
+        """Modelled bytes: key (8 B) + count (4 B) + error (4 B) per slot."""
+        return self.capacity * 16

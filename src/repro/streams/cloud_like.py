@@ -1,0 +1,127 @@
+"""Yahoo-cloud-like flow trace generator.
+
+The paper's Cloud dataset (Yahoo G4 network flows) is distinguished by
+its extreme key cardinality: 16.9M distinct keys over 20.5M items —
+about 82 % of items belong to keys seen once or twice.  That property
+is what breaks HistSketch's memory model (a heavy slot per key) and
+stresses every per-key structure, so the generator reproduces it
+directly: each item is, with probability ``singleton_fraction``, a
+brand-new key; otherwise it is drawn Zipf-style from a recurring-key
+universe.  Values are flow durations in seconds with a heavy tail;
+the paper's threshold is T = 20 s (~4.6 % of items above).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ParameterError
+from repro.common.rng import np_rng
+from repro.streams.caida_like import _choose_anomalous_keys
+from repro.streams.model import Trace
+from repro.streams.zipf import sample_zipf_keys
+
+#: Default threshold matching the paper's Cloud setting (seconds).
+DEFAULT_CLOUD_THRESHOLD_S = 20.0
+
+
+@dataclass(frozen=True)
+class CloudLikeConfig:
+    """Parameters of the cloud-like workload.
+
+    Attributes
+    ----------
+    num_items:
+        Stream length.
+    singleton_fraction:
+        Probability an item introduces a brand-new key (paper ~0.8).
+    recurring_keys:
+        Universe size of the recurring (multi-item) keys.
+    alpha:
+        Zipf exponent over the recurring keys.
+    base_duration_s:
+        Median flow duration of a normal key.
+    duration_sigma:
+        Log-normal shape of duration noise.
+    anomalous_key_fraction, anomaly_boost:
+        Recurring keys with inflated duration baselines (the targets).
+    """
+
+    num_items: int = 200_000
+    singleton_fraction: float = 0.8
+    recurring_keys: int = 4_000
+    alpha: float = 1.0
+    base_duration_s: float = 4.0
+    duration_sigma: float = 1.0
+    anomalous_key_fraction: float = 0.05
+    anomaly_boost: float = 8.0
+    anomalous_min_frequency: int = 40
+    anomalous_max_frequency: int = 400
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_items < 1 or self.recurring_keys < 1:
+            raise ParameterError("num_items and recurring_keys must be >= 1")
+        if not 0.0 <= self.singleton_fraction < 1.0:
+            raise ParameterError(
+                f"singleton_fraction must be in [0, 1), got {self.singleton_fraction}"
+            )
+
+
+def generate_cloud_like_trace(config: CloudLikeConfig = CloudLikeConfig()) -> Trace:
+    """Generate the cloud-like high-cardinality trace."""
+    rng = np_rng(config.seed, "cloud-like")
+
+    is_singleton = rng.random(config.num_items) < config.singleton_fraction
+    num_singletons = int(is_singleton.sum())
+
+    # Recurring keys occupy ids [0, recurring_keys); singletons get
+    # fresh ids above that range, one each.
+    keys = np.empty(config.num_items, dtype=np.int64)
+    keys[is_singleton] = config.recurring_keys + np.arange(num_singletons)
+    recurring_draws = sample_zipf_keys(
+        config.num_items - num_singletons, config.recurring_keys, config.alpha, rng
+    )
+    keys[~is_singleton] = recurring_draws
+
+    # Recurring keys have per-key duration baselines; anomalous subset
+    # boosted.  Singletons draw a one-off baseline from the same law.
+    baselines = config.base_duration_s * rng.lognormal(
+        0.0, 0.5, size=config.recurring_keys
+    )
+    num_anomalous = int(round(config.anomalous_key_fraction * config.recurring_keys))
+    anomalous = _choose_anomalous_keys(
+        recurring_draws,
+        config.recurring_keys,
+        num_anomalous,
+        config.anomalous_min_frequency,
+        config.anomalous_max_frequency,
+        rng,
+    )
+    num_anomalous = anomalous.size
+    baselines[anomalous] *= config.anomaly_boost
+
+    noise = rng.lognormal(0.0, config.duration_sigma, size=config.num_items)
+    values = np.empty(config.num_items, dtype=np.float64)
+    values[~is_singleton] = baselines[recurring_draws] * noise[~is_singleton]
+    singleton_baselines = config.base_duration_s * rng.lognormal(
+        0.0, 0.5, size=num_singletons
+    )
+    values[is_singleton] = singleton_baselines * noise[is_singleton]
+
+    return Trace(
+        keys=keys,
+        values=values,
+        name=f"cloud-like(singletons={config.singleton_fraction:.0%})",
+        metadata={
+            "generator": "cloud_like",
+            "num_items": config.num_items,
+            "singleton_fraction": config.singleton_fraction,
+            "recurring_keys": config.recurring_keys,
+            "anomalous_keys": int(num_anomalous),
+            "default_threshold_s": DEFAULT_CLOUD_THRESHOLD_S,
+            "seed": config.seed,
+        },
+    )

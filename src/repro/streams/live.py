@@ -1,0 +1,138 @@
+"""Live-stream plumbing: hook detectors to iterables and pipelines.
+
+The experiment harness replays finite :class:`~repro.streams.model.Trace`
+objects; a deployment consumes an unbounded iterator (a socket reader, a
+Kafka consumer, a log tail).  These helpers bridge the two:
+
+* :func:`detect_stream` — lazily yield reports as a detector consumes an
+  iterable of ``(key, value)`` pairs.
+* :func:`batch_detect_stream` — same, but buffering into numpy chunks
+  for the :class:`~repro.core.vectorized.BatchQuantileFilter` engine.
+* :func:`replay` — convenience: run a whole trace through a detector.
+* :func:`interleave_traces` — deterministically mix several traces into
+  one (multi-source monitors).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ParameterError
+from repro.common.rng import np_rng
+from repro.core.quantile_filter import Report
+from repro.core.vectorized import BatchQuantileFilter
+from repro.detection.base import Detector
+from repro.streams.model import Trace
+
+Item = Tuple[Hashable, float]
+
+
+def detect_stream(
+    detector, items: Iterable[Item]
+) -> Iterator[Report]:
+    """Yield each report the moment its item triggers it.
+
+    ``detector`` may be a :class:`~repro.core.quantile_filter.QuantileFilter`
+    (or anything with ``insert(key, value) -> Optional[Report]``); the
+    iterator is lazy, so it works on unbounded sources::
+
+        for report in detect_stream(qf, tail_log()):
+            page(report.key)
+    """
+    insert = detector.insert
+    for key, value in items:
+        report = insert(key, value)
+        if report is not None:
+            yield report
+
+
+def batch_detect_stream(
+    engine: BatchQuantileFilter,
+    items: Iterable[Item],
+    chunk_items: int = 8_192,
+) -> Iterator[Tuple[int, set]]:
+    """Feed an iterable through the batch engine, chunk by chunk.
+
+    Yields ``(items_processed_so_far, newly_reported_keys)`` after each
+    chunk.  Report granularity is the chunk (the batch engine trades
+    per-item callbacks for hash vectorisation); use :func:`detect_stream`
+    when per-item latency matters more than throughput.
+    """
+    if chunk_items < 1:
+        raise ParameterError(f"chunk_items must be >= 1, got {chunk_items}")
+    keys_buffer = []
+    values_buffer = []
+    known: set = set(engine.reported_keys)
+    for key, value in items:
+        keys_buffer.append(key)
+        values_buffer.append(value)
+        if len(keys_buffer) >= chunk_items:
+            yield from _flush(engine, keys_buffer, values_buffer, known)
+    if keys_buffer:
+        yield from _flush(engine, keys_buffer, values_buffer, known)
+
+
+def _flush(engine, keys_buffer, values_buffer, known):
+    engine.process(
+        np.asarray(keys_buffer, dtype=np.int64),
+        np.asarray(values_buffer, dtype=np.float64),
+    )
+    keys_buffer.clear()
+    values_buffer.clear()
+    fresh = engine.reported_keys - known
+    known |= fresh
+    yield engine.items_processed, fresh
+
+
+def replay(detector: Detector, trace: Trace) -> Detector:
+    """Run a whole trace through a detector; returns it for chaining."""
+    process = detector.process
+    for key, value in trace.items():
+        process(key, value)
+    return detector
+
+
+def interleave_traces(traces: Sequence[Trace], seed: int = 0) -> Trace:
+    """Mix several traces into one by a seeded random interleaving.
+
+    Relative item order *within* each source trace is preserved (each
+    source is a FIFO); the merge order across sources is a deterministic
+    shuffle weighted by the traces' lengths.  Key spaces are kept
+    disjoint by offsetting each trace's keys by the running maximum, so
+    monitors see distinct populations per source.
+    """
+    if not traces:
+        raise ParameterError("need at least one trace to interleave")
+    rng = np_rng(seed, "interleave")
+    source_of = np.repeat(
+        np.arange(len(traces)), [len(t) for t in traces]
+    )
+    rng.shuffle(source_of)
+
+    offsets = []
+    running = 0
+    for trace in traces:
+        offsets.append(running)
+        running += int(trace.keys.max()) + 1 if len(trace) else 0
+
+    cursors = [0] * len(traces)
+    keys = np.empty(source_of.size, dtype=np.int64)
+    values = np.empty(source_of.size, dtype=np.float64)
+    for position, source in enumerate(source_of.tolist()):
+        cursor = cursors[source]
+        keys[position] = traces[source].keys[cursor] + offsets[source]
+        values[position] = traces[source].values[cursor]
+        cursors[source] = cursor + 1
+    return Trace(
+        keys=keys,
+        values=values,
+        name="interleaved(" + ", ".join(t.name for t in traces) + ")",
+        metadata={
+            "generator": "interleave",
+            "sources": [t.name for t in traces],
+            "key_offsets": offsets,
+            "seed": seed,
+        },
+    )

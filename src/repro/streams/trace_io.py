@@ -1,0 +1,107 @@
+"""Trace persistence: compressed npz (native) and CSV (interchange).
+
+Generating a multi-hundred-thousand-item trace takes a moment, and many
+experiments sweep parameters over the *same* trace; saving it once keeps
+sweeps fast and guarantees every configuration sees identical items.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.common.errors import TraceFormatError
+from repro.streams.model import Trace
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: PathLike) -> None:
+    """Save a trace as compressed ``.npz`` (keys, values, metadata)."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        keys=trace.keys,
+        values=trace.values,
+        meta=np.frombuffer(
+            json.dumps(
+                {
+                    "version": _FORMAT_VERSION,
+                    "name": trace.name,
+                    "metadata": trace.metadata,
+                }
+            ).encode("utf-8"),
+            dtype=np.uint8,
+        ),
+    )
+
+
+def load_trace(path: PathLike) -> Trace:
+    """Load a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    try:
+        with np.load(path) as archive:
+            keys = archive["keys"]
+            values = archive["values"]
+            meta_bytes = archive["meta"].tobytes()
+    except (KeyError, OSError, ValueError) as exc:
+        raise TraceFormatError(f"cannot read trace file {path}: {exc}") from exc
+    try:
+        meta = json.loads(meta_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TraceFormatError(f"corrupt metadata in {path}: {exc}") from exc
+    if meta.get("version") != _FORMAT_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace format version {meta.get('version')!r} in {path}"
+        )
+    return Trace(
+        keys=keys,
+        values=values,
+        name=meta.get("name", path.stem),
+        metadata=meta.get("metadata", {}),
+    )
+
+
+def export_csv(trace: Trace, path: PathLike) -> None:
+    """Export a trace as a two-column ``key,value`` CSV with a header."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["key", "value"])
+        for key, value in trace.items():
+            writer.writerow([key, repr(value)])
+
+
+def import_csv(path: PathLike, name: str = "") -> Trace:
+    """Load a ``key,value`` CSV written by :func:`export_csv`."""
+    path = Path(path)
+    keys = []
+    values = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != ["key", "value"]:
+            raise TraceFormatError(
+                f"{path} is not a trace CSV (expected 'key,value' header, "
+                f"got {header!r})"
+            )
+        for line_number, row in enumerate(reader, start=2):
+            try:
+                keys.append(int(row[0]))
+                values.append(float(row[1]))
+            except (IndexError, ValueError) as exc:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: malformed row {row!r}"
+                ) from exc
+    return Trace(
+        keys=np.asarray(keys, dtype=np.int64),
+        values=np.asarray(values, dtype=np.float64),
+        name=name or path.stem,
+        metadata={"source": str(path)},
+    )

@@ -1,0 +1,104 @@
+"""Tests for repro.analysis.sizing."""
+
+import random
+
+import pytest
+
+from repro.analysis.sizing import SizingRecommendation, recommend
+from repro.common.errors import ParameterError
+from repro.core.criteria import Criteria
+from repro.core.quantile_filter import QuantileFilter
+from repro.detection.ground_truth import compute_ground_truth
+
+CRIT = Criteria(delta=0.95, threshold=200.0, epsilon=10.0)
+
+
+class TestRecommend:
+    def test_candidate_fits_outstanding_population(self):
+        rec = recommend(expected_keys=10_000, expected_outstanding=50,
+                        criteria=CRIT)
+        assert rec.num_buckets * rec.bucket_size >= 4 * 50
+
+    def test_depth_practical(self):
+        rec = recommend(expected_keys=10_000, expected_outstanding=50,
+                        criteria=CRIT)
+        assert rec.depth >= 3
+        assert rec.depth % 2 == 1
+
+    def test_width_grows_with_keys(self):
+        small = recommend(expected_keys=1_000, expected_outstanding=10,
+                          criteria=CRIT)
+        big = recommend(expected_keys=1_000_000, expected_outstanding=10,
+                        criteria=CRIT)
+        assert big.vague_width > small.vague_width
+
+    def test_width_shrinks_with_looser_epsilon(self):
+        tight = recommend(expected_keys=100_000, expected_outstanding=10,
+                          criteria=Criteria(delta=0.95, threshold=200.0,
+                                            epsilon=1.0))
+        loose = recommend(expected_keys=100_000, expected_outstanding=10,
+                          criteria=Criteria(delta=0.95, threshold=200.0,
+                                            epsilon=100.0))
+        assert loose.vague_width <= tight.vague_width
+
+    def test_total_bytes_consistent(self):
+        rec = recommend(expected_keys=10_000, expected_outstanding=50,
+                        criteria=CRIT)
+        assert rec.total_bytes == rec.candidate_bytes + rec.vague_bytes
+        assert rec.total_bytes > 0
+
+    def test_kwargs_construct_filter(self):
+        rec = recommend(expected_keys=5_000, expected_outstanding=20,
+                        criteria=CRIT)
+        qf = QuantileFilter(CRIT, **rec.filter_kwargs())
+        assert qf.candidate.num_buckets == rec.num_buckets
+        assert qf.vague.width == rec.vague_width
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            recommend(0, 10, CRIT)
+        with pytest.raises(ParameterError):
+            recommend(100, 0, CRIT)
+        with pytest.raises(ParameterError):
+            recommend(100, 10, CRIT, failure_probability=1.5)
+        with pytest.raises(ParameterError):
+            recommend(100, 10, CRIT, headroom=0.5)
+
+    def test_recommendation_is_frozen(self):
+        rec = recommend(expected_keys=100, expected_outstanding=5,
+                        criteria=CRIT)
+        assert isinstance(rec, SizingRecommendation)
+        with pytest.raises(AttributeError):
+            rec.depth = 99
+
+
+class TestRecommendationQuality:
+    def test_recommended_config_detects_accurately(self):
+        """End-to-end: size for a workload, run it, demand F1 ~ 1."""
+        rng = random.Random(4)
+        n_keys, n_hot = 2_000, 25
+        items = []
+        for _ in range(40_000):
+            key = rng.randrange(n_keys)
+            value = 500.0 if key < n_hot else rng.uniform(0, 150)
+            items.append((key, value))
+        rec = recommend(expected_keys=n_keys, expected_outstanding=n_hot,
+                        criteria=CRIT)
+        qf = QuantileFilter(CRIT, seed=1, **rec.filter_kwargs())
+        for key, value in items:
+            qf.insert(key, value)
+        truth = compute_ground_truth(items, CRIT)
+        assert truth  # the workload produces outstanding keys
+        missed = truth - qf.reported_keys
+        spurious = qf.reported_keys - truth
+        assert len(missed) <= max(1, len(truth) // 20)
+        assert len(spurious) <= max(1, len(truth) // 20)
+
+    def test_budget_far_below_exact_tracking(self):
+        # The Chebyshev-based sizing is conservative (the paper's
+        # empirical widths are far smaller), but even so it must come in
+        # well under exact per-key tracking.
+        rec = recommend(expected_keys=1_000_000, expected_outstanding=100,
+                        criteria=CRIT)
+        exact_cost = 16 * 1_000_000  # oracle: 16 B per distinct key
+        assert rec.total_bytes < exact_cost / 10

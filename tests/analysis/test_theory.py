@@ -1,0 +1,144 @@
+"""Tests for repro.analysis.theory — Section IV checked numerically."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import (
+    chebyshev_failure_probability,
+    csketch_depth_for,
+    csketch_width_for,
+    l2_norm,
+    residual_l2_after_topk,
+    theorem1_error_bound,
+    theorem2_reduction_factor,
+)
+from repro.common.errors import ParameterError
+from repro.common.hashing import canonical_key
+from repro.sketches.count_sketch import CountSketch
+
+
+class TestSizingFormulas:
+    def test_width_formula(self):
+        assert csketch_width_for(0.1) == 400
+        assert csketch_width_for(1.0) == 4
+
+    def test_depth_formula(self):
+        assert csketch_depth_for(0.01) == 37  # ceil(8 ln 100)
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            csketch_width_for(0.0)
+        with pytest.raises(ParameterError):
+            csketch_depth_for(1.5)
+
+
+class TestL2:
+    def test_l2_norm(self):
+        assert l2_norm([3.0, 4.0]) == pytest.approx(5.0)
+        assert l2_norm([]) == 0.0
+
+    def test_residual_after_topk(self):
+        qweights = [10.0, -8.0, 3.0, 1.0]
+        assert residual_l2_after_topk(qweights, 2) == pytest.approx(
+            l2_norm([3.0, 1.0])
+        )
+        assert residual_l2_after_topk(qweights, 0) == pytest.approx(
+            l2_norm(qweights)
+        )
+
+    def test_theorem1_bound_scaling(self):
+        assert theorem1_error_bound(100.0, 100) == pytest.approx(10.0)
+
+    def test_chebyshev(self):
+        assert chebyshev_failure_probability(0.5, 100) == pytest.approx(0.04)
+        assert chebyshev_failure_probability(0.01, 1) == 1.0
+
+
+class TestTheorem1Empirical:
+    def test_error_within_bound(self):
+        """Observed estimate errors stay inside the eps*L2 envelope at
+        well above the promised probability."""
+        qweights = {key: (50.0 if key < 5 else 1.0) for key in range(200)}
+        l2 = l2_norm(qweights.values())
+        width = 256
+        eps = 2.0 / np.sqrt(width)  # per Chebyshev: failure prob <= 1/4
+        failures = 0
+        trials = 0
+        for seed in range(20):
+            sketch = CountSketch(depth=1, width=width, seed=seed)
+            for key, qw in qweights.items():
+                sketch.update(canonical_key(key), qw)
+            for key, qw in qweights.items():
+                trials += 1
+                if abs(sketch.estimate(canonical_key(key)) - qw) >= eps * l2:
+                    failures += 1
+        assert failures / trials <= 0.30
+
+    def test_unbiased_across_seeds(self):
+        target_qw = 25.0
+        estimates = []
+        for seed in range(80):
+            sketch = CountSketch(depth=1, width=8, seed=seed)
+            for key in range(40):
+                sketch.update(canonical_key(key), 3.0)
+            sketch.update(canonical_key(777), target_qw)
+            estimates.append(sketch.estimate(canonical_key(777)))
+        assert abs(np.mean(estimates) - target_qw) < 2.0
+
+
+class TestTheorem2:
+    def test_reduction_factor_formula(self):
+        assert theorem2_reduction_factor(1.5, 100) == pytest.approx(0.01)
+        assert theorem2_reduction_factor(1.0, 16) == pytest.approx(0.25)
+
+    def test_reduction_bounds_empirical_zipf(self):
+        """Theorem 2's k^-(alpha-0.5) upper-bounds the actual residual
+        L2 ratio for Zipf-distributed Qweights."""
+        alpha = 1.2
+        n = 5_000
+        qweights = [(1.0 / (rank ** alpha)) for rank in range(1, n + 1)]
+        total = l2_norm(qweights)
+        for k in (10, 100, 1_000):
+            residual = residual_l2_after_topk(qweights, k)
+            assert residual / total <= theorem2_reduction_factor(alpha, k) * 1.05
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            theorem2_reduction_factor(0.4, 10)
+        with pytest.raises(ParameterError):
+            theorem2_reduction_factor(1.0, 0)
+
+
+class TestTheorem3Empirical:
+    def test_candidate_part_shrinks_vague_error(self):
+        """With the candidate part absorbing the heavy Qweights, the
+        vague part's residual mass — and thus its estimate error for a
+        probe key — drops (Theorem 3's operational content)."""
+        from repro.core.criteria import Criteria
+        from repro.core.quantile_filter import QuantileFilter
+
+        crit = Criteria(delta=0.95, threshold=100.0, epsilon=1e9)
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 100, size=20_000)
+        values = np.where(keys < 10, 500.0, 1.0)
+
+        # Small candidate (starved) vs healthy candidate, same vague width.
+        starved = QuantileFilter(crit, num_buckets=1, bucket_size=1,
+                                 vague_width=64, seed=1)
+        healthy = QuantileFilter(crit, num_buckets=32, bucket_size=6,
+                                 vague_width=64, seed=1)
+        for key, value in zip(keys.tolist(), values.tolist()):
+            starved.insert(key, value)
+            healthy.insert(key, value)
+
+        # Probe error on cold keys (true Qweight = -frequency).
+        freq = np.bincount(keys, minlength=100)
+
+        def mean_error(qf):
+            errors = []
+            for key in range(10, 100):
+                true_qw = -float(freq[key])
+                errors.append(abs(qf.query(key) - true_qw))
+            return float(np.mean(errors))
+
+        assert mean_error(healthy) <= mean_error(starved)

@@ -1,0 +1,116 @@
+"""Tests for repro.baselines.histsketch."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.baselines.histsketch import HistSketch
+from repro.quantiles.base import NEG_INF
+
+
+class TestBinning:
+    def test_bins_monotone(self):
+        hs = HistSketch(memory_bytes=64 * 1024)
+        bins = [hs.bin_of(v) for v in (0.01, 0.5, 5.0, 500.0, 1e5)]
+        assert bins == sorted(bins)
+
+    def test_bin_upper_value_brackets(self):
+        hs = HistSketch(memory_bytes=64 * 1024)
+        for value in (0.1, 1.0, 10.0, 1_000.0):
+            assert hs.bin_upper_value(hs.bin_of(value)) >= value * 0.99
+
+    def test_values_clamped(self):
+        hs = HistSketch(memory_bytes=64 * 1024, value_min=1.0, value_max=100.0)
+        assert hs.bin_of(0.0001) == 0
+        assert hs.bin_of(1e9) == hs.num_bins - 1
+
+
+class TestHeavyPart:
+    def test_owner_key_histogram_accurate(self):
+        rng = random.Random(1)
+        hs = HistSketch(memory_bytes=256 * 1024, num_bins=32, seed=1)
+        values = [rng.uniform(1, 100) for _ in range(2_000)]
+        for value in values:
+            hs.insert("solo", value)
+        estimate = hs.quantile("solo", 0.5)
+        true = sorted(values)[1_000]
+        # Log-bin resolution: within one bin's span of the truth.
+        assert true / 2 <= estimate <= true * 2
+
+    def test_voting_replacement(self):
+        """A heavy newcomer eventually usurps an idle incumbent's slot."""
+        hs = HistSketch(memory_bytes=2_048, num_bins=8, vote_lambda=2.0, seed=2)
+        # Find two keys colliding into the same slot.
+        from repro.common.hashing import canonical_key
+
+        slot_of = lambda key: hs._slot_of(canonical_key(key))  # noqa: E731
+        base = "incumbent"
+        challenger = None
+        for i in range(10_000):
+            candidate = f"challenger-{i}"
+            if slot_of(candidate) == slot_of(base) and candidate != base:
+                challenger = candidate
+                break
+        assert challenger is not None
+        hs.insert(base, 5.0)
+        for _ in range(100):
+            hs.insert(challenger, 50.0)
+        # The challenger outvoted the single-item incumbent.
+        assert hs.quantile(challenger, 0.5) > 0
+
+    def test_reset_key_owned_slot(self):
+        hs = HistSketch(memory_bytes=256 * 1024, seed=3)
+        for _ in range(50):
+            hs.insert("k", 10.0)
+        assert hs.reset_key("k")
+        # Only light-part residue (zero here) remains.
+        assert hs.quantile("k", 0.5) == NEG_INF
+
+    def test_reset_key_not_owned(self):
+        hs = HistSketch(memory_bytes=256 * 1024, seed=4)
+        assert not hs.reset_key("never-seen")
+
+
+class TestLightPart:
+    def test_evicted_key_still_answerable(self):
+        """Flushed histograms land in the light part, so an evicted
+        key's distribution survives (with CM noise)."""
+        hs = HistSketch(memory_bytes=4_096, num_bins=8, vote_lambda=1.0, seed=5)
+        for _ in range(20):
+            hs.insert("victim", 10.0)
+        # Hammer colliding keys until the victim's slot is usurped.
+        for i in range(3_000):
+            hs.insert(f"noise-{i % 97}", 1.0)
+        estimate = hs.quantile("victim", 0.5)
+        assert estimate == NEG_INF or estimate > 0  # never crashes
+
+
+class TestSizing:
+    def test_nbytes_accounts_for_both_parts(self):
+        hs = HistSketch(memory_bytes=100_000)
+        assert hs.nbytes <= 100_000
+        assert hs.num_slots >= 1
+
+    def test_per_key_cost_is_high(self):
+        """The HistSketch trade-off the paper highlights: honest accuracy
+        needs a heavy slot per key, costing 16 + 4*num_bins bytes each."""
+        hs = HistSketch(memory_bytes=100_000, num_bins=16)
+        assert hs._slot_bytes == 16 + 64
+
+    def test_unseen_key(self):
+        hs = HistSketch(memory_bytes=64 * 1024, seed=6)
+        assert hs.quantile("nope", 0.5) == NEG_INF
+
+    def test_epsilon_respected(self):
+        hs = HistSketch(memory_bytes=64 * 1024, seed=7)
+        hs.insert("k", 5.0)
+        assert hs.quantile("k", 0.95, epsilon=30) == NEG_INF
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            HistSketch(memory_bytes=10_000, num_bins=1)
+        with pytest.raises(ParameterError):
+            HistSketch(memory_bytes=10_000, value_min=0.0)
+        with pytest.raises(ParameterError):
+            HistSketch(memory_bytes=10_000, vote_lambda=0.0)

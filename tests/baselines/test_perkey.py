@@ -1,0 +1,113 @@
+"""Tests for repro.baselines.perkey (the holistic approach)."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.baselines.perkey import ESTIMATOR_FACTORIES, PerKeyQuantileStore
+from repro.core.criteria import Criteria
+from repro.detection.adapters import QueryOnInsertAdapter
+from repro.detection.ground_truth import compute_ground_truth
+from repro.quantiles.base import NEG_INF
+from tests.conftest import make_two_class_stream
+
+
+class TestBasics:
+    @pytest.mark.parametrize("name", sorted(ESTIMATOR_FACTORIES))
+    def test_every_estimator_kind_works(self, name):
+        store = PerKeyQuantileStore(estimator=name)
+        for i in range(200):
+            store.insert("k", float(i % 500))
+        estimate = store.quantile("k", 0.5)
+        assert estimate != NEG_INF
+
+    def test_keys_isolated(self):
+        store = PerKeyQuantileStore(estimator="exact")
+        for _ in range(10):
+            store.insert("low", 1.0)
+            store.insert("high", 100.0)
+        assert store.quantile("low", 0.5) == 1.0
+        assert store.quantile("high", 0.5) == 100.0
+
+    def test_unseen_key(self):
+        store = PerKeyQuantileStore()
+        assert store.quantile("never", 0.5) == NEG_INF
+
+    def test_reset_key(self):
+        store = PerKeyQuantileStore(estimator="exact")
+        store.insert("k", 5.0)
+        assert store.reset_key("k")
+        assert store.quantile("k", 0.5) == NEG_INF
+        assert not store.reset_key("other")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            PerKeyQuantileStore(estimator="magic")
+        with pytest.raises(ParameterError):
+            PerKeyQuantileStore(max_keys=0)
+
+
+class TestFailureModes:
+    def test_memory_grows_with_key_count(self):
+        """The paper's 'intolerable storage demands': footprint scales
+        linearly with distinct keys."""
+        small = PerKeyQuantileStore(estimator="gk")
+        large = PerKeyQuantileStore(estimator="gk")
+        for key in range(100):
+            small.insert(key, 1.0)
+        for key in range(10_000):
+            large.insert(key, 1.0)
+        assert large.nbytes > 50 * small.nbytes
+        assert large.tracked_keys == 10_000
+
+    def test_admission_cap_drops_new_keys(self):
+        store = PerKeyQuantileStore(estimator="exact", max_keys=2)
+        store.insert("a", 1.0)
+        store.insert("b", 1.0)
+        store.insert("c", 99.0)  # dropped
+        assert store.tracked_keys == 2
+        assert store.dropped_items == 1
+        assert store.quantile("c", 0.5) == NEG_INF
+
+    def test_cap_causes_recall_collapse(self, py_random):
+        """With the cap, late-arriving hot keys are invisible — the
+        recall failure mode the module docstring describes."""
+        crit = Criteria(delta=0.9, threshold=100.0, epsilon=3.0)
+        items = [(f"cold-{i}", 1.0) for i in range(50)]
+        items += make_two_class_stream(py_random, n_items=2_000, n_keys=20,
+                                       n_hot=5, hot_value=500.0,
+                                       cold_max=50.0)
+        adapter = QueryOnInsertAdapter(
+            PerKeyQuantileStore(estimator="gk", max_keys=50), crit
+        )
+        for key, value in items:
+            adapter.process(key, value)
+        truth = compute_ground_truth(items, crit)
+        assert truth and not (truth & adapter.reported_keys)
+
+
+class TestAccuracyUnbounded:
+    def test_matches_truth_with_exact_estimators(self, py_random):
+        crit = Criteria(delta=0.9, threshold=100.0, epsilon=3.0)
+        items = make_two_class_stream(py_random, n_items=5_000, n_keys=50,
+                                      n_hot=5, hot_value=500.0, cold_max=50.0)
+        adapter = QueryOnInsertAdapter(
+            PerKeyQuantileStore(estimator="exact"), crit
+        )
+        for key, value in items:
+            adapter.process(key, value)
+        truth = compute_ground_truth(items, crit)
+        assert adapter.reported_keys == truth
+
+    def test_gk_estimators_close_to_truth(self, py_random):
+        crit = Criteria(delta=0.9, threshold=100.0, epsilon=3.0)
+        items = make_two_class_stream(py_random, n_items=5_000, n_keys=50,
+                                      n_hot=5, hot_value=500.0, cold_max=50.0)
+        adapter = QueryOnInsertAdapter(
+            PerKeyQuantileStore(estimator="gk"), crit
+        )
+        for key, value in items:
+            adapter.process(key, value)
+        truth = compute_ground_truth(items, crit)
+        assert truth <= adapter.reported_keys

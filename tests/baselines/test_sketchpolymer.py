@@ -1,0 +1,108 @@
+"""Tests for repro.baselines.sketchpolymer."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.baselines.sketchpolymer import SketchPolymer
+from repro.quantiles.base import NEG_INF
+
+
+class TestBucketing:
+    def test_bucket_monotone_in_value(self):
+        sp = SketchPolymer(memory_bytes=64 * 1024)
+        buckets = [sp.bucket_of(v) for v in (0.01, 1.0, 10.0, 100.0, 10_000.0)]
+        assert buckets == sorted(buckets)
+
+    def test_values_clamped_to_range(self):
+        sp = SketchPolymer(memory_bytes=64 * 1024, value_min=1.0, value_max=1024.0)
+        assert sp.bucket_of(0.0001) == 0
+        assert sp.bucket_of(1e9) == sp.num_buckets - 1
+
+    def test_bucket_upper_value_brackets(self):
+        sp = SketchPolymer(memory_bytes=64 * 1024, value_min=1.0, value_max=1024.0)
+        for value in (1.5, 3.0, 100.0, 900.0):
+            bucket = sp.bucket_of(value)
+            assert sp.bucket_upper_value(bucket) >= value * 0.99
+
+    def test_num_buckets_log_of_range(self):
+        sp = SketchPolymer(memory_bytes=64 * 1024, value_min=1.0, value_max=1024.0)
+        assert sp.num_buckets == 10
+
+
+class TestEarlyFilter:
+    def test_early_values_discarded(self):
+        """The skip filter is SketchPolymer's recall-error source."""
+        sp = SketchPolymer(memory_bytes=256 * 1024, skip_count=3, seed=1)
+        sp.insert("k", 100.0)
+        sp.insert("k", 100.0)
+        sp.insert("k", 100.0)
+        assert sp.quantile("k", 0.5) == NEG_INF  # nothing recorded yet
+        sp.insert("k", 100.0)
+        assert sp.quantile("k", 0.5) > 0
+
+    def test_skip_zero_records_everything(self):
+        sp = SketchPolymer(memory_bytes=256 * 1024, skip_count=0, seed=2)
+        sp.insert("k", 100.0)
+        assert sp.quantile("k", 0.5) > 0
+
+
+class TestQuantiles:
+    def test_tail_quantile_roughly_correct(self):
+        rng = random.Random(3)
+        sp = SketchPolymer(memory_bytes=512 * 1024, skip_count=0, seed=3)
+        values = [rng.uniform(1, 100) for _ in range(2_000)]
+        for value in values:
+            sp.insert("k", value)
+        estimate = sp.quantile("k", 0.95)
+        true = sorted(values)[int(0.95 * len(values))]
+        # Log2 buckets: estimate within a factor of ~2 of the truth.
+        assert true / 2 <= estimate <= true * 2.5
+
+    def test_low_memory_overestimates_tails(self):
+        """Collisions inflate counts -> tails pulled up -> the paper's
+        low-precision/high-recall regime."""
+        rng = random.Random(4)
+        tiny = SketchPolymer(memory_bytes=512, skip_count=0, seed=4)
+        big = SketchPolymer(memory_bytes=1 << 20, skip_count=0, seed=4)
+        for _ in range(5_000):
+            key = rng.randrange(500)
+            value = rng.uniform(1, 10)
+            tiny.insert(key, value)
+            big.insert(key, value)
+        probe_keys = list(range(50))
+        tiny_tails = [tiny.quantile(k, 0.95) for k in probe_keys]
+        big_tails = [big.quantile(k, 0.95) for k in probe_keys]
+        assert sum(tiny_tails) > sum(big_tails)
+
+    def test_epsilon_respected(self):
+        sp = SketchPolymer(memory_bytes=256 * 1024, skip_count=0, seed=5)
+        sp.insert("k", 100.0)
+        assert sp.quantile("k", 0.95, epsilon=30) == NEG_INF
+
+    def test_unseen_key_neg_inf_with_big_sketch(self):
+        sp = SketchPolymer(memory_bytes=1 << 20, skip_count=0, seed=6)
+        sp.insert("a", 5.0)
+        assert sp.quantile("zzz", 0.5) == NEG_INF
+
+    def test_reset_key_unsupported(self):
+        sp = SketchPolymer(memory_bytes=64 * 1024)
+        sp.insert("k", 5.0)
+        assert not sp.reset_key("k")
+
+
+class TestSizing:
+    def test_nbytes_within_budget(self):
+        sp = SketchPolymer(memory_bytes=100_000)
+        assert sp.nbytes <= 100_000
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            SketchPolymer(memory_bytes=10_000, value_min=0.0)
+        with pytest.raises(ParameterError):
+            SketchPolymer(memory_bytes=10_000, value_min=10.0, value_max=5.0)
+        with pytest.raises(ParameterError):
+            SketchPolymer(memory_bytes=10_000, skip_count=-1)
+        with pytest.raises(ParameterError):
+            SketchPolymer(memory_bytes=10_000, stage1_fraction=0.0)

@@ -1,0 +1,88 @@
+"""Tests for repro.baselines.squad."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.baselines.squad import Squad
+from repro.quantiles.base import NEG_INF
+
+
+class TestSquad:
+    def test_heavy_key_gets_summary(self):
+        squad = Squad(memory_bytes=64 * 1024, seed=1)
+        for i in range(500):
+            squad.insert("heavy", float(i))
+        assert squad.tracked_keys >= 1
+        median = squad.quantile("heavy", 0.5)
+        assert median == pytest.approx(250.0, abs=25.0)
+
+    def test_unseen_key_is_neg_inf(self):
+        squad = Squad(memory_bytes=64 * 1024, seed=1)
+        squad.insert("a", 1.0)
+        assert squad.quantile("never", 0.5) == NEG_INF
+
+    def test_light_key_answered_from_reservoir(self):
+        rng = random.Random(2)
+        squad = Squad(memory_bytes=256 * 1024, heavy_fraction=0.5, seed=2)
+        # One light key drowned among many heavy ones.
+        for _ in range(2_000):
+            squad.insert(rng.randrange(5), rng.uniform(0, 10))
+        for _ in range(200):
+            squad.insert("light", 100.0)
+        estimate = squad.quantile("light", 0.5)
+        # Either its own summary (if elected) or the reservoir: both
+        # should see only 100s for this key.
+        assert estimate == pytest.approx(100.0, abs=1.0) or estimate == NEG_INF
+
+    def test_eviction_drops_summary(self):
+        squad = Squad(memory_bytes=2_000, heavy_fraction=0.75, seed=3)
+        capacity = squad.heavy.capacity
+        for i in range(capacity + 5):
+            squad.insert(f"key-{i}", 1.0)
+        assert squad.tracked_keys <= capacity
+
+    def test_quantile_accuracy_on_tracked_key(self):
+        rng = random.Random(4)
+        squad = Squad(memory_bytes=128 * 1024, gk_eps=0.01, seed=4)
+        values = [rng.uniform(0, 1000) for _ in range(5_000)]
+        for value in values:
+            squad.insert("k", value)
+        ordered = sorted(values)
+        for delta in (0.5, 0.95):
+            estimate = squad.quantile("k", delta)
+            true = ordered[int(delta * len(ordered))]
+            assert estimate == pytest.approx(true, abs=60.0)
+
+    def test_reset_key_clears_tracked_summary(self):
+        squad = Squad(memory_bytes=64 * 1024, seed=5)
+        for i in range(100):
+            squad.insert("k", float(i))
+        assert squad.reset_key("k")
+        # The per-key summary forgets; the uniform reservoir cannot (it
+        # has no per-key index), so queries fall back to sampled values.
+        assert squad.summaries["k"].count == 0
+
+    def test_reset_key_untracked_returns_false(self):
+        squad = Squad(memory_bytes=64 * 1024, seed=6)
+        assert not squad.reset_key("nope")
+
+    def test_nbytes_grows_with_content(self):
+        squad = Squad(memory_bytes=64 * 1024, seed=7)
+        before = squad.nbytes
+        for i in range(1_000):
+            squad.insert("k", float(i))
+        assert squad.nbytes > before
+
+    def test_epsilon_respected(self):
+        squad = Squad(memory_bytes=64 * 1024, seed=8)
+        squad.insert("k", 100.0)
+        # One value with epsilon=30: index negative -> -inf.
+        assert squad.quantile("k", 0.95, epsilon=30) == NEG_INF
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            Squad(memory_bytes=100)
+        with pytest.raises(ParameterError):
+            Squad(memory_bytes=10_000, heavy_fraction=1.5)

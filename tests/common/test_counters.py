@@ -1,0 +1,133 @@
+"""Tests for repro.common.counters."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.common.counters import COUNTER_KINDS, CounterArray, probabilistic_round
+from repro.common.errors import ParameterError
+
+
+class TestProbabilisticRound:
+    def test_integer_passes_through(self):
+        rng = random.Random(1)
+        assert probabilistic_round(5.0, rng) == 5
+        assert probabilistic_round(-3.0, rng) == -3
+
+    def test_result_brackets_value(self):
+        rng = random.Random(2)
+        for _ in range(200):
+            value = rng.uniform(-10, 10)
+            rounded = probabilistic_round(value, rng)
+            assert rounded in (int(np.floor(value)), int(np.floor(value)) + 1)
+
+    def test_unbiased_mean(self):
+        rng = random.Random(3)
+        value = 2.3
+        samples = [probabilistic_round(value, rng) for _ in range(20_000)]
+        assert abs(np.mean(samples) - value) < 0.02
+
+    def test_unbiased_mean_negative(self):
+        rng = random.Random(4)
+        value = -1.25
+        samples = [probabilistic_round(value, rng) for _ in range(20_000)]
+        assert abs(np.mean(samples) - value) < 0.02
+
+
+class TestCounterArray:
+    def test_starts_at_zero(self):
+        counters = CounterArray(2, 3)
+        assert counters.get(0, 0) == 0.0
+        assert counters.get(1, 2) == 0.0
+
+    def test_integer_add(self):
+        counters = CounterArray(1, 1, kind="int32")
+        counters.add(0, 0, 5)
+        counters.add(0, 0, -2)
+        assert counters.get(0, 0) == 3
+
+    def test_fractional_add_expectation(self):
+        counters = CounterArray(1, 1, kind="int32", seed=5)
+        for _ in range(10_000):
+            counters.add(0, 0, 0.25)
+        assert abs(counters.get(0, 0) - 2_500) < 150
+
+    def test_float_kind_exact(self):
+        counters = CounterArray(1, 1, kind="float")
+        counters.add(0, 0, 0.25)
+        counters.add(0, 0, 0.25)
+        assert counters.get(0, 0) == pytest.approx(0.5)
+
+    def test_saturation_high(self):
+        counters = CounterArray(1, 1, kind="int8")
+        for _ in range(300):
+            counters.add(0, 0, 1)
+        assert counters.get(0, 0) == 127  # pinned, never wrapped
+
+    def test_saturation_low(self):
+        counters = CounterArray(1, 1, kind="int8")
+        for _ in range(300):
+            counters.add(0, 0, -1)
+        assert counters.get(0, 0) == -128
+
+    def test_no_rollover_from_max(self):
+        counters = CounterArray(1, 1, kind="int16")
+        counters.set(0, 0, 32767)
+        counters.add(0, 0, 1)
+        assert counters.get(0, 0) == 32767
+
+    def test_set_clamps(self):
+        counters = CounterArray(1, 1, kind="int8")
+        counters.set(0, 0, 1_000)
+        assert counters.get(0, 0) == 127
+        counters.set(0, 0, -1_000)
+        assert counters.get(0, 0) == -128
+
+    def test_clear(self):
+        counters = CounterArray(2, 2, kind="int32")
+        counters.add(1, 1, 7)
+        counters.clear()
+        assert counters.get(1, 1) == 0
+
+    def test_nbytes_by_kind(self):
+        assert CounterArray(2, 8, kind="int8").nbytes == 16
+        assert CounterArray(2, 8, kind="int16").nbytes == 32
+        assert CounterArray(2, 8, kind="int32").nbytes == 64
+        assert CounterArray(2, 8, kind="float").nbytes == 128
+
+    def test_saturation_fraction(self):
+        counters = CounterArray(1, 4, kind="int8")
+        counters.set(0, 0, 127)
+        counters.set(0, 1, -128)
+        assert counters.saturation_fraction() == pytest.approx(0.5)
+        assert CounterArray(1, 4, kind="float").saturation_fraction() == 0.0
+
+    def test_add_batch_accumulates_duplicates(self):
+        counters = CounterArray(2, 4, kind="int32")
+        rows = np.array([0, 0, 1, 0])
+        cols = np.array([1, 1, 2, 3])
+        deltas = np.array([2.0, 3.0, -1.0, 4.0])
+        counters.add_batch(rows, cols, deltas)
+        assert counters.get(0, 1) == 5
+        assert counters.get(1, 2) == -1
+        assert counters.get(0, 3) == 4
+
+    def test_add_batch_clamps(self):
+        counters = CounterArray(1, 1, kind="int8")
+        counters.add_batch(np.zeros(3, int), np.zeros(3, int), np.full(3, 100.0))
+        assert counters.get(0, 0) == 127
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ParameterError):
+            CounterArray(1, 1, kind="int128")
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ParameterError):
+            CounterArray(0, 5)
+
+    def test_all_kinds_constructible(self):
+        for kind in COUNTER_KINDS:
+            counters = CounterArray(1, 2, kind=kind)
+            counters.add(0, 0, 1)
+            assert counters.get(0, 0) == 1

@@ -1,0 +1,182 @@
+"""Tests for repro.common.hashing."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.common.hashing import (
+    FingerprintHasher,
+    HashFamily,
+    SignHashFamily,
+    canonical_key,
+    canonical_keys,
+    mix64,
+    _mix64_array,
+)
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_different_inputs_differ(self):
+        assert mix64(1) != mix64(2)
+
+    def test_output_fits_64_bits(self):
+        for x in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= mix64(x) < 2**64
+
+    def test_avalanche_single_bit_flip(self):
+        # Flipping one input bit should flip roughly half the output bits.
+        base = mix64(0xDEADBEEF)
+        flipped = mix64(0xDEADBEEF ^ 1)
+        differing = bin(base ^ flipped).count("1")
+        assert 16 <= differing <= 48
+
+    def test_vector_matches_scalar(self):
+        xs = np.array([0, 1, 7, 2**40, 2**64 - 1], dtype=np.uint64)
+        vector = _mix64_array(xs)
+        for x, v in zip(xs.tolist(), vector.tolist()):
+            assert mix64(int(x)) == int(v)
+
+
+class TestCanonicalKey:
+    def test_int_and_numpy_int_agree(self):
+        assert canonical_key(42) == canonical_key(np.int64(42))
+
+    def test_str_stable(self):
+        assert canonical_key("flow-1") == canonical_key("flow-1")
+
+    def test_str_and_bytes_utf8_agree(self):
+        assert canonical_key("abc") == canonical_key(b"abc")
+
+    def test_tuple_supported(self):
+        five_tuple = (10, 20, 80, 443, 6)
+        assert canonical_key(five_tuple) == canonical_key(five_tuple)
+
+    def test_tuple_order_matters(self):
+        assert canonical_key((1, 2)) != canonical_key((2, 1))
+
+    def test_distinct_keys_rarely_collide(self):
+        seen = {canonical_key(i) for i in range(10_000)}
+        assert len(seen) == 10_000
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(ParameterError):
+            canonical_key(3.14)
+
+    def test_batch_int_array_matches_scalar(self):
+        keys = np.arange(100, dtype=np.int64)
+        batch = canonical_keys(keys)
+        for key, canon in zip(keys.tolist(), batch.tolist()):
+            assert canonical_key(key) == int(canon)
+
+    def test_batch_generic_iterable(self):
+        batch = canonical_keys(["a", "b"])
+        assert int(batch[0]) == canonical_key("a")
+        assert int(batch[1]) == canonical_key("b")
+
+
+class TestHashFamily:
+    def test_indices_within_width(self):
+        family = HashFamily(depth=4, width=97, seed=1)
+        for key in range(1000):
+            for index in family.indices(canonical_key(key)):
+                assert 0 <= index < 97
+
+    def test_rows_are_different_functions(self):
+        family = HashFamily(depth=2, width=1 << 20, seed=1)
+        same = sum(
+            1
+            for key in range(500)
+            if family.index(0, canonical_key(key)) == family.index(1, canonical_key(key))
+        )
+        assert same < 5  # rows collide only by chance
+
+    def test_seed_changes_mapping(self):
+        a = HashFamily(depth=1, width=1 << 16, seed=1)
+        b = HashFamily(depth=1, width=1 << 16, seed=2)
+        differing = sum(
+            1
+            for key in range(200)
+            if a.index(0, canonical_key(key)) != b.index(0, canonical_key(key))
+        )
+        assert differing > 190
+
+    def test_batch_matches_scalar(self):
+        family = HashFamily(depth=3, width=101, seed=7)
+        keys = canonical_keys(np.arange(50, dtype=np.int64))
+        batch = family.indices_batch(keys)
+        assert batch.shape == (3, 50)
+        for col, key in enumerate(keys.tolist()):
+            assert family.indices(int(key)) == batch[:, col].tolist()
+
+    def test_distribution_roughly_uniform(self):
+        family = HashFamily(depth=1, width=16, seed=3)
+        counts = [0] * 16
+        for key in range(16_000):
+            counts[family.index(0, canonical_key(key))] += 1
+        assert min(counts) > 700 and max(counts) < 1300
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            HashFamily(depth=0, width=10)
+        with pytest.raises(ParameterError):
+            HashFamily(depth=1, width=0)
+
+
+class TestSignHashFamily:
+    def test_signs_are_plus_minus_one(self):
+        family = SignHashFamily(depth=3, seed=1)
+        for key in range(100):
+            assert set(family.signs(canonical_key(key))) <= {-1, 1}
+
+    def test_roughly_balanced(self):
+        family = SignHashFamily(depth=1, seed=5)
+        positives = sum(
+            1 for key in range(10_000) if family.sign(0, canonical_key(key)) == 1
+        )
+        assert 4_500 < positives < 5_500
+
+    def test_batch_matches_scalar(self):
+        family = SignHashFamily(depth=4, seed=9)
+        keys = canonical_keys(np.arange(64, dtype=np.int64))
+        batch = family.signs_batch(keys)
+        for col, key in enumerate(keys.tolist()):
+            assert family.signs(int(key)) == batch[:, col].tolist()
+
+    def test_invalid_depth(self):
+        with pytest.raises(ParameterError):
+            SignHashFamily(depth=0)
+
+
+class TestFingerprintHasher:
+    def test_never_zero(self):
+        hasher = FingerprintHasher(bits=8, seed=1)
+        assert all(hasher.fingerprint(canonical_key(k)) != 0 for k in range(5_000))
+
+    def test_fits_bit_width(self):
+        hasher = FingerprintHasher(bits=16, seed=2)
+        assert all(
+            1 <= hasher.fingerprint(canonical_key(k)) < (1 << 16)
+            for k in range(1_000)
+        )
+
+    def test_collision_rate_matches_width(self):
+        hasher = FingerprintHasher(bits=16, seed=3)
+        fps = [hasher.fingerprint(canonical_key(k)) for k in range(2_000)]
+        # Birthday bound: ~2000^2 / (2*65536) ~ 30 colliding pairs max.
+        assert len(set(fps)) > 1_950
+
+    def test_batch_matches_scalar(self):
+        hasher = FingerprintHasher(bits=16, seed=4)
+        keys = canonical_keys(np.arange(128, dtype=np.int64))
+        batch = hasher.fingerprints_batch(keys)
+        for key, fp in zip(keys.tolist(), batch.tolist()):
+            assert hasher.fingerprint(int(key)) == int(fp)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ParameterError):
+            FingerprintHasher(bits=0)
+        with pytest.raises(ParameterError):
+            FingerprintHasher(bits=65)

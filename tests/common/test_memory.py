@@ -1,0 +1,94 @@
+"""Tests for repro.common.memory."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.common.memory import (
+    MemoryModel,
+    bits_to_bytes,
+    sizeof_counter,
+    split_budget,
+)
+
+
+class TestSizeofCounter:
+    def test_known_kinds(self):
+        assert sizeof_counter("int8") == 1
+        assert sizeof_counter("int16") == 2
+        assert sizeof_counter("int32") == 4
+        assert sizeof_counter("int64") == 8
+        assert sizeof_counter("float") == 8
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ParameterError):
+            sizeof_counter("decimal")
+
+
+class TestBitsToBytes:
+    def test_exact_bytes(self):
+        assert bits_to_bytes(16) == 2
+        assert bits_to_bytes(8) == 1
+
+    def test_rounds_up(self):
+        assert bits_to_bytes(9) == 2
+        assert bits_to_bytes(1) == 1
+
+    def test_zero(self):
+        assert bits_to_bytes(0) == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ParameterError):
+            bits_to_bytes(-1)
+
+
+class TestMemoryModel:
+    def test_total_is_sum(self):
+        model = MemoryModel()
+        model.add("candidate", 100)
+        model.add("vague", 25)
+        assert model.total_bytes == 125
+
+    def test_add_accumulates_same_name(self):
+        model = MemoryModel()
+        model.add("part", 10)
+        model.add("part", 5)
+        assert model.breakdown() == {"part": 15}
+
+    def test_negative_size_raises(self):
+        model = MemoryModel()
+        with pytest.raises(ParameterError):
+            model.add("bad", -1)
+
+    def test_empty_total(self):
+        assert MemoryModel().total_bytes == 0
+
+
+class TestSplitBudget:
+    def test_default_paper_split(self):
+        candidate, vague = split_budget(1000, 0.8)
+        assert candidate == 800
+        assert vague == 200
+
+    def test_parts_cover_budget(self):
+        candidate, vague = split_budget(12345, 0.8)
+        assert candidate + vague == 12345
+
+    def test_tiny_budget_keeps_both_parts_alive(self):
+        candidate, vague = split_budget(2, 0.8)
+        assert candidate >= 1 and vague >= 1
+
+    def test_extreme_fractions(self):
+        candidate, vague = split_budget(100, 0.99)
+        assert vague >= 1
+        candidate, vague = split_budget(100, 0.01)
+        assert candidate >= 1
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ParameterError):
+            split_budget(100, 0.0)
+        with pytest.raises(ParameterError):
+            split_budget(100, 1.0)
+
+    def test_too_small_budget_raises(self):
+        with pytest.raises(ParameterError):
+            split_budget(1, 0.5)

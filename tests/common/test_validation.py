@@ -1,0 +1,85 @@
+"""Tests for repro.common.validation."""
+
+import pytest
+
+from repro.common.errors import ParameterError, ReproError
+from repro.common.validation import (
+    require_in_open_unit_interval,
+    require_non_negative,
+    require_positive_int,
+    require_probability,
+)
+
+
+class TestRequirePositiveInt:
+    def test_accepts_positive(self):
+        assert require_positive_int("n", 3) == 3
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ParameterError):
+            require_positive_int("n", 0)
+        with pytest.raises(ParameterError):
+            require_positive_int("n", -1)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ParameterError):
+            require_positive_int("n", True)
+
+    def test_rejects_float(self):
+        with pytest.raises(ParameterError):
+            require_positive_int("n", 3.0)
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ParameterError, match="width"):
+            require_positive_int("width", -1)
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero_and_positive(self):
+        assert require_non_negative("x", 0) == 0.0
+        assert require_non_negative("x", 2.5) == 2.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            require_non_negative("x", -0.1)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ParameterError):
+            require_non_negative("x", "many")
+
+
+class TestOpenUnitInterval:
+    def test_accepts_interior(self):
+        assert require_in_open_unit_interval("delta", 0.95) == 0.95
+
+    def test_rejects_bounds(self):
+        with pytest.raises(ParameterError):
+            require_in_open_unit_interval("delta", 0.0)
+        with pytest.raises(ParameterError):
+            require_in_open_unit_interval("delta", 1.0)
+
+
+class TestRequireProbability:
+    def test_accepts_bounds(self):
+        assert require_probability("p", 0.0) == 0.0
+        assert require_probability("p", 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ParameterError):
+            require_probability("p", 1.1)
+        with pytest.raises(ParameterError):
+            require_probability("p", -0.1)
+
+
+class TestErrorHierarchy:
+    def test_parameter_error_is_repro_and_value_error(self):
+        assert issubclass(ParameterError, ReproError)
+        assert issubclass(ParameterError, ValueError)
+
+    def test_catchable_as_family(self):
+        try:
+            require_positive_int("n", 0)
+        except ReproError:
+            pass
+        else:  # pragma: no cover
+            pytest.fail("ParameterError should be caught as ReproError")

@@ -1,0 +1,83 @@
+"""Tests for repro.core.criteria."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.core.criteria import Criteria
+
+
+class TestConstruction:
+    def test_derived_weights_delta_095(self):
+        crit = Criteria(delta=0.95, threshold=200.0, epsilon=30.0)
+        assert crit.positive_weight == pytest.approx(19.0)
+        assert crit.report_threshold == pytest.approx(600.0)
+
+    def test_derived_weights_delta_09(self):
+        crit = Criteria(delta=0.9, threshold=70.0, epsilon=5.0)
+        assert crit.positive_weight == pytest.approx(9.0)
+        assert crit.report_threshold == pytest.approx(50.0)  # the paper's Fig. 3
+
+    def test_epsilon_zero_threshold_zero(self):
+        crit = Criteria(delta=0.5, threshold=3.0)
+        assert crit.report_threshold == 0.0
+        assert crit.positive_weight == pytest.approx(1.0)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ParameterError):
+            Criteria(delta=0.0, threshold=1.0)
+        with pytest.raises(ParameterError):
+            Criteria(delta=1.0, threshold=1.0)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ParameterError):
+            Criteria(delta=0.5, threshold=1.0, epsilon=-1.0)
+
+    def test_frozen(self):
+        crit = Criteria(delta=0.5, threshold=1.0)
+        with pytest.raises(AttributeError):
+            crit.delta = 0.9
+
+    def test_hashable_and_equal(self):
+        a = Criteria(delta=0.5, threshold=1.0, epsilon=2.0)
+        b = Criteria(delta=0.5, threshold=1.0, epsilon=2.0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestItemWeight:
+    def test_above_threshold(self):
+        crit = Criteria(delta=0.9, threshold=100.0)
+        assert crit.item_weight(100.1) == pytest.approx(9.0)
+
+    def test_at_threshold_counts_as_below(self):
+        crit = Criteria(delta=0.9, threshold=100.0)
+        assert crit.item_weight(100.0) == -1.0
+
+    def test_below_threshold(self):
+        crit = Criteria(delta=0.9, threshold=100.0)
+        assert crit.item_weight(0.0) == -1.0
+
+
+class TestWithUpdates:
+    def test_change_one_field(self):
+        crit = Criteria(delta=0.95, threshold=200.0, epsilon=30.0)
+        modified = crit.with_updates(epsilon=60.0)
+        assert modified.epsilon == 60.0
+        assert modified.delta == crit.delta
+        assert modified.threshold == crit.threshold
+        assert modified.report_threshold == pytest.approx(1200.0)
+
+    def test_change_delta_recomputes_weight(self):
+        crit = Criteria(delta=0.95, threshold=200.0, epsilon=30.0)
+        modified = crit.with_updates(delta=0.5)
+        assert modified.positive_weight == pytest.approx(1.0)
+
+    def test_unknown_field_raises(self):
+        crit = Criteria(delta=0.5, threshold=1.0)
+        with pytest.raises(ParameterError):
+            crit.with_updates(gamma=1.0)
+
+    def test_original_untouched(self):
+        crit = Criteria(delta=0.5, threshold=1.0)
+        crit.with_updates(threshold=9.0)
+        assert crit.threshold == 1.0

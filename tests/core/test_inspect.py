@@ -1,0 +1,72 @@
+"""Tests for repro.core.inspect."""
+
+import random
+
+from repro.core.criteria import Criteria
+from repro.core.inspect import describe, health_warnings
+from repro.core.quantile_filter import QuantileFilter
+
+CRIT = Criteria(delta=0.95, threshold=200.0, epsilon=10.0)
+
+
+def warm_filter(**kwargs) -> QuantileFilter:
+    defaults = dict(memory_bytes=16 * 1024, seed=1)
+    defaults.update(kwargs)
+    qf = QuantileFilter(CRIT, **defaults)
+    rng = random.Random(2)
+    for _ in range(5_000):
+        key = rng.randrange(100)
+        value = 500.0 if key < 5 else rng.uniform(0, 150)
+        qf.insert(key, value)
+    return qf
+
+
+class TestDescribe:
+    def test_contains_all_sections(self):
+        report = describe(warm_filter())
+        for fragment in ("QuantileFilter", "criteria:", "candidate:",
+                         "vague [cs]:", "traffic:", "candidate Qweights"):
+            assert fragment in report
+
+    def test_healthy_filter_reports_ok(self):
+        report = describe(warm_filter())
+        assert "health: ok" in report
+
+    def test_top_k_limit(self):
+        report = describe(warm_filter(), top_k=2)
+        assert report.count("fp=0x") == 2
+
+    def test_empty_filter(self):
+        qf = QuantileFilter(CRIT, memory_bytes=8_192)
+        report = describe(qf)
+        assert "0 items" in report or "traffic: 0" in report
+
+
+class TestHealthWarnings:
+    def test_healthy(self):
+        assert health_warnings(warm_filter()) == []
+
+    def test_low_hit_rate_warns(self):
+        """A candidate part far too small for the key population."""
+        qf = QuantileFilter(CRIT, num_buckets=1, bucket_size=1,
+                            vague_width=256, seed=3)
+        rng = random.Random(4)
+        for i in range(3_000):
+            qf.insert(f"churn-{i}", rng.uniform(0, 150))
+        warnings = health_warnings(qf)
+        assert any("hit rate" in w for w in warnings)
+
+    def test_saturation_warns(self):
+        qf = QuantileFilter(CRIT, num_buckets=1, bucket_size=1,
+                            vague_width=2, counter_kind="int8", seed=5)
+        qf.candidate.set_entry(0, 0, fingerprint=1, qweight=1e18)
+        for _ in range(2_000):
+            qf.insert("overflow", 500.0)
+        warnings = health_warnings(qf)
+        assert any("saturated" in w for w in warnings)
+
+    def test_no_warnings_before_enough_traffic(self):
+        qf = QuantileFilter(CRIT, num_buckets=1, bucket_size=1,
+                            vague_width=2, counter_kind="int8")
+        qf.insert("a", 1.0)
+        assert health_warnings(qf) == []

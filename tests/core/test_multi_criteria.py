@@ -1,0 +1,96 @@
+"""Tests for repro.core.multi_criteria."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.core.criteria import Criteria
+from repro.core.multi_criteria import MultiCriteriaFilter
+
+
+def two_criteria():
+    return [
+        Criteria(delta=0.99, threshold=100.0, epsilon=2.0),   # strict tail
+        Criteria(delta=0.5, threshold=300.0, epsilon=2.0),    # median spike
+    ]
+
+
+class TestMultiCriteriaFilter:
+    def test_requires_criteria(self):
+        with pytest.raises(ParameterError):
+            MultiCriteriaFilter([], memory_bytes=8_192)
+
+    def test_reports_identify_criterion(self):
+        mcf = MultiCriteriaFilter(two_criteria(), memory_bytes=128 * 1024)
+        # Values above 100 but below 300: only criterion 0 can fire.
+        hits = []
+        for _ in range(30):
+            hits.extend(mcf.insert("k", 200.0))
+        fired = {index for index, _ in hits}
+        assert fired == {0}
+
+    def test_both_criteria_can_fire(self):
+        mcf = MultiCriteriaFilter(two_criteria(), memory_bytes=128 * 1024)
+        hits = []
+        for _ in range(30):
+            hits.extend(mcf.insert("k", 500.0))  # above both thresholds
+        fired = {index for index, _ in hits}
+        assert fired == {0, 1}
+
+    def test_report_carries_original_key(self):
+        mcf = MultiCriteriaFilter(two_criteria(), memory_bytes=128 * 1024)
+        report = None
+        for _ in range(30):
+            results = mcf.insert("flow-7", 500.0)
+            if results:
+                report = results[0][1]
+                break
+        assert report is not None
+        assert report.key == "flow-7"
+
+    def test_reported_by_criterion_sets(self):
+        mcf = MultiCriteriaFilter(two_criteria(), memory_bytes=128 * 1024)
+        for _ in range(30):
+            mcf.insert("a", 200.0)   # fires criterion 0 only
+            mcf.insert("b", 500.0)   # fires both
+        assert "a" in mcf.reported_by_criterion[0]
+        assert "a" not in mcf.reported_by_criterion[1]
+        assert "b" in mcf.reported_by_criterion[0]
+        assert "b" in mcf.reported_by_criterion[1]
+
+    def test_query_per_criterion(self):
+        mcf = MultiCriteriaFilter(two_criteria(), memory_bytes=128 * 1024)
+        mcf.insert("k", 200.0)
+        # Criterion 0 (delta=0.99): above -> +99; criterion 1: below -> -1.
+        assert mcf.query("k", 0) == pytest.approx(99.0)
+        assert mcf.query("k", 1) == pytest.approx(-1.0)
+
+    def test_delete_per_criterion(self):
+        mcf = MultiCriteriaFilter(two_criteria(), memory_bytes=128 * 1024)
+        mcf.insert("k", 200.0)
+        mcf.delete("k", 0)
+        assert mcf.query("k", 0) == pytest.approx(0.0)
+        assert mcf.query("k", 1) == pytest.approx(-1.0)
+
+    def test_invalid_criterion_index(self):
+        mcf = MultiCriteriaFilter(two_criteria(), memory_bytes=8_192)
+        with pytest.raises(ParameterError):
+            mcf.query("k", 5)
+
+    def test_tuple_keys_compose(self):
+        mcf = MultiCriteriaFilter(two_criteria(), memory_bytes=128 * 1024)
+        fired = []
+        for _ in range(30):
+            fired.extend(mcf.insert((10, 20, 80), 500.0))
+        assert any(report.key == (10, 20, 80) for _, report in fired)
+
+    def test_items_processed_counts_data_items(self):
+        mcf = MultiCriteriaFilter(two_criteria(), memory_bytes=8_192)
+        for _ in range(5):
+            mcf.insert("k", 1.0)
+        assert mcf.items_processed == 5
+
+    def test_reset(self):
+        mcf = MultiCriteriaFilter(two_criteria(), memory_bytes=128 * 1024)
+        mcf.insert("k", 200.0)
+        mcf.reset()
+        assert mcf.query("k", 0) == pytest.approx(0.0)

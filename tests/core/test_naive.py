@@ -1,0 +1,77 @@
+"""Tests for repro.core.naive (the Section II-D strawman)."""
+
+import pytest
+
+from repro.core.criteria import Criteria
+from repro.core.naive import NaiveDualCSketch
+from repro.detection.ground_truth import compute_ground_truth
+from tests.conftest import make_two_class_stream
+
+
+class TestNaiveDualCSketch:
+    def test_detects_obvious_outstanding_key(self):
+        crit = Criteria(delta=0.5, threshold=10.0, epsilon=2.0)
+        naive = NaiveDualCSketch(crit, memory_bytes=64 * 1024, seed=1)
+        for _ in range(20):
+            naive.insert("hot", 100.0)
+        assert "hot" in naive.reported_keys
+
+    def test_ignores_cold_key(self):
+        crit = Criteria(delta=0.5, threshold=10.0, epsilon=2.0)
+        naive = NaiveDualCSketch(crit, memory_bytes=64 * 1024, seed=1)
+        for _ in range(50):
+            naive.insert("cold", 1.0)
+        assert naive.reported_keys == set()
+
+    def test_matches_truth_with_ample_memory(self, py_random):
+        crit = Criteria(delta=0.9, threshold=100.0, epsilon=3.0)
+        items = make_two_class_stream(py_random, n_items=8_000, n_keys=80,
+                                      n_hot=4, hot_value=500.0, cold_max=50.0)
+        naive = NaiveDualCSketch(crit, memory_bytes=512 * 1024, seed=2)
+        for key, value in items:
+            naive.insert(key, value)
+        truth = compute_ground_truth(items, crit)
+        assert naive.reported_keys == truth
+
+    def test_query_sign(self):
+        crit = Criteria(delta=0.95, threshold=100.0, epsilon=1000.0)
+        naive = NaiveDualCSketch(crit, memory_bytes=64 * 1024, seed=3)
+        naive.insert("k", 500.0)
+        assert naive.query("k") > 0
+        for _ in range(5):
+            naive.insert("j", 1.0)
+        assert naive.query("j") < 0
+
+    def test_per_item_criteria_override(self):
+        default = Criteria(delta=0.95, threshold=100.0, epsilon=1000.0)
+        strict = Criteria(delta=0.5, threshold=10.0, epsilon=0.0)
+        naive = NaiveDualCSketch(default, memory_bytes=64 * 1024, seed=4)
+        report = naive.insert("k", 50.0, criteria=strict)
+        assert report is not None
+
+    def test_reset(self):
+        crit = Criteria(delta=0.95, threshold=100.0, epsilon=1000.0)
+        naive = NaiveDualCSketch(crit, memory_bytes=64 * 1024, seed=5)
+        naive.insert("k", 500.0)
+        naive.reset()
+        assert naive.query("k") == pytest.approx(0.0)
+
+    def test_nbytes_within_budget(self):
+        crit = Criteria(delta=0.95, threshold=100.0)
+        naive = NaiveDualCSketch(crit, memory_bytes=10_000)
+        assert naive.nbytes <= 10_000
+
+    def test_above_fraction_split(self):
+        crit = Criteria(delta=0.95, threshold=100.0)
+        naive = NaiveDualCSketch(
+            crit, memory_bytes=12_000, above_fraction=0.25
+        )
+        assert naive.above.nbytes < naive.below.nbytes
+
+    def test_report_count_and_items(self):
+        crit = Criteria(delta=0.5, threshold=10.0, epsilon=0.0)
+        naive = NaiveDualCSketch(crit, memory_bytes=64 * 1024, seed=6)
+        naive.insert("a", 99.0)
+        naive.insert("b", 1.0)
+        assert naive.items_processed == 2
+        assert naive.report_count == 1

@@ -1,0 +1,126 @@
+"""Tests for repro.core.qweight — including the conversion lemma."""
+
+import random
+
+import pytest
+
+from repro.core.criteria import Criteria
+from repro.core.qweight import (
+    ExactQweightTracker,
+    counts_exceed_threshold,
+    exact_qweight,
+    qweight_exceeds_report_threshold,
+    qweight_from_counts,
+    quantile_exceeds_threshold,
+)
+
+
+class TestExactQweight:
+    def test_paper_figure3_case_a(self):
+        """Fig. 3: delta=0.9, one above-T item contributes +9."""
+        crit = Criteria(delta=0.9, threshold=10.0, epsilon=5.0)
+        assert exact_qweight([11.0], crit) == pytest.approx(9.0)
+
+    def test_mixed_values(self):
+        crit = Criteria(delta=0.9, threshold=10.0)
+        # two above (+9 each), three below (-1 each)
+        values = [20.0, 15.0, 1.0, 2.0, 3.0]
+        assert exact_qweight(values, crit) == pytest.approx(15.0)
+
+    def test_counts_form_agrees(self):
+        crit = Criteria(delta=0.8, threshold=5.0)
+        values = [1.0, 6.0, 7.0, 2.0]
+        assert qweight_from_counts(4, 2, crit) == pytest.approx(
+            exact_qweight(values, crit)
+        )
+
+
+class TestConversionLemma:
+    """The paper's Sec. III-A equivalence, checked exhaustively."""
+
+    @pytest.mark.parametrize("delta", [0.5, 0.75, 0.9, 0.95, 0.99])
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, 3.0])
+    def test_equivalence_exhaustive_counts(self, delta, epsilon):
+        crit = Criteria(delta=delta, threshold=10.0, epsilon=epsilon)
+        for n in range(1, 60):
+            for above in range(0, n + 1):
+                values = [20.0] * above + [1.0] * (n - above)
+                quantile_side = quantile_exceeds_threshold(values, crit)
+                qweight_side = qweight_exceeds_report_threshold(values, crit)
+                assert quantile_side == qweight_side, (
+                    f"delta={delta} eps={epsilon} n={n} above={above}: "
+                    f"quantile={quantile_side} qweight={qweight_side}"
+                )
+
+    def test_counts_form_matches_value_form(self):
+        rng = random.Random(3)
+        crit = Criteria(delta=0.9, threshold=50.0, epsilon=2.0)
+        for _ in range(300):
+            n = rng.randrange(1, 40)
+            values = [rng.uniform(0, 100) for _ in range(n)]
+            above = sum(1 for v in values if v > crit.threshold)
+            assert counts_exceed_threshold(n, above, crit) == (
+                quantile_exceeds_threshold(values, crit)
+            )
+
+    def test_values_at_threshold_do_not_count(self):
+        crit = Criteria(delta=0.5, threshold=10.0)
+        # All values exactly at T: quantile is 10, not > 10.
+        assert not quantile_exceeds_threshold([10.0] * 5, crit)
+        assert not qweight_exceeds_report_threshold([10.0] * 5, crit)
+
+
+class TestExactQweightTracker:
+    def test_paper_figure1_example(self):
+        """Fig. 1's user A is reported under (0, 0.5, 3).
+
+        The figure narrates the report at A's third item (value set
+        {1, 5, 9}), but by Definition 4 the report already fires at the
+        second: {1, 5} has index floor(0.5*2) = 1, value 5 > 3.  After
+        the reset, the third item {9} fires again.  Either way A is
+        reported and B is not — the figure's point.
+        """
+        crit = Criteria(delta=0.5, threshold=3.0, epsilon=0.0)
+        tracker = ExactQweightTracker(crit)
+        assert not tracker.offer(1.0)
+        assert tracker.offer(5.0)
+        assert tracker.offer(9.0)
+
+    def test_paper_figure1_user_b_not_reported(self):
+        crit = Criteria(delta=0.5, threshold=3.0, epsilon=0.0)
+        tracker = ExactQweightTracker(crit)
+        assert not tracker.offer(1.0)
+        assert not tracker.offer(1.0)
+
+    def test_reset_after_report(self):
+        crit = Criteria(delta=0.5, threshold=3.0, epsilon=0.0)
+        tracker = ExactQweightTracker(crit)
+        tracker.offer(9.0)  # single high value reports immediately (eps=0)
+        assert tracker.n == 0 and tracker.above == 0
+
+    def test_report_cadence_bounded_by_epsilon(self):
+        """Reports occur less often than every epsilon items (Sec. II-A)."""
+        crit = Criteria(delta=0.5, threshold=10.0, epsilon=5.0)
+        tracker = ExactQweightTracker(crit)
+        report_indices = []
+        for index in range(200):
+            if tracker.offer(100.0):
+                report_indices.append(index)
+        gaps = [
+            b - a for a, b in zip(report_indices, report_indices[1:])
+        ]
+        assert all(gap >= 5 for gap in gaps)
+
+    def test_qweight_property(self):
+        crit = Criteria(delta=0.9, threshold=10.0, epsilon=100.0)
+        tracker = ExactQweightTracker(crit)
+        tracker.offer(20.0)
+        tracker.offer(1.0)
+        assert tracker.qweight == pytest.approx(8.0)
+
+    def test_manual_reset(self):
+        crit = Criteria(delta=0.9, threshold=10.0, epsilon=100.0)
+        tracker = ExactQweightTracker(crit)
+        tracker.offer(20.0)
+        tracker.reset()
+        assert tracker.qweight == 0.0

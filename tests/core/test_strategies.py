@@ -1,0 +1,72 @@
+"""Tests for repro.core.strategies."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.core.strategies import (
+    ComparativeReplacement,
+    ForcefulReplacement,
+    ProbabilisticReplacement,
+    make_strategy,
+    strategy_names,
+)
+
+
+class TestComparative:
+    def test_strictly_greater_swaps(self):
+        strategy = ComparativeReplacement()
+        assert strategy.should_replace(5.0, 3.0)
+        assert strategy.should_replace(0.0, -2.0)
+
+    def test_equal_or_less_keeps(self):
+        strategy = ComparativeReplacement()
+        assert not strategy.should_replace(3.0, 3.0)
+        assert not strategy.should_replace(-1.0, 3.0)
+
+
+class TestForceful:
+    def test_always_swaps(self):
+        strategy = ForcefulReplacement()
+        assert strategy.should_replace(-100.0, 100.0)
+        assert strategy.should_replace(0.0, 0.0)
+
+
+class TestProbabilistic:
+    def test_non_positive_estimate_never_swaps(self):
+        strategy = ProbabilisticReplacement(seed=1)
+        assert not any(strategy.should_replace(0.0, 5.0) for _ in range(100))
+        assert not any(strategy.should_replace(-3.0, 5.0) for _ in range(100))
+
+    def test_dominant_estimate_always_swaps(self):
+        # est positive, min so negative that est + min <= 0: ratio > 1.
+        strategy = ProbabilisticReplacement(seed=2)
+        assert all(strategy.should_replace(5.0, -10.0) for _ in range(100))
+
+    def test_probability_matches_formula(self):
+        strategy = ProbabilisticReplacement(seed=3)
+        est, min_qw = 3.0, 1.0  # probability 3/4
+        swaps = sum(strategy.should_replace(est, min_qw) for _ in range(10_000))
+        assert abs(swaps / 10_000 - 0.75) < 0.03
+
+    def test_seeded_reproducible(self):
+        a = ProbabilisticReplacement(seed=7)
+        b = ProbabilisticReplacement(seed=7)
+        outcomes_a = [a.should_replace(2.0, 1.0) for _ in range(50)]
+        outcomes_b = [b.should_replace(2.0, 1.0) for _ in range(50)]
+        assert outcomes_a == outcomes_b
+
+
+class TestFactory:
+    def test_make_all_names(self):
+        for name in strategy_names():
+            strategy = make_strategy(name, seed=1)
+            assert strategy.name == name
+
+    def test_registry_contents(self):
+        assert set(strategy_names()) == {
+            "comparative", "probabilistic", "forceful"
+        }
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ParameterError):
+            make_strategy("greedy")

@@ -1,0 +1,116 @@
+"""Tests for repro.core.vectorized — batch/scalar equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.core.criteria import Criteria
+from repro.core.quantile_filter import QuantileFilter
+from repro.core.vectorized import BatchQuantileFilter
+
+
+def make_stream(seed: int, n: int = 20_000, n_keys: int = 500, n_hot: int = 20):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, n_keys, size=n)
+    values = np.where(keys < n_hot, 500.0, rng.uniform(0, 150, size=n))
+    return keys.astype(np.int64), values
+
+
+class TestEquivalenceWithScalar:
+    """The batch engine must report exactly what the scalar filter
+    (float counters, same seed) reports — item-for-item semantics."""
+
+    @pytest.mark.parametrize("dims", [(8, 32), (64, 256), (512, 2_048)])
+    def test_reported_sets_identical(self, dims):
+        num_buckets, vague_width = dims
+        crit = Criteria(delta=0.95, threshold=200.0, epsilon=5.0)
+        keys, values = make_stream(seed=1)
+        scalar = QuantileFilter(
+            crit, num_buckets=num_buckets, vague_width=vague_width,
+            counter_kind="float", seed=9,
+        )
+        for key, value in zip(keys.tolist(), values.tolist()):
+            scalar.insert(key, value)
+        batch = BatchQuantileFilter(
+            crit, num_buckets=num_buckets, vague_width=vague_width, seed=9
+        )
+        batch.process(keys, values)
+        assert batch.reported_keys == scalar.reported_keys
+
+    def test_report_counts_identical(self):
+        crit = Criteria(delta=0.9, threshold=200.0, epsilon=3.0)
+        keys, values = make_stream(seed=2, n=8_000)
+        scalar = QuantileFilter(
+            crit, num_buckets=32, vague_width=128,
+            counter_kind="float", seed=4,
+        )
+        for key, value in zip(keys.tolist(), values.tolist()):
+            scalar.insert(key, value)
+        batch = BatchQuantileFilter(
+            crit, num_buckets=32, vague_width=128, seed=4
+        )
+        batch.process(keys, values)
+        assert batch.report_count == scalar.report_count
+
+    def test_chunk_size_does_not_change_results(self):
+        crit = Criteria(delta=0.95, threshold=200.0, epsilon=5.0)
+        keys, values = make_stream(seed=3, n=5_000)
+        outcomes = []
+        for chunk_size in (64, 1_000, 100_000):
+            batch = BatchQuantileFilter(
+                crit, memory_bytes=16_384, seed=5, chunk_size=chunk_size
+            )
+            batch.process(keys, values)
+            outcomes.append((frozenset(batch.reported_keys), batch.report_count))
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+class TestBehaviour:
+    def test_finds_hot_keys(self):
+        crit = Criteria(delta=0.95, threshold=200.0, epsilon=5.0)
+        keys, values = make_stream(seed=6)
+        batch = BatchQuantileFilter(crit, memory_bytes=64 * 1024, seed=1)
+        reported = batch.process(keys, values)
+        assert set(range(20)) <= reported
+
+    def test_incremental_processing(self):
+        crit = Criteria(delta=0.95, threshold=200.0, epsilon=5.0)
+        keys, values = make_stream(seed=7, n=4_000)
+        whole = BatchQuantileFilter(crit, memory_bytes=16_384, seed=2)
+        whole.process(keys, values)
+        parts = BatchQuantileFilter(crit, memory_bytes=16_384, seed=2)
+        parts.process(keys[:2_000], values[:2_000])
+        parts.process(keys[2_000:], values[2_000:])
+        assert parts.reported_keys == whole.reported_keys
+
+    def test_items_processed(self):
+        crit = Criteria(delta=0.95, threshold=200.0)
+        keys, values = make_stream(seed=8, n=1_234)
+        batch = BatchQuantileFilter(crit, memory_bytes=8_192)
+        batch.process(keys, values)
+        assert batch.items_processed == 1_234
+
+    def test_nbytes_within_budget(self):
+        crit = Criteria(delta=0.95, threshold=200.0)
+        batch = BatchQuantileFilter(crit, memory_bytes=10_000)
+        assert batch.nbytes <= 10_000
+
+    def test_length_mismatch_raises(self):
+        crit = Criteria(delta=0.95, threshold=200.0)
+        batch = BatchQuantileFilter(crit, memory_bytes=8_192)
+        with pytest.raises(ParameterError):
+            batch.process(np.zeros(3, dtype=np.int64), np.zeros(4))
+
+    def test_invalid_chunk_size(self):
+        crit = Criteria(delta=0.95, threshold=200.0)
+        with pytest.raises(ParameterError):
+            BatchQuantileFilter(crit, memory_bytes=8_192, chunk_size=0)
+
+    def test_forceful_strategy_supported(self):
+        crit = Criteria(delta=0.95, threshold=200.0, epsilon=5.0)
+        keys, values = make_stream(seed=9, n=3_000)
+        batch = BatchQuantileFilter(
+            crit, memory_bytes=8_192, strategy="forceful", seed=3
+        )
+        reported = batch.process(keys, values)
+        assert reported  # hot keys still found under forceful election

@@ -1,0 +1,114 @@
+"""Tests for repro.core.windowed."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.core.criteria import Criteria
+from repro.core.windowed import WindowedQuantileFilter
+
+
+CRIT = Criteria(delta=0.9, threshold=100.0, epsilon=3.0)
+
+
+class TestTumbling:
+    def test_reset_happens_on_schedule(self):
+        wf = WindowedQuantileFilter(CRIT, 16_384, window_items=100,
+                                    mode="tumbling", seed=1)
+        for i in range(350):
+            wf.insert(i % 7, 1.0)
+        assert wf.resets == 3
+        assert wf.items_processed == 350
+
+    def test_state_cleared_at_boundary(self):
+        wf = WindowedQuantileFilter(CRIT, 16_384, window_items=10,
+                                    mode="tumbling", seed=1)
+        for _ in range(10):
+            wf.insert("k", 1.0)
+        assert wf.query("k") < 0  # accumulated negative Qweight
+        wf.insert("other", 1.0)  # crosses the boundary -> reset first
+        assert wf.query("k") == pytest.approx(0.0)
+
+    def test_reports_still_fire_within_window(self):
+        wf = WindowedQuantileFilter(CRIT, 16_384, window_items=1_000,
+                                    mode="tumbling", seed=1)
+        fired = [wf.insert("hot", 500.0) for _ in range(20)]
+        assert any(fired)
+        assert "hot" in wf.reported_keys
+
+    def test_window_fill(self):
+        wf = WindowedQuantileFilter(CRIT, 16_384, window_items=10,
+                                    mode="tumbling", seed=1)
+        for _ in range(5):
+            wf.insert("k", 1.0)
+        assert wf.window_fill == pytest.approx(0.5)
+
+    def test_old_anomaly_forgotten(self):
+        """A key hot only in an old window must not alert later from
+        stale Qweight."""
+        wf = WindowedQuantileFilter(CRIT, 32_768, window_items=50,
+                                    mode="tumbling", seed=1)
+        # Partial build-up: 1 above-T item (+9), below threshold 30.
+        wf.insert("old-hot", 500.0)
+        for i in range(60):  # crosses a boundary
+            wf.insert(f"filler-{i}", 1.0)
+        # In the new window, one more hot item must not inherit +9.
+        report = wf.insert("old-hot", 500.0)
+        assert report is None
+        assert wf.query("old-hot") == pytest.approx(9.0)
+
+
+class TestRotating:
+    def test_reports_fire(self):
+        wf = WindowedQuantileFilter(CRIT, 32_768, window_items=1_000,
+                                    mode="rotating", seed=1)
+        fired = [wf.insert("hot", 500.0) for _ in range(30)]
+        assert any(fired)
+
+    def test_rotation_count(self):
+        wf = WindowedQuantileFilter(CRIT, 32_768, window_items=100,
+                                    mode="rotating", seed=1)
+        for i in range(500):
+            wf.insert(i % 5, 1.0)
+        # Rotates every ~51 items.
+        assert 7 <= wf.resets <= 10
+
+    def test_no_blind_spot_after_rotation(self):
+        """Right after a rotation the elder pane already holds the last
+        half-window of history — reports keep firing."""
+        wf = WindowedQuantileFilter(CRIT, 64 * 1024, window_items=40,
+                                    mode="rotating", seed=1)
+        reports = 0
+        for _ in range(300):
+            if wf.insert("hot", 500.0):
+                reports += 1
+        # Report threshold 30 -> ~4 hot items per report without resets;
+        # rotation must not starve it below half that rate.
+        assert reports >= 30
+
+    def test_memory_split_across_panes(self):
+        wf = WindowedQuantileFilter(CRIT, 32_768, window_items=100,
+                                    mode="rotating", seed=1)
+        assert wf.nbytes <= 32_768
+
+    def test_accuracy_over_long_stream(self):
+        rng = random.Random(5)
+        wf = WindowedQuantileFilter(CRIT, 64 * 1024, window_items=5_000,
+                                    mode="rotating", seed=2)
+        for _ in range(20_000):
+            key = rng.randrange(100)
+            value = 500.0 if key < 5 else rng.uniform(0, 50)
+            wf.insert(key, value)
+        assert {0, 1, 2, 3, 4} <= wf.reported_keys
+        assert all(key < 5 for key in wf.reported_keys)
+
+
+class TestValidation:
+    def test_bad_window(self):
+        with pytest.raises(ParameterError):
+            WindowedQuantileFilter(CRIT, 8_192, window_items=0)
+
+    def test_bad_mode(self):
+        with pytest.raises(ParameterError):
+            WindowedQuantileFilter(CRIT, 8_192, window_items=10, mode="hopping")

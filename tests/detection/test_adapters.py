@@ -1,0 +1,133 @@
+"""Tests for repro.detection.adapters."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.baselines.squad import Squad
+from repro.core.criteria import Criteria
+from repro.detection.adapters import (
+    MultiKeyQuantileEstimator,
+    NaiveDetector,
+    QuantileFilterDetector,
+    QueryOnInsertAdapter,
+)
+from repro.detection.ground_truth import compute_ground_truth
+from repro.quantiles.base import NEG_INF
+from tests.conftest import make_two_class_stream
+
+
+class FakeEstimator(MultiKeyQuantileEstimator):
+    """Deterministic estimator for adapter-behaviour tests."""
+
+    def __init__(self):
+        self.values = {}
+        self.resets = []
+
+    def insert(self, key, value):
+        self.values.setdefault(key, []).append(value)
+
+    def quantile(self, key, delta, epsilon=0.0):
+        values = sorted(self.values.get(key, []))
+        index = int(delta * len(values) - epsilon)
+        if index < 0 or not values:
+            return NEG_INF
+        return values[min(index, len(values) - 1)]
+
+    @property
+    def nbytes(self):
+        return 123
+
+    def reset_key(self, key):
+        self.resets.append(key)
+        self.values[key] = []
+        return True
+
+
+class TestQueryOnInsertAdapter:
+    def test_reports_outstanding_key(self):
+        crit = Criteria(delta=0.5, threshold=10.0, epsilon=0.0)
+        adapter = QueryOnInsertAdapter(FakeEstimator(), crit)
+        assert adapter.process("k", 99.0) == "k"
+        assert "k" in adapter.reported_keys
+
+    def test_resets_after_report(self):
+        crit = Criteria(delta=0.5, threshold=10.0, epsilon=0.0)
+        estimator = FakeEstimator()
+        adapter = QueryOnInsertAdapter(estimator, crit)
+        adapter.process("k", 99.0)
+        assert estimator.resets == ["k"]
+
+    def test_query_every_cadence(self):
+        crit = Criteria(delta=0.5, threshold=10.0, epsilon=0.0)
+        adapter = QueryOnInsertAdapter(FakeEstimator(), crit, query_every=10)
+        for _ in range(100):
+            adapter.process("k", 99.0)
+        assert adapter.query_count == 10
+
+    def test_sparse_querying_can_miss(self):
+        """Large query_every models the paper's point: slow queries
+        force sparse sampling, which misses brief anomalies."""
+        crit = Criteria(delta=0.5, threshold=10.0, epsilon=0.0)
+        adapter = QueryOnInsertAdapter(FakeEstimator(), crit, query_every=1_000)
+        for _ in range(50):
+            adapter.process("brief", 99.0)
+        for i in range(500):
+            adapter.process(f"other-{i}", 1.0)
+        assert "brief" not in adapter.reported_keys
+
+    def test_nbytes_delegates(self):
+        crit = Criteria(delta=0.5, threshold=10.0)
+        adapter = QueryOnInsertAdapter(FakeEstimator(), crit)
+        assert adapter.nbytes == 123
+
+    def test_invalid_cadence(self):
+        crit = Criteria(delta=0.5, threshold=10.0)
+        with pytest.raises(ParameterError):
+            QueryOnInsertAdapter(FakeEstimator(), crit, query_every=0)
+
+    def test_with_real_squad(self, py_random):
+        crit = Criteria(delta=0.9, threshold=100.0, epsilon=3.0)
+        adapter = QueryOnInsertAdapter(
+            Squad(memory_bytes=256 * 1024, seed=1), crit
+        )
+        items = make_two_class_stream(py_random, n_items=5_000, n_keys=40,
+                                      n_hot=4, hot_value=500.0, cold_max=50.0)
+        for key, value in items:
+            adapter.process(key, value)
+        truth = compute_ground_truth(items, crit)
+        # Ample memory: SQUAD finds all hot keys (recall 1), maybe a few
+        # extra from reservoir noise.
+        assert truth <= adapter.reported_keys
+
+
+class TestDetectorShims:
+    def test_quantile_filter_detector(self, py_random, loose_criteria):
+        detector = QuantileFilterDetector.build(
+            loose_criteria, memory_bytes=128 * 1024, seed=1
+        )
+        items = make_two_class_stream(py_random, n_items=4_000, n_keys=40,
+                                      n_hot=4, hot_value=500.0, cold_max=50.0)
+        for key, value in items:
+            detector.process(key, value)
+        truth = compute_ground_truth(items, loose_criteria)
+        assert detector.reported_keys == truth
+        assert detector.items_processed == 4_000
+        assert detector.nbytes > 0
+
+    def test_naive_detector(self, py_random, loose_criteria):
+        detector = NaiveDetector.build(
+            loose_criteria, memory_bytes=256 * 1024, seed=2
+        )
+        items = make_two_class_stream(py_random, n_items=4_000, n_keys=40,
+                                      n_hot=4, hot_value=500.0, cold_max=50.0)
+        for key, value in items:
+            detector.process(key, value)
+        truth = compute_ground_truth(items, loose_criteria)
+        assert truth <= detector.reported_keys
+
+    def test_process_returns_key_on_report(self, loose_criteria):
+        detector = QuantileFilterDetector.build(
+            loose_criteria, memory_bytes=64 * 1024
+        )
+        outcomes = [detector.process("hot", 500.0) for _ in range(30)]
+        assert "hot" in outcomes

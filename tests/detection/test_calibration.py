@@ -1,0 +1,170 @@
+"""Tests for repro.detection.calibration."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.core.criteria import Criteria
+from repro.detection.calibration import (
+    AutoThresholdCalibrator,
+    AutoThresholdFilter,
+)
+
+
+class TestCalibrator:
+    def test_no_proposal_before_min_samples(self):
+        calibrator = AutoThresholdCalibrator(min_samples=100,
+                                             recalibrate_every=10)
+        for i in range(99):
+            assert calibrator.observe(float(i)) is None
+        assert calibrator.current_threshold() is None
+
+    def test_proposal_matches_target_fraction(self):
+        rng = random.Random(1)
+        calibrator = AutoThresholdCalibrator(
+            target_abnormal_fraction=0.05,
+            recalibrate_every=1_000,
+            min_samples=1_000,
+            seed=2,
+        )
+        values = [rng.uniform(0, 100) for _ in range(20_000)]
+        proposals = [calibrator.observe(v) for v in values]
+        last = [p for p in proposals if p is not None][-1]
+        # ~5 % of a U(0, 100) stream sits above ~95.
+        assert last == pytest.approx(95.0, abs=3.0)
+
+    def test_proposal_cadence(self):
+        calibrator = AutoThresholdCalibrator(
+            recalibrate_every=500, min_samples=100
+        )
+        proposals = sum(
+            1 for i in range(2_000)
+            if calibrator.observe(float(i % 50)) is not None
+        )
+        assert proposals == 4
+
+    def test_tracks_drifting_distribution(self):
+        calibrator = AutoThresholdCalibrator(
+            recalibrate_every=500, min_samples=100, seed=3
+        )
+        rng = random.Random(4)
+        for _ in range(2_000):
+            calibrator.observe(rng.uniform(0, 10))
+        low_threshold = calibrator.current_threshold()
+        for _ in range(20_000):
+            calibrator.observe(rng.uniform(0, 1_000))
+        assert calibrator.current_threshold() > low_threshold * 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            AutoThresholdCalibrator(target_abnormal_fraction=0.0)
+        with pytest.raises(ParameterError):
+            AutoThresholdCalibrator(recalibrate_every=0)
+        with pytest.raises(ParameterError):
+            AutoThresholdCalibrator(min_samples=0)
+
+
+class TestAutoThresholdFilter:
+    BASE = Criteria(delta=0.9, threshold=1.0, epsilon=3.0)  # bad bootstrap T
+
+    def test_threshold_converges_and_detects(self):
+        """Bootstrap T is absurdly low; the calibrator must find the
+        real tail and the filter must then detect only the hot keys."""
+        rng = np.random.default_rng(5)
+        auto = AutoThresholdFilter(
+            self.BASE,
+            memory_bytes=64 * 1024,
+            calibrator=AutoThresholdCalibrator(
+                target_abnormal_fraction=0.05,
+                recalibrate_every=2_000,
+                min_samples=1_000,
+            ),
+            seed=1,
+        )
+        for _ in range(30_000):
+            key = int(rng.integers(0, 200))
+            value = 500.0 if key < 5 else float(rng.uniform(0, 100))
+            auto.insert(key, value)
+        # Calibrated T sits between the cold bulk and the hot values.
+        assert 90.0 < auto.current_threshold < 500.0
+        assert auto.threshold_changes >= 1
+        # After calibration, the hot keys dominate new reports.
+        late_reports = set()
+        for _ in range(10_000):
+            key = int(rng.integers(0, 200))
+            value = 500.0 if key < 5 else float(rng.uniform(0, 100))
+            report = auto.insert(key, value)
+            if report is not None:
+                late_reports.add(report.key)
+        assert {0, 1, 2, 3, 4} <= late_reports
+        assert all(k < 5 for k in late_reports)
+
+    def test_large_jump_triggers_reset(self):
+        auto = AutoThresholdFilter(
+            Criteria(delta=0.9, threshold=10.0, epsilon=3.0),
+            memory_bytes=16 * 1024,
+            calibrator=AutoThresholdCalibrator(
+                recalibrate_every=1_000, min_samples=500
+            ),
+            reset_on_relative_change=0.5,
+        )
+        rng = random.Random(6)
+        for _ in range(3_000):
+            auto.insert(rng.randrange(50), rng.uniform(500, 1_000))
+        assert auto.structure_resets >= 1
+
+    def test_resets_disabled(self):
+        auto = AutoThresholdFilter(
+            Criteria(delta=0.9, threshold=10.0, epsilon=3.0),
+            memory_bytes=16 * 1024,
+            calibrator=AutoThresholdCalibrator(
+                recalibrate_every=1_000, min_samples=500
+            ),
+            reset_on_relative_change=None,
+        )
+        rng = random.Random(7)
+        for _ in range(3_000):
+            auto.insert(rng.randrange(50), rng.uniform(500, 1_000))
+        assert auto.structure_resets == 0
+        assert auto.threshold_changes >= 1
+
+    def test_invalid_reset_parameter(self):
+        with pytest.raises(ParameterError):
+            AutoThresholdFilter(self.BASE, 8_192, reset_on_relative_change=0.0)
+
+    def test_nbytes_includes_calibrator(self):
+        auto = AutoThresholdFilter(self.BASE, 8_192)
+        assert auto.nbytes > auto.filter.nbytes
+
+
+class TestTopCandidates:
+    def test_ranking_and_limit(self):
+        crit = Criteria(delta=0.95, threshold=100.0, epsilon=1e9)
+        from repro.core.quantile_filter import QuantileFilter
+
+        qf = QuantileFilter(crit, memory_bytes=64 * 1024, seed=1)
+        for count, key in ((5, "a"), (2, "b"), (9, "c")):
+            for _ in range(count):
+                qf.insert(key, 500.0)  # +19 each
+        top = qf.top_candidates(k=2)
+        assert len(top) == 2
+        qweights = [entry[2] for entry in top]
+        assert qweights == sorted(qweights, reverse=True)
+        assert qweights[0] == pytest.approx(9 * 19.0)
+
+    def test_invalid_k(self):
+        crit = Criteria(delta=0.95, threshold=100.0)
+        from repro.core.quantile_filter import QuantileFilter
+
+        qf = QuantileFilter(crit, memory_bytes=8_192)
+        with pytest.raises(ParameterError):
+            qf.top_candidates(k=0)
+
+    def test_empty_filter(self):
+        crit = Criteria(delta=0.95, threshold=100.0)
+        from repro.core.quantile_filter import QuantileFilter
+
+        qf = QuantileFilter(crit, memory_bytes=8_192)
+        assert qf.top_candidates(k=3) == []

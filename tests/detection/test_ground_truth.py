@@ -1,0 +1,142 @@
+"""Tests for repro.detection.ground_truth."""
+
+import random
+
+import pytest
+
+from repro.core.criteria import Criteria
+from repro.core.qweight import quantile_exceeds_threshold
+from repro.detection.ground_truth import GroundTruthDetector, compute_ground_truth
+from tests.conftest import make_two_class_stream
+
+
+class TestGroundTruthDetector:
+    def test_matches_definition4_replay(self):
+        """The count-based oracle must agree with a literal value-set
+        replay of Definition 4."""
+        rng = random.Random(1)
+        crit = Criteria(delta=0.8, threshold=50.0, epsilon=2.0)
+        oracle = GroundTruthDetector(crit)
+        value_sets = {}
+        literal_reports = set()
+        for i in range(5_000):
+            key = rng.randrange(30)
+            value = rng.uniform(0, 100)
+            # Literal Definition 4 on explicit value sets.
+            values = value_sets.setdefault(key, [])
+            values.append(value)
+            if quantile_exceeds_threshold(values, crit):
+                literal_reports.add(key)
+                value_sets[key] = []
+            oracle.process(key, value)
+        assert oracle.reported_keys == literal_reports
+
+    def test_reset_on_report(self):
+        crit = Criteria(delta=0.5, threshold=10.0, epsilon=0.0)
+        oracle = GroundTruthDetector(crit)
+        oracle.process("k", 99.0)  # reports immediately
+        assert oracle.key_state("k") == (0, 0)
+
+    def test_key_state_tracks_counts(self):
+        crit = Criteria(delta=0.95, threshold=10.0, epsilon=100.0)
+        oracle = GroundTruthDetector(crit)
+        oracle.process("k", 99.0)
+        oracle.process("k", 1.0)
+        assert oracle.key_state("k") == (2, 1)
+        assert oracle.key_state("unknown") == (0, 0)
+
+    def test_per_key_criteria_override(self):
+        default = Criteria(delta=0.95, threshold=100.0, epsilon=1000.0)
+        strict = Criteria(delta=0.5, threshold=10.0, epsilon=0.0)
+        oracle = GroundTruthDetector(default)
+        oracle.set_key_criteria("special", strict)
+        assert oracle.process("special", 50.0) == "special"
+        assert oracle.process("normal", 50.0) is None
+
+    def test_criteria_change_resets_values(self):
+        crit = Criteria(delta=0.95, threshold=10.0, epsilon=100.0)
+        oracle = GroundTruthDetector(crit)
+        oracle.process("k", 99.0)
+        oracle.set_key_criteria("k", crit.with_updates(epsilon=50.0))
+        assert oracle.key_state("k") == (0, 0)
+
+    def test_nbytes_per_key(self):
+        crit = Criteria(delta=0.5, threshold=10.0)
+        oracle = GroundTruthDetector(crit)
+        for key in range(10):
+            oracle.process(key, 1.0)
+        assert oracle.nbytes == 160
+
+    def test_stats(self):
+        crit = Criteria(delta=0.5, threshold=10.0, epsilon=0.0)
+        oracle = GroundTruthDetector(crit)
+        oracle.process("a", 99.0)
+        stats = oracle.stats()
+        assert stats.items_processed == 1
+        assert stats.report_count == 1
+
+
+class TestComputeGroundTruth:
+    def test_two_class_stream(self, py_random, loose_criteria):
+        items = make_two_class_stream(py_random, n_items=5_000, n_keys=50,
+                                      n_hot=5, hot_value=500.0, cold_max=50.0)
+        truth = compute_ground_truth(items, loose_criteria)
+        assert truth == {0, 1, 2, 3, 4}
+
+    def test_empty_stream(self, default_criteria):
+        assert compute_ground_truth([], default_criteria) == set()
+
+
+class TestWindowedGroundTruth:
+    def _make(self, window=50):
+        from repro.detection.ground_truth import WindowedGroundTruthDetector
+
+        crit = Criteria(delta=0.5, threshold=10.0, epsilon=2.0)
+        return WindowedGroundTruthDetector(crit, window_items=window), crit
+
+    def test_matches_windowed_filter_exactly(self):
+        """Tumbling WindowedQuantileFilter with ample memory must agree
+        item-for-item with the windowed oracle."""
+        from repro.core.windowed import WindowedQuantileFilter
+
+        oracle, crit = self._make(window=37)
+        wf = WindowedQuantileFilter(crit, 1 << 18, window_items=37,
+                                    mode="tumbling", counter_kind="float",
+                                    seed=1)
+        rng = random.Random(8)
+        for _ in range(2_000):
+            key = rng.randrange(15)
+            value = rng.uniform(0, 30)
+            oracle_fired = oracle.process(key, value) is not None
+            filter_fired = wf.insert(key, value) is not None
+            assert oracle_fired == filter_fired
+
+    def test_window_boundary_forgets(self):
+        oracle, crit = self._make(window=5)
+        # 3 above-T items: Qweight 3 < 4 (threshold), no report yet.
+        for _ in range(3):
+            assert oracle.process("k", 99.0) is None
+        # Pad past the boundary with other keys.
+        for i in range(2):
+            oracle.process(f"pad-{i}", 1.0)
+        # New window: the old 3 are forgotten; needs 4 fresh ones.
+        outcomes = [oracle.process("k", 99.0) for _ in range(4)]
+        assert outcomes[:3] == [None, None, None]
+        assert outcomes[3] == "k"
+        assert oracle.resets == 1
+
+    def test_key_criteria_survive_reset(self):
+        oracle, crit = self._make(window=2)
+        strict = Criteria(delta=0.5, threshold=10.0, epsilon=0.0)
+        oracle.set_key_criteria("special", strict)
+        oracle.process("a", 1.0)
+        oracle.process("b", 1.0)  # boundary next
+        assert oracle.process("special", 99.0) == "special"
+
+    def test_invalid_window(self):
+        from repro.common.errors import ParameterError
+        from repro.detection.ground_truth import WindowedGroundTruthDetector
+
+        crit = Criteria(delta=0.5, threshold=10.0)
+        with pytest.raises(ParameterError):
+            WindowedGroundTruthDetector(crit, window_items=0)

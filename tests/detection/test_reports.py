@@ -1,0 +1,117 @@
+"""Tests for repro.detection.reports."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.core.criteria import Criteria
+from repro.core.quantile_filter import QuantileFilter, Report
+from repro.detection.reports import AlertPolicy, KeyReportSummary, ReportLog
+
+
+def make_report(key="k", qweight=50.0, source="candidate", index=0) -> Report:
+    return Report(key=key, qweight=qweight, source=source, item_index=index)
+
+
+class TestReportLog:
+    def test_records_counts_and_positions(self):
+        log = ReportLog()
+        log.record(make_report(index=10))
+        log.record(make_report(index=30))
+        summary = log.summary("k")
+        assert summary.count == 2
+        assert summary.first_item_index == 10
+        assert summary.last_item_index == 30
+        assert log.total_reports == 2
+
+    def test_mean_gap(self):
+        log = ReportLog()
+        for index in (0, 10, 20):
+            log.record(make_report(index=index))
+        assert log.summary("k").mean_gap() == pytest.approx(10.0)
+
+    def test_mean_gap_single_report(self):
+        log = ReportLog()
+        log.record(make_report(index=5))
+        assert log.summary("k").mean_gap() is None
+
+    def test_sources_tallied(self):
+        log = ReportLog()
+        log.record(make_report(source="candidate"))
+        log.record(make_report(source="vague", index=1))
+        log.record(make_report(source="candidate", index=2))
+        assert log.summary("k").sources == {"candidate": 2, "vague": 1}
+
+    def test_keys_ordered_by_count(self):
+        log = ReportLog()
+        for index in range(3):
+            log.record(make_report(key="busy", index=index))
+        log.record(make_report(key="quiet", index=9))
+        assert log.keys() == ["busy", "quiet"]
+        assert [s.key for s in log.top(1)] == ["busy"]
+
+    def test_unknown_key(self):
+        assert ReportLog().summary("nope") is None
+
+    def test_clear(self):
+        log = ReportLog()
+        log.record(make_report())
+        log.clear()
+        assert len(log) == 0 and log.total_reports == 0
+
+    def test_wired_to_filter(self):
+        crit = Criteria(delta=0.5, threshold=10.0, epsilon=2.0)
+        log = ReportLog()
+        qf = QuantileFilter(crit, memory_bytes=8_192, on_report=log.record)
+        for _ in range(30):
+            qf.insert("hot", 100.0)
+        assert log.total_reports == qf.report_count
+        assert log.summary("hot").count == qf.report_count
+
+
+class TestAlertPolicy:
+    def test_first_report_always_alerts(self):
+        policy = AlertPolicy(cooldown_items=100)
+        assert policy.should_alert(make_report(index=0))
+
+    def test_cooldown_suppresses(self):
+        policy = AlertPolicy(cooldown_items=100)
+        assert policy.should_alert(make_report(index=0))
+        assert not policy.should_alert(make_report(index=50))
+        assert policy.should_alert(make_report(index=150))
+        assert policy.alerts_emitted == 2
+        assert policy.alerts_suppressed == 1
+
+    def test_per_key_cooldowns_independent(self):
+        policy = AlertPolicy(cooldown_items=100)
+        assert policy.should_alert(make_report(key="a", index=0))
+        assert policy.should_alert(make_report(key="b", index=1))
+
+    def test_zero_cooldown_passes_everything(self):
+        policy = AlertPolicy(cooldown_items=0)
+        assert all(
+            policy.should_alert(make_report(index=i)) for i in range(5)
+        )
+
+    def test_reset_key(self):
+        policy = AlertPolicy(cooldown_items=1_000)
+        policy.should_alert(make_report(index=0))
+        policy.reset_key("k")
+        assert policy.should_alert(make_report(index=1))
+
+    def test_invalid_cooldown(self):
+        with pytest.raises(ParameterError):
+            AlertPolicy(cooldown_items=-1)
+
+    def test_end_to_end_rate_limited_alerts(self):
+        crit = Criteria(delta=0.5, threshold=10.0, epsilon=2.0)
+        policy = AlertPolicy(cooldown_items=50)
+        alerts = []
+
+        def on_report(report):
+            if policy.should_alert(report):
+                alerts.append(report)
+
+        qf = QuantileFilter(crit, memory_bytes=8_192, on_report=on_report)
+        for _ in range(200):
+            qf.insert("hot", 100.0)
+        assert qf.report_count > len(alerts) > 0

@@ -1,0 +1,55 @@
+"""Tests for the repro-experiments CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_figure_required(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_known_figures_accepted(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig4", "--scale", "1000", "--seed", "3"])
+        assert args.figure == "fig4"
+        assert args.scale == 1_000
+        assert args.seed == 3
+
+    def test_unknown_figure_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig99"])
+
+
+class TestMain:
+    def test_runs_fig11_text(self, capsys):
+        exit_code = main(["fig11", "--scale", "1200"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "fig11" in output
+        assert "candidate_fraction" in output
+
+    def test_runs_fig7_json(self, capsys):
+        exit_code = main(["fig7", "--scale", "1200", "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["figure"] == "fig7"
+        assert isinstance(payload["rows"], list) and payload["rows"]
+
+    def test_dataset_flag(self, capsys):
+        exit_code = main(["fig11", "--scale", "1200", "--dataset", "zipf-small"])
+        assert exit_code == 0
+        assert "zipf-small" in capsys.readouterr().out
+
+    def test_scaling_driver_registered(self, capsys):
+        # The scaling study ignores --scale (it sweeps its own ladder);
+        # this exercises the registration path only, so keep it tiny by
+        # calling the driver through main with defaults trimmed via JSON.
+        from repro.experiments.cli import _DRIVERS
+
+        assert "scaling" in _DRIVERS

@@ -1,0 +1,75 @@
+"""Tests for repro.experiments.config."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.experiments.config import (
+    DATASETS,
+    PAPER,
+    build_trace,
+    default_criteria_for,
+    memory_sweep_points,
+)
+
+
+class TestPaperDefaults:
+    def test_section_va_values(self):
+        assert PAPER.bucket_size == 6
+        assert PAPER.depth == 3
+        assert PAPER.candidate_fraction == pytest.approx(0.8)
+        assert PAPER.fp_bits == 16
+        assert PAPER.delta == 0.95
+        assert PAPER.epsilon == 30.0
+
+
+class TestDatasets:
+    def test_registry_contents(self):
+        assert set(DATASETS) == {"internet", "cloud", "zipf-large", "zipf-small"}
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_build_small_trace(self, name):
+        trace = build_trace(name, scale=2_000, seed=0)
+        assert len(trace) == 2_000
+        assert trace.distinct_keys > 10
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ParameterError):
+            build_trace("netflix")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ParameterError):
+            build_trace("internet", scale=0)
+
+    def test_seed_changes_trace(self):
+        a = build_trace("internet", scale=1_000, seed=1)
+        b = build_trace("internet", scale=1_000, seed=2)
+        assert not (a.values == b.values).all()
+
+
+class TestDefaultCriteria:
+    def test_paper_thresholds(self):
+        assert default_criteria_for("internet").threshold == 300.0
+        assert default_criteria_for("cloud").threshold == 20.0
+
+    def test_overrides(self):
+        crit = default_criteria_for("internet", delta=0.5, threshold=9.0)
+        assert crit.delta == 0.5
+        assert crit.threshold == 9.0
+        assert crit.epsilon == PAPER.epsilon
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ParameterError):
+            default_criteria_for("netflix")
+
+
+class TestMemorySweep:
+    def test_geometric_ladder(self):
+        points = memory_sweep_points(small=1_024, large=16_384, points=5)
+        assert points[0] == 1_024
+        assert points[-1] == 16_384
+        ratios = [b / a for a, b in zip(points, points[1:])]
+        assert max(ratios) / min(ratios) < 1.1
+
+    def test_minimum_points(self):
+        with pytest.raises(ParameterError):
+            memory_sweep_points(points=1)

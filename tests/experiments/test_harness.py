@@ -1,0 +1,112 @@
+"""Tests for repro.experiments.harness."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.core.criteria import Criteria
+from repro.experiments.config import build_trace, default_criteria_for
+from repro.experiments.harness import (
+    ALGORITHMS,
+    FigureResult,
+    accuracy_sweep,
+    build_detector,
+    format_rows,
+    ground_truth_for,
+    run_detection,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_trace():
+    return build_trace("internet", scale=3_000, seed=0)
+
+
+@pytest.fixture(scope="module")
+def criteria():
+    return default_criteria_for("internet")
+
+
+class TestBuildDetector:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_all_algorithms_buildable(self, algorithm, criteria):
+        detector = build_detector(algorithm, criteria, 16_384, seed=1)
+        assert detector.process(1, 5.0) in (None, 1)
+        assert detector.nbytes > 0
+
+    def test_unknown_algorithm(self, criteria):
+        with pytest.raises(ParameterError):
+            build_detector("magic", criteria, 16_384)
+
+    def test_overrides_reach_quantilefilter(self, criteria):
+        detector = build_detector(
+            "quantilefilter", criteria, 16_384, depth=5, vague_backend="cms"
+        )
+        assert detector.filter.vague.depth == 5
+        assert detector.filter.vague.backend == "cms"
+
+
+class TestRunDetection:
+    def test_record_fields(self, tiny_trace, criteria):
+        truth = ground_truth_for(tiny_trace, criteria)
+        detector = build_detector("quantilefilter", criteria, 65_536, seed=1)
+        record = run_detection(
+            detector, tiny_trace, truth,
+            dataset="internet", memory_bytes=65_536, algorithm="quantilefilter",
+        )
+        assert record.items == len(tiny_trace)
+        assert record.seconds > 0
+        assert record.mops > 0
+        assert 0.0 <= record.score.f1 <= 1.0
+        assert record.actual_bytes <= 65_536
+
+    def test_as_dict_round_numbers(self, tiny_trace, criteria):
+        truth = ground_truth_for(tiny_trace, criteria)
+        detector = build_detector("quantilefilter", criteria, 16_384, seed=1)
+        record = run_detection(detector, tiny_trace, truth)
+        row = record.as_dict()
+        assert {"algorithm", "precision", "recall", "f1", "mops"} <= set(row)
+
+
+class TestAccuracySweep:
+    def test_rows_per_algorithm_and_memory(self, tiny_trace, criteria):
+        records = accuracy_sweep(
+            tiny_trace, criteria,
+            algorithms=("quantilefilter", "naive"),
+            memory_points=(8_192, 32_768),
+            seed=1,
+        )
+        assert len(records) == 4
+        algorithms = {record.algorithm for record in records}
+        assert algorithms == {"quantilefilter", "naive"}
+
+    def test_truth_reused_when_passed(self, tiny_trace, criteria):
+        truth = ground_truth_for(tiny_trace, criteria)
+        records = accuracy_sweep(
+            tiny_trace, criteria, ("quantilefilter",), (32_768,), truth=truth
+        )
+        assert records[0].score.true_positives <= len(truth)
+
+
+class TestFormatting:
+    def test_format_rows_aligned(self):
+        rows = [{"a": 1, "b": 0.5}, {"a": 22, "b": 0.25}]
+        text = format_rows(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4  # header + rule + 2 rows
+
+    def test_format_empty(self):
+        assert format_rows([]) == "(no rows)"
+
+    def test_format_handles_ragged_rows(self):
+        rows = [{"a": 1}, {"a": 2, "extra": "x"}]
+        text = format_rows(rows)
+        assert "extra" in text
+
+    def test_figure_result_str(self, tiny_trace, criteria):
+        records = accuracy_sweep(
+            tiny_trace, criteria, ("quantilefilter",), (16_384,)
+        )
+        result = FigureResult("figX", "demo", records)
+        text = str(result)
+        assert "figX" in text and "quantilefilter" in text

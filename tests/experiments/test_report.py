@@ -1,0 +1,64 @@
+"""Tests for repro.experiments.report."""
+
+from repro.experiments import figures
+from repro.experiments.report import (
+    REPORT_DRIVERS,
+    render_report,
+    run_all_figures,
+    write_report,
+)
+
+#: A two-figure subset keeps the test fast while covering both key
+#: result tables (fig4 -> space, fig8 -> speed).
+FAST_DRIVERS = [
+    ("fig4", lambda scale, seed: figures.fig4_accuracy_internet(
+        scale=scale, seed=seed, memory_points=[4_096, 65_536],
+        algorithms=("quantilefilter", "squad"),
+    )),
+    ("fig8", lambda scale, seed: figures.fig8_throughput(
+        scale=scale, seed=seed, memory_points=[16_384],
+        algorithms=("quantilefilter", "squad"),
+    )),
+]
+
+
+class TestReport:
+    def test_registry_covers_all_paper_figures(self):
+        labels = [label for label, _ in REPORT_DRIVERS]
+        assert labels[0] == "fig4" and labels[-1] == "fig15"
+        assert len(labels) == 11  # figs 4..15 with 9+10 combined
+
+    def test_run_all_figures_subset(self):
+        results = run_all_figures(1_500, seed=0, drivers=FAST_DRIVERS)
+        assert set(results) == {"fig4", "fig8"}
+        assert all(r.records for r in results.values())
+
+    def test_render_contains_key_results_and_tables(self):
+        results = run_all_figures(1_500, seed=0, drivers=FAST_DRIVERS)
+        text = render_report(results, scale=1_500, seed=0,
+                             elapsed_seconds=1.0)
+        assert "# QuantileFilter reproduction report" in text
+        assert "Key result 2" in text
+        assert "Key result 1" in text
+        assert "fig4" in text and "fig8" in text
+        assert "quantilefilter" in text
+
+    def test_write_report_creates_file(self, tmp_path):
+        path = write_report(
+            tmp_path / "REPORT.md", scale=1_500, seed=0,
+            drivers=FAST_DRIVERS,
+        )
+        assert path.exists()
+        content = path.read_text()
+        assert content.startswith("# QuantileFilter reproduction report")
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        out = tmp_path / "mini.md"
+        # Full report at tiny scale (all 11 drivers, ~1500 items each).
+        exit_code = main(["report", "--scale", "1500",
+                          "--out", str(out)])
+        assert exit_code == 0
+        assert out.exists()
+        assert "report written" in capsys.readouterr().out

@@ -1,0 +1,63 @@
+"""Tests for repro.experiments.scaling."""
+
+from repro.experiments.config import build_trace, default_criteria_for
+from repro.experiments.harness import ground_truth_for
+from repro.experiments.scaling import minimal_budget_for_f1, scaling_study
+
+
+class TestMinimalBudget:
+    def test_finds_a_qualifying_budget(self):
+        trace = build_trace("internet", scale=4_000, seed=0)
+        criteria = default_criteria_for("internet")
+        truth = ground_truth_for(trace, criteria)
+        record = minimal_budget_for_f1(
+            trace, criteria, truth, f1_target=0.8, dataset="internet",
+        )
+        assert record is not None
+        assert record.score.f1 >= 0.8
+
+    def test_unreachable_target_returns_none(self):
+        trace = build_trace("internet", scale=2_000, seed=0)
+        criteria = default_criteria_for("internet")
+        truth = ground_truth_for(trace, criteria)
+        # Cap the scan below any workable budget.
+        record = minimal_budget_for_f1(
+            trace, criteria, truth, f1_target=1.01,  # impossible target
+            dataset="internet", high=1_024,
+        )
+        assert record is None
+
+    def test_budget_is_power_of_two_multiple_of_low(self):
+        trace = build_trace("internet", scale=4_000, seed=0)
+        criteria = default_criteria_for("internet")
+        truth = ground_truth_for(trace, criteria)
+        record = minimal_budget_for_f1(
+            trace, criteria, truth, f1_target=0.8, dataset="internet",
+            low=256,
+        )
+        assert record.memory_bytes % 256 == 0
+        budget = record.memory_bytes // 256
+        assert budget & (budget - 1) == 0  # power of two
+
+
+class TestScalingStudy:
+    def test_rows_annotated(self):
+        result = scaling_study(
+            dataset="internet", scales=(3_000, 6_000), f1_target=0.8
+        )
+        assert result.figure == "scaling-study"
+        assert len(result.records) == 2
+        for record in result.records:
+            assert record.extra["scale"] in (3_000, 6_000)
+            assert record.extra["distinct_keys"] > 0
+            assert record.extra["bytes_per_key"] > 0
+
+    def test_budgets_non_decreasing(self):
+        result = scaling_study(
+            dataset="internet", scales=(3_000, 12_000), f1_target=0.8
+        )
+        budgets = [
+            r.memory_bytes
+            for r in sorted(result.records, key=lambda r: r.extra["scale"])
+        ]
+        assert budgets == sorted(budgets)

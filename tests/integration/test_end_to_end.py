@@ -1,0 +1,175 @@
+"""End-to-end integration tests across modules.
+
+These exercise the full pipeline — generator -> detector(s) -> metrics —
+and pin the qualitative results the paper's evaluation rests on.
+"""
+
+import pytest
+
+from repro.core.criteria import Criteria
+from repro.core.vectorized import BatchQuantileFilter
+from repro.experiments.config import build_trace, default_criteria_for
+from repro.experiments.harness import (
+    accuracy_sweep,
+    build_detector,
+    ground_truth_for,
+    run_detection,
+)
+from repro.metrics.accuracy import score_sets
+
+
+@pytest.fixture(scope="module")
+def internet_trace():
+    return build_trace("internet", scale=12_000, seed=0)
+
+
+@pytest.fixture(scope="module")
+def internet_criteria():
+    return default_criteria_for("internet")
+
+
+@pytest.fixture(scope="module")
+def internet_truth(internet_trace, internet_criteria):
+    return ground_truth_for(internet_trace, internet_criteria)
+
+
+class TestQuantileFilterShape:
+    def test_high_f1_at_modest_memory(
+        self, internet_trace, internet_criteria, internet_truth
+    ):
+        detector = build_detector(
+            "quantilefilter", internet_criteria, 32_768, seed=1
+        )
+        record = run_detection(detector, internet_trace, internet_truth)
+        assert record.score.f1 > 0.9
+
+    def test_precision_high_even_starved(
+        self, internet_trace, internet_criteria, internet_truth
+    ):
+        """The paper's unilaterality claim: precision stays high at any
+        memory, recall is what grows with space."""
+        detector = build_detector(
+            "quantilefilter", internet_criteria, 1_024, seed=1
+        )
+        record = run_detection(detector, internet_trace, internet_truth)
+        assert record.score.precision > 0.8
+
+    def test_recall_monotone_with_memory(
+        self, internet_trace, internet_criteria, internet_truth
+    ):
+        recalls = []
+        for memory in (512, 8_192, 131_072):
+            detector = build_detector(
+                "quantilefilter", internet_criteria, memory, seed=1
+            )
+            record = run_detection(detector, internet_trace, internet_truth)
+            recalls.append(record.score.recall)
+        assert recalls[0] <= recalls[-1]
+        assert recalls[-1] > 0.95
+
+
+class TestBaselineShapes:
+    def test_quantilefilter_beats_baselines_at_low_memory(
+        self, internet_trace, internet_criteria, internet_truth
+    ):
+        """Key result 2's shape: at a starved budget QuantileFilter's F1
+        dominates every SOTA baseline."""
+        memory = 8_192
+        f1 = {}
+        for algorithm in ("quantilefilter", "squad", "sketchpolymer",
+                          "histsketch"):
+            detector = build_detector(
+                algorithm, internet_criteria, memory, seed=1
+            )
+            record = run_detection(detector, internet_trace, internet_truth)
+            f1[algorithm] = record.score.f1
+        assert f1["quantilefilter"] == max(f1.values())
+        assert f1["quantilefilter"] > 0.8
+
+    def test_sketchpolymer_low_precision_high_recall_when_starved(
+        self, internet_trace, internet_criteria, internet_truth
+    ):
+        detector = build_detector(
+            "sketchpolymer", internet_criteria, 2_048, seed=1
+        )
+        record = run_detection(detector, internet_trace, internet_truth)
+        assert record.score.recall > 0.9
+        assert record.score.precision < 0.5
+
+    def test_squad_converges_with_memory(
+        self, internet_trace, internet_criteria, internet_truth
+    ):
+        detector = build_detector(
+            "squad", internet_criteria, 1 << 20, seed=1
+        )
+        record = run_detection(detector, internet_trace, internet_truth)
+        assert record.score.recall > 0.9
+
+
+class TestSpeedShape:
+    def test_quantilefilter_faster_than_query_baselines(
+        self, internet_trace, internet_criteria, internet_truth
+    ):
+        """Key result 1's shape: same substrate, QuantileFilter's
+        insert-only loop beats every insert+query baseline."""
+        memory = 32_768
+        qf = run_detection(
+            build_detector("quantilefilter", internet_criteria, memory, seed=1),
+            internet_trace, internet_truth,
+        )
+        for baseline in ("squad", "sketchpolymer", "histsketch"):
+            record = run_detection(
+                build_detector(baseline, internet_criteria, memory, seed=1),
+                internet_trace, internet_truth,
+            )
+            assert qf.mops > record.mops, baseline
+
+    def test_batch_engine_faster_than_scalar(
+        self, internet_trace, internet_criteria, internet_truth
+    ):
+        import time
+
+        scalar = build_detector(
+            "quantilefilter", internet_criteria, 32_768, seed=1
+        )
+        scalar_record = run_detection(scalar, internet_trace, internet_truth)
+
+        batch = BatchQuantileFilter(internet_criteria, 32_768, seed=1)
+        start = time.perf_counter()
+        reported = batch.process(internet_trace.keys, internet_trace.values)
+        batch_seconds = time.perf_counter() - start
+        batch_mops = len(internet_trace) / batch_seconds / 1e6
+
+        assert batch_mops > scalar_record.mops
+        # And it loses no accuracy.
+        batch_score = score_sets(reported, internet_truth)
+        assert batch_score.f1 >= scalar_record.score.f1 - 0.1
+
+
+class TestCloudDataset:
+    def test_pipeline_on_high_cardinality(self):
+        trace = build_trace("cloud", scale=12_000, seed=0)
+        criteria = default_criteria_for("cloud")
+        truth = ground_truth_for(trace, criteria)
+        records = accuracy_sweep(
+            trace, criteria, ("quantilefilter",), (65_536,), truth=truth
+        )
+        assert records[0].score.f1 > 0.7
+
+
+class TestNaiveComparison:
+    def test_two_part_beats_naive_when_starved(
+        self, internet_trace, internet_criteria, internet_truth
+    ):
+        """The candidate-election motivation: at equal tight memory the
+        two-part filter should not lose to the dual-sketch strawman."""
+        memory = 2_048
+        qf = run_detection(
+            build_detector("quantilefilter", internet_criteria, memory, seed=1),
+            internet_trace, internet_truth,
+        )
+        naive = run_detection(
+            build_detector("naive", internet_criteria, memory, seed=1),
+            internet_trace, internet_truth,
+        )
+        assert qf.score.f1 >= naive.score.f1

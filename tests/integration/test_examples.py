@@ -1,0 +1,64 @@
+"""Smoke tests for the runnable examples.
+
+Fast examples run end-to-end (their printed self-checks must hold);
+slow ones (multi-minute sweeps) are compile-checked so a syntax or
+import regression still fails the suite.
+"""
+
+import importlib.util
+import py_compile
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        output = capsys.readouterr().out
+        assert "outstanding keys: [0, 1, 2, 3, 4]" in output
+        assert "exact oracle agrees: True" in output
+
+    def test_sensor_analytics(self, capsys):
+        load_example("sensor_analytics").main()
+        output = capsys.readouterr().out
+        assert "construction sites flagged sustained: True" in output
+        assert "nightclub districts flagged spiky:    True" in output
+        assert "residential sensors quiet:            True" in output
+
+    def test_cpu_utilization_scaled_down(self, capsys):
+        module = load_example("cpu_utilization")
+        module.TICKS = 1_200
+        module.NIGHT_STARTS = 600
+        module.main()
+        output = capsys.readouterr().out
+        assert "saturated hosts 0-2 caught during the day: True" in output
+        assert "rogue night job on host 3 caught at night: True" in output
+
+
+class TestSlowExamplesCompile:
+    SLOW_EXAMPLES = [
+        "network_latency_monitoring", "parameter_tuning",
+        "streaming_service", "distributed_monitoring",
+    ]
+
+    @pytest.mark.parametrize("name", SLOW_EXAMPLES)
+    def test_compiles(self, name):
+        py_compile.compile(str(EXAMPLES_DIR / f"{name}.py"), doraise=True)
+
+    @pytest.mark.parametrize("name", SLOW_EXAMPLES)
+    def test_imports_and_exposes_main(self, name):
+        module = load_example(name)
+        assert callable(module.main)

@@ -1,0 +1,69 @@
+"""Tests for repro.metrics.accuracy."""
+
+import pytest
+
+from repro.metrics.accuracy import DetectionScore, score_sets
+
+
+class TestDetectionScore:
+    def test_perfect(self):
+        score = DetectionScore(true_positives=10, false_positives=0,
+                               false_negatives=0)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+
+    def test_precision_penalises_false_positives(self):
+        score = DetectionScore(true_positives=5, false_positives=5,
+                               false_negatives=0)
+        assert score.precision == pytest.approx(0.5)
+        assert score.recall == 1.0
+        assert score.f1 == pytest.approx(2 / 3)
+
+    def test_recall_penalises_misses(self):
+        score = DetectionScore(true_positives=5, false_positives=0,
+                               false_negatives=5)
+        assert score.recall == pytest.approx(0.5)
+        assert score.precision == 1.0
+
+    def test_nothing_reported_nothing_true(self):
+        score = DetectionScore(0, 0, 0)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+
+    def test_nothing_reported_some_true(self):
+        score = DetectionScore(0, 0, 5)
+        assert score.precision == 1.0  # vacuous
+        assert score.recall == 0.0
+        assert score.f1 == 0.0
+
+    def test_everything_wrong(self):
+        score = DetectionScore(0, 5, 5)
+        assert score.precision == 0.0
+        assert score.recall == 0.0
+        assert score.f1 == 0.0
+
+    def test_as_dict(self):
+        row = DetectionScore(3, 1, 2).as_dict()
+        assert row["tp"] == 3 and row["fp"] == 1 and row["fn"] == 2
+        assert set(row) == {"tp", "fp", "fn", "precision", "recall", "f1"}
+
+
+class TestScoreSets:
+    def test_set_comparison(self):
+        score = score_sets(reported={1, 2, 3}, truth={2, 3, 4})
+        assert score.true_positives == 2
+        assert score.false_positives == 1
+        assert score.false_negatives == 1
+
+    def test_disjoint(self):
+        score = score_sets({1}, {2})
+        assert score.f1 == 0.0
+
+    def test_empty_both(self):
+        score = score_sets(set(), set())
+        assert score.f1 == 1.0
+
+    def test_string_and_int_keys_mix(self):
+        score = score_sets({"a", 1}, {"a", 2})
+        assert score.true_positives == 1

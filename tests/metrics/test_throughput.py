@@ -1,0 +1,56 @@
+"""Tests for repro.metrics.throughput."""
+
+import time
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.metrics.throughput import (
+    ThroughputResult,
+    measure_throughput,
+    speedup,
+)
+
+
+class TestThroughputResult:
+    def test_mops(self):
+        result = ThroughputResult(items=2_000_000, seconds=1.0)
+        assert result.mops == pytest.approx(2.0)
+
+    def test_ns_per_item(self):
+        result = ThroughputResult(items=1_000, seconds=0.001)
+        assert result.ns_per_item == pytest.approx(1_000.0)
+
+    def test_zero_seconds(self):
+        assert ThroughputResult(items=1, seconds=0.0).mops == float("inf")
+
+    def test_zero_items_ns(self):
+        assert ThroughputResult(items=0, seconds=1.0).ns_per_item == 0.0
+
+
+class TestMeasureThroughput:
+    def test_times_the_callable(self):
+        result = measure_throughput(lambda: time.sleep(0.02), items=100)
+        assert result.seconds >= 0.015
+        assert result.items == 100
+
+    def test_fast_callable(self):
+        result = measure_throughput(lambda: None, items=10)
+        assert result.seconds < 0.1
+        assert result.mops > 0
+
+    def test_invalid_items(self):
+        with pytest.raises(ParameterError):
+            measure_throughput(lambda: None, items=0)
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        ours = ThroughputResult(items=100, seconds=1.0)
+        baseline = ThroughputResult(items=100, seconds=10.0)
+        assert speedup(ours, baseline) == pytest.approx(10.0)
+
+    def test_zero_baseline(self):
+        ours = ThroughputResult(items=100, seconds=1.0)
+        baseline = ThroughputResult(items=0, seconds=1.0)
+        assert speedup(ours, baseline) == float("inf")

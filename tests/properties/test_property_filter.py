@@ -1,0 +1,78 @@
+"""Property-based tests of QuantileFilter's end-to-end invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.criteria import Criteria
+from repro.core.quantile_filter import QuantileFilter
+from repro.detection.ground_truth import compute_ground_truth
+
+streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),           # key
+        st.floats(min_value=0.0, max_value=1_000.0,
+                  allow_nan=False, allow_infinity=False),  # value
+    ),
+    min_size=1, max_size=400,
+)
+criterias = st.builds(
+    Criteria,
+    delta=st.sampled_from([0.5, 0.8, 0.9, 0.95]),
+    threshold=st.sampled_from([100.0, 500.0]),
+    epsilon=st.sampled_from([0.0, 1.0, 5.0]),
+)
+
+
+@given(stream=streams, criteria=criterias)
+@settings(max_examples=100, deadline=None)
+def test_collision_free_filter_equals_ground_truth(stream, criteria):
+    """With enough memory (no collisions, all keys candidates), the
+    filter IS Definition 4: same reported set as the exact oracle."""
+    qf = QuantileFilter(criteria, memory_bytes=1 << 20,
+                        counter_kind="float", seed=1)
+    for key, value in stream:
+        qf.insert(key, value)
+    assert qf.reported_keys == compute_ground_truth(stream, criteria)
+
+
+@given(stream=streams, criteria=criterias)
+@settings(max_examples=50, deadline=None)
+def test_report_count_bounded_by_stream_length(stream, criteria):
+    qf = QuantileFilter(criteria, memory_bytes=4_096, seed=2)
+    for key, value in stream:
+        qf.insert(key, value)
+    assert qf.report_count <= len(stream)
+    assert qf.items_processed == len(stream)
+
+
+@given(stream=streams)
+@settings(max_examples=50, deadline=None)
+def test_query_after_delete_is_zero(stream):
+    criteria = Criteria(delta=0.9, threshold=100.0, epsilon=1e6)
+    qf = QuantileFilter(criteria, memory_bytes=1 << 18,
+                        counter_kind="float", seed=3)
+    for key, value in stream:
+        qf.insert(key, value)
+    probe = stream[0][0]
+    qf.delete(probe)
+    assert abs(qf.query(probe)) < 1e-6
+
+
+@given(stream=streams, criteria=criterias)
+@settings(max_examples=50, deadline=None)
+def test_insertion_order_of_other_keys_does_not_corrupt_candidates(
+    stream, criteria
+):
+    """A candidate-resident key's Qweight equals its exact Qweight
+    regardless of what other keys did, when memory is ample."""
+    from repro.core.qweight import ExactQweightTracker
+
+    qf = QuantileFilter(criteria, memory_bytes=1 << 20,
+                        counter_kind="float", seed=4)
+    tracker = ExactQweightTracker(criteria)
+    probe = stream[0][0]
+    for key, value in stream:
+        qf.insert(key, value)
+        if key == probe:
+            tracker.offer(value)
+    assert abs(qf.query(probe) - tracker.qweight) < 1e-6

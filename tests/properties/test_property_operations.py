@@ -1,0 +1,117 @@
+"""Fuzzed operation sequences: filter vs per-key exact reference.
+
+Hypothesis drives random interleavings of every public operation —
+insert, query, delete, reset, per-key criteria changes — against a
+collision-free QuantileFilter and an exact per-key reference.  Any
+divergence in reports or Qweights is a bug in the operation plumbing
+(the numeric estimation paths are covered elsewhere).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.criteria import Criteria
+from repro.core.quantile_filter import QuantileFilter
+from repro.core.qweight import ExactQweightTracker
+
+BASE = Criteria(delta=0.9, threshold=100.0, epsilon=3.0)
+ALT = Criteria(delta=0.5, threshold=50.0, epsilon=1.0)
+
+keys = st.integers(min_value=0, max_value=8)
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), keys,
+                  st.floats(min_value=0.0, max_value=500.0,
+                            allow_nan=False, allow_infinity=False)),
+        st.tuples(st.just("delete"), keys, st.just(0.0)),
+        st.tuples(st.just("modify"), keys, st.just(0.0)),
+        st.tuples(st.just("reset"), st.just(0), st.just(0.0)),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+class _Reference:
+    """Exact mirror of the filter's semantics for a handful of keys."""
+
+    def __init__(self):
+        self.trackers = {}
+        self.criteria = {}
+        self.reported = []
+
+    def _tracker(self, key) -> ExactQweightTracker:
+        tracker = self.trackers.get(key)
+        if tracker is None:
+            tracker = ExactQweightTracker(self.criteria.get(key, BASE))
+            self.trackers[key] = tracker
+        return tracker
+
+    def insert(self, key, value) -> bool:
+        return self._tracker(key).offer(value)
+
+    def delete(self, key):
+        self._tracker(key).reset()
+
+    def modify(self, key):
+        self.criteria[key] = ALT
+        tracker = self._tracker(key)
+        tracker.criteria = ALT
+        tracker.reset()
+
+    def reset(self):
+        for tracker in self.trackers.values():
+            tracker.reset()
+
+    def qweight(self, key) -> float:
+        return self._tracker(key).qweight
+
+
+@given(ops=operations)
+@settings(max_examples=150, deadline=None)
+def test_operation_sequences_match_reference(ops):
+    qf = QuantileFilter(BASE, memory_bytes=1 << 18,
+                        counter_kind="float", seed=5)
+    reference = _Reference()
+
+    for op, key, value in ops:
+        if op == "insert":
+            report = qf.insert(key, value)
+            expected = reference.insert(key, value)
+            assert (report is not None) == expected, (op, key, value)
+        elif op == "delete":
+            qf.delete(key)
+            reference.delete(key)
+        elif op == "modify":
+            qf.modify_criteria(key, ALT)
+            reference.modify(key)
+        else:  # reset
+            qf.reset()
+            reference.reset()
+
+    for key in range(9):
+        assert abs(qf.query(key) - reference.qweight(key)) < 1e-6, key
+
+
+@given(ops=operations)
+@settings(max_examples=75, deadline=None)
+def test_operation_sequences_never_corrupt_state(ops):
+    """Same fuzz under a STARVED filter: reports may differ from exact,
+    but no operation may crash and the instrumentation must stay sane."""
+    qf = QuantileFilter(BASE, num_buckets=1, bucket_size=1, vague_width=4,
+                        counter_kind="int8", seed=6)
+    inserts = 0
+    for op, key, value in ops:
+        if op == "insert":
+            qf.insert(key, value)
+            inserts += 1
+        elif op == "delete":
+            qf.delete(key)
+        elif op == "modify":
+            qf.modify_criteria(key, ALT)
+        else:
+            qf.reset()
+    assert qf.items_processed == inserts
+    assert 0 <= qf.candidate_hits <= inserts
+    assert 0 <= qf.report_count <= inserts
+    assert qf.candidate.occupancy() <= 1.0

@@ -1,0 +1,77 @@
+"""Property-based tests for persistence and windowed operation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.criteria import Criteria
+from repro.core.persistence import load_filter, save_filter
+from repro.core.quantile_filter import QuantileFilter
+from repro.core.windowed import WindowedQuantileFilter
+
+CRIT = Criteria(delta=0.9, threshold=100.0, epsilon=3.0)
+
+streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),
+        st.floats(min_value=0.0, max_value=500.0,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1, max_size=200,
+)
+
+
+@given(stream=streams)
+@settings(max_examples=60, deadline=None)
+def test_checkpoint_roundtrip_preserves_all_queries(stream, tmp_path_factory):
+    """For ANY stream, save+load reproduces every key's Qweight and all
+    counters exactly."""
+    qf = QuantileFilter(CRIT, memory_bytes=32 * 1024,
+                        counter_kind="float", seed=11)
+    for key, value in stream:
+        qf.insert(key, value)
+    path = tmp_path_factory.mktemp("ckpt") / "filter.npz"
+    save_filter(qf, path)
+    restored = load_filter(path)
+    for key in range(41):
+        assert abs(restored.query(key) - qf.query(key)) < 1e-9
+    assert restored.reported_keys == qf.reported_keys
+    assert restored.items_processed == qf.items_processed
+
+
+@given(stream=streams, window=st.integers(min_value=5, max_value=100))
+@settings(max_examples=60, deadline=None)
+def test_tumbling_window_matches_manual_resets(stream, window):
+    """A tumbling window equals a plain filter that is manually reset at
+    the same boundaries."""
+    windowed = WindowedQuantileFilter(
+        CRIT, 32 * 1024, window_items=window, mode="tumbling", seed=12,
+        counter_kind="float",
+    )
+    manual = QuantileFilter(CRIT, memory_bytes=32 * 1024,
+                            counter_kind="float", seed=12)
+    since = 0
+    for key, value in stream:
+        if since >= window:
+            manual.reset()
+            since = 0
+        since += 1
+        windowed_report = windowed.insert(key, value)
+        manual_report = manual.insert(key, value)
+        assert (windowed_report is None) == (manual_report is None)
+    for key in range(41):
+        assert abs(windowed.query(key) - manual.query(key)) < 1e-9
+
+
+@given(stream=streams, window=st.integers(min_value=4, max_value=60))
+@settings(max_examples=40, deadline=None)
+def test_rotating_window_invariants(stream, window):
+    """Rotating mode never crashes, counts items exactly, and its
+    rotation count matches the schedule."""
+    windowed = WindowedQuantileFilter(
+        CRIT, 32 * 1024, window_items=window, mode="rotating", seed=13
+    )
+    for key, value in stream:
+        windowed.insert(key, value)
+    assert windowed.items_processed == len(stream)
+    period = window // 2 + 1
+    assert windowed.resets == max(0, (len(stream) - 1) // period)

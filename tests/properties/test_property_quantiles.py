@@ -1,0 +1,93 @@
+"""Property-based tests of the single-key quantile estimators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantiles.base import NEG_INF, paper_quantile_index
+from repro.quantiles.ddsketch import DDSketch
+from repro.quantiles.exact import ExactQuantile
+from repro.quantiles.gk import GKSummary
+from repro.quantiles.kll import KLLSketch
+
+value_lists = st.lists(
+    st.floats(min_value=0.001, max_value=10_000.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=300,
+)
+deltas = st.sampled_from([0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99])
+
+
+@given(values=value_lists, delta=deltas)
+@settings(max_examples=150, deadline=None)
+def test_exact_quantile_is_order_statistic(values, delta):
+    exact = ExactQuantile()
+    for value in values:
+        exact.insert(value)
+    index = paper_quantile_index(len(values), delta)
+    assert exact.quantile(delta) == sorted(values)[index]
+
+
+@given(values=value_lists, delta=deltas)
+@settings(max_examples=100, deadline=None)
+def test_gk_quantile_is_a_seen_value(values, delta):
+    """GK returns stored tuples, which are all actual input values."""
+    gk = GKSummary(eps=0.05)
+    for value in values:
+        gk.insert(value)
+    estimate = gk.quantile(delta)
+    assert estimate in values
+
+
+@given(values=value_lists, delta=deltas)
+@settings(max_examples=100, deadline=None)
+def test_kll_quantile_within_range(values, delta):
+    kll = KLLSketch(k=64, seed=1)
+    for value in values:
+        kll.insert(value)
+    estimate = kll.quantile(delta)
+    assert min(values) <= estimate <= max(values)
+
+
+@given(values=value_lists, delta=deltas)
+@settings(max_examples=100, deadline=None)
+def test_ddsketch_relative_error(values, delta):
+    alpha = 0.05
+    dd = DDSketch(alpha=alpha)
+    exact = ExactQuantile()
+    for value in values:
+        dd.insert(value)
+        exact.insert(value)
+    true = exact.quantile(delta)
+    estimate = dd.quantile(delta)
+    assert abs(estimate - true) <= 2 * alpha * true + 1e-9
+
+
+@given(values=value_lists)
+@settings(max_examples=100, deadline=None)
+def test_quantiles_monotone_in_delta(values):
+    """For every estimator, quantile(d1) <= quantile(d2) when d1 < d2."""
+    estimators = [
+        ExactQuantile(),
+        GKSummary(eps=0.05),
+        KLLSketch(k=64, seed=2),
+        DDSketch(alpha=0.05),
+    ]
+    for estimator in estimators:
+        for value in values:
+            estimator.insert(value)
+        quantiles = [estimator.quantile(d) for d in (0.1, 0.5, 0.9)]
+        finite = [q for q in quantiles if q != NEG_INF]
+        assert finite == sorted(finite), type(estimator).__name__
+
+
+@given(
+    values=value_lists,
+    delta=deltas,
+    epsilon=st.sampled_from([0.0, 1.0, 5.0, 20.0]),
+)
+@settings(max_examples=100, deadline=None)
+def test_epsilon_never_increases_quantile(values, delta, epsilon):
+    exact = ExactQuantile()
+    for value in values:
+        exact.insert(value)
+    assert exact.quantile(delta, epsilon) <= exact.quantile(delta)

@@ -1,0 +1,96 @@
+"""Property-based tests of the Qweight conversion lemma (Sec. III-A).
+
+The lemma is the paper's load-bearing identity — if it failed on any
+input, QuantileFilter would answer a different question than
+Definition 4 asks.  Hypothesis searches the space of criteria and value
+multisets for counterexamples.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.criteria import Criteria
+from repro.core.qweight import (
+    ExactQweightTracker,
+    counts_exceed_threshold,
+    exact_qweight,
+    quantile_exceeds_threshold,
+    qweight_exceeds_report_threshold,
+    qweight_from_counts,
+)
+
+# Deltas drawn from realistic monitoring values (the conversion gap
+# degenerates only in pathological float corners far from practice).
+deltas = st.sampled_from(
+    [0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 0.95, 0.98, 0.99]
+)
+epsilons = st.sampled_from([0.0, 1.0, 2.0, 5.0, 10.0, 30.0])
+values_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1_000.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+@given(delta=deltas, epsilon=epsilons, values=values_lists)
+@settings(max_examples=300, deadline=None)
+def test_conversion_lemma(delta, epsilon, values):
+    """q_{eps,delta} > T  <=>  Qw >= eps/(1-delta), for any multiset."""
+    criteria = Criteria(delta=delta, threshold=500.0, epsilon=epsilon)
+    assert quantile_exceeds_threshold(values, criteria) == (
+        qweight_exceeds_report_threshold(values, criteria)
+    )
+
+
+@given(delta=deltas, epsilon=epsilons, values=values_lists)
+@settings(max_examples=200, deadline=None)
+def test_counts_form_equals_values_form(delta, epsilon, values):
+    criteria = Criteria(delta=delta, threshold=500.0, epsilon=epsilon)
+    above = sum(1 for v in values if v > criteria.threshold)
+    assert counts_exceed_threshold(len(values), above, criteria) == (
+        quantile_exceeds_threshold(values, criteria)
+    )
+
+
+@given(delta=deltas, values=values_lists)
+@settings(max_examples=200, deadline=None)
+def test_qweight_from_counts_matches_sum(delta, values):
+    criteria = Criteria(delta=delta, threshold=500.0)
+    above = sum(1 for v in values if v > criteria.threshold)
+    from_counts = qweight_from_counts(len(values), above, criteria)
+    from_values = exact_qweight(values, criteria)
+    assert abs(from_counts - from_values) < 1e-6
+
+
+@given(
+    delta=deltas,
+    epsilon=epsilons,
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=1_000.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=300,
+    ),
+)
+@settings(max_examples=150, deadline=None)
+def test_tracker_agrees_with_literal_replay(delta, epsilon, values):
+    """The streaming tracker must fire exactly when a literal
+    Definition 4 replay over explicit value sets fires."""
+    criteria = Criteria(delta=delta, threshold=500.0, epsilon=epsilon)
+    tracker = ExactQweightTracker(criteria)
+    literal_values = []
+    for value in values:
+        literal_values.append(value)
+        literal_fires = quantile_exceeds_threshold(literal_values, criteria)
+        tracker_fires = tracker.offer(value)
+        assert tracker_fires == literal_fires
+        if literal_fires:
+            literal_values = []
+
+
+@given(delta=deltas, epsilon=epsilons)
+@settings(max_examples=100, deadline=None)
+def test_report_threshold_non_negative(delta, epsilon):
+    criteria = Criteria(delta=delta, threshold=1.0, epsilon=epsilon)
+    assert criteria.report_threshold >= 0.0
+    assert criteria.positive_weight > 0.0

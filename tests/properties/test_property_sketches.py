@@ -1,0 +1,84 @@
+"""Property-based tests of the sketch substrates' invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.hashing import canonical_key, mix64
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.count_sketch import CountSketch
+from repro.sketches.space_saving import SpaceSaving
+
+keys = st.integers(min_value=0, max_value=10_000)
+weights = st.floats(min_value=-100.0, max_value=100.0,
+                    allow_nan=False, allow_infinity=False)
+updates = st.lists(st.tuples(keys, weights), min_size=1, max_size=150)
+
+
+@given(updates=updates)
+@settings(max_examples=100, deadline=None)
+def test_count_sketch_update_then_delete_is_identity(updates):
+    """Deleting exactly what was inserted restores every counter."""
+    sketch = CountSketch(depth=3, width=64, counter_kind="float", seed=1)
+    for key, weight in updates:
+        sketch.update(canonical_key(key), weight)
+    for key, weight in updates:
+        sketch.delete(canonical_key(key), weight)
+    assert abs(sketch.counters.data).max() < 1e-6
+
+
+@given(updates=updates)
+@settings(max_examples=100, deadline=None)
+def test_count_sketch_mass_conservation(updates):
+    """Signed counter mass per row equals the sum of signed inserts
+    (no mass is created or lost by collisions)."""
+    sketch = CountSketch(depth=1, width=16, counter_kind="float", seed=2)
+    expected = 0.0
+    for key, weight in updates:
+        canon = canonical_key(key)
+        sign = sketch._signs.sign(0, canon)
+        expected += sign * weight
+        sketch.update(canon, weight)
+    assert abs(float(sketch.counters.data.sum()) - expected) < 1e-6
+
+
+@given(updates=st.lists(st.tuples(keys, st.floats(min_value=0.0, max_value=50.0,
+                                                  allow_nan=False)),
+                        min_size=1, max_size=150))
+@settings(max_examples=100, deadline=None)
+def test_count_min_never_underestimates(updates):
+    sketch = CountMinSketch(depth=3, width=32, counter_kind="float", seed=3)
+    truth = {}
+    for key, weight in updates:
+        sketch.update(canonical_key(key), weight)
+        truth[key] = truth.get(key, 0.0) + weight
+    for key, total in truth.items():
+        assert sketch.estimate(canonical_key(key)) >= total - 1e-6
+
+
+@given(
+    stream=st.lists(st.integers(min_value=0, max_value=50),
+                    min_size=1, max_size=400),
+    capacity=st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_space_saving_bounds(stream, capacity):
+    """count - error <= true frequency <= count for tracked keys, and
+    the total of tracked counts equals the stream length."""
+    ss = SpaceSaving(capacity)
+    truth = {}
+    for key in stream:
+        ss.update(key)
+        truth[key] = truth.get(key, 0) + 1
+    for key in ss.keys():
+        assert ss.guaranteed_count(key) <= truth[key] <= ss.estimate(key)
+    assert sum(count for _, count in ss.top()) >= len(stream) / max(
+        1, len(truth)
+    )
+
+
+@given(value=st.integers(min_value=0, max_value=2**64 - 1))
+@settings(max_examples=300, deadline=None)
+def test_mix64_is_injective_on_samples(value):
+    """splitmix64 is a bijection: x != y -> mix(x) != mix(y) (sampled)."""
+    other = (value + 1) & (2**64 - 1)
+    assert mix64(value) != mix64(other)

@@ -1,0 +1,37 @@
+"""Tests for repro.quantiles.base (the paper's rank conventions)."""
+
+import pytest
+
+from repro.quantiles.base import NEG_INF, paper_quantile_index
+
+
+class TestPaperQuantileIndex:
+    def test_empty_set(self):
+        assert paper_quantile_index(0, 0.95) is None
+
+    def test_definition2_floor(self):
+        # n=3, delta=0.5 -> index floor(1.5) = 1 (the paper's Figure 1:
+        # second-highest of {1, 5, 9} when counting medians).
+        assert paper_quantile_index(3, 0.5) == 1
+
+    def test_epsilon_shifts_down(self):
+        # Paper's noise example: n=8, delta=0.8 -> index 6 (0-based);
+        # epsilon=1 moves it to index 5 (the 6th lowest value).
+        assert paper_quantile_index(8, 0.8) == 6
+        assert paper_quantile_index(8, 0.8, epsilon=1) == 5
+
+    def test_negative_index_is_none(self):
+        # Definition 3: index < 0 means the quantile is -inf.
+        assert paper_quantile_index(5, 0.5, epsilon=10) is None
+
+    def test_single_item_epsilon_zero(self):
+        assert paper_quantile_index(1, 0.95) == 0
+
+    def test_single_item_epsilon_one(self):
+        assert paper_quantile_index(1, 0.95, epsilon=1) is None
+
+    def test_index_clamped_below_n(self):
+        assert paper_quantile_index(4, 0.999999) <= 3
+
+    def test_neg_inf_constant(self):
+        assert NEG_INF == float("-inf")

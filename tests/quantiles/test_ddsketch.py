@@ -1,0 +1,90 @@
+"""Tests for repro.quantiles.ddsketch."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.quantiles.base import NEG_INF
+from repro.quantiles.ddsketch import DDSketch
+
+
+class TestDDSketch:
+    def test_empty(self):
+        dd = DDSketch(alpha=0.01)
+        assert dd.quantile(0.5) == NEG_INF
+
+    def test_relative_error_guarantee(self):
+        """Every reported quantile within (1 +/- alpha) of the truth."""
+        rng = random.Random(1)
+        alpha = 0.02
+        dd = DDSketch(alpha=alpha)
+        values = [rng.lognormvariate(3, 1.5) for _ in range(20_000)]
+        for value in values:
+            dd.insert(value)
+        ordered = sorted(values)
+        for delta in (0.1, 0.5, 0.9, 0.95, 0.99):
+            true = ordered[int(delta * len(ordered))]
+            estimate = dd.quantile(delta)
+            assert abs(estimate - true) <= alpha * true * 1.5  # slack for ties
+
+    def test_zero_values(self):
+        dd = DDSketch(alpha=0.01)
+        for _ in range(10):
+            dd.insert(0.0)
+        assert dd.quantile(0.5) == 0.0
+
+    def test_negative_values(self):
+        dd = DDSketch(alpha=0.01)
+        for value in (-10.0, -5.0, -1.0, 1.0, 5.0):
+            dd.insert(value)
+        median = dd.quantile(0.5)
+        assert median == pytest.approx(-1.0, rel=0.05)
+
+    def test_mixed_sign_ordering(self):
+        dd = DDSketch(alpha=0.01)
+        for value in (-100.0, -10.0, 0.0, 10.0, 100.0):
+            dd.insert(value)
+        q_low = dd.quantile(0.1)
+        q_high = dd.quantile(0.9)
+        assert q_low < 0 < q_high
+
+    def test_bucket_collapse_bounds_memory(self):
+        rng = random.Random(2)
+        dd = DDSketch(alpha=0.01, max_buckets=64)
+        for _ in range(50_000):
+            dd.insert(rng.lognormvariate(0, 4))
+        assert dd.bucket_count <= 66
+
+    def test_collapse_preserves_upper_quantiles(self):
+        """Collapsing eats the lowest buckets; the tail stays accurate."""
+        rng = random.Random(3)
+        alpha = 0.02
+        dd = DDSketch(alpha=alpha, max_buckets=128)
+        values = [rng.lognormvariate(2, 2) for _ in range(30_000)]
+        for value in values:
+            dd.insert(value)
+        ordered = sorted(values)
+        true_p99 = ordered[int(0.99 * len(ordered))]
+        assert dd.quantile(0.99) == pytest.approx(true_p99, rel=3 * alpha)
+
+    def test_epsilon_argument(self):
+        dd = DDSketch(alpha=0.01)
+        for i in range(1, 101):
+            dd.insert(float(i))
+        assert dd.quantile(0.9, epsilon=20) <= dd.quantile(0.9)
+
+    def test_clear(self):
+        dd = DDSketch()
+        dd.insert(5.0)
+        dd.clear()
+        assert dd.count == 0
+        assert dd.quantile(0.5) == NEG_INF
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            DDSketch(alpha=0.0)
+        with pytest.raises(ParameterError):
+            DDSketch(alpha=1.0)
+        with pytest.raises(ParameterError):
+            DDSketch(max_buckets=1)

@@ -1,0 +1,107 @@
+"""Tests for repro.quantiles.gk."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.quantiles.base import NEG_INF
+from repro.quantiles.gk import GKSummary
+
+
+class TestGKSummary:
+    def test_empty(self):
+        gk = GKSummary(eps=0.01)
+        assert gk.quantile(0.5) == NEG_INF
+        assert gk.count == 0
+
+    def test_single_value(self):
+        gk = GKSummary(eps=0.01)
+        gk.insert(42.0)
+        assert gk.quantile(0.5) == 42.0
+
+    def test_rank_error_within_bound_uniform(self):
+        rng = random.Random(1)
+        eps = 0.02
+        gk = GKSummary(eps=eps)
+        values = [rng.uniform(0, 1000) for _ in range(5_000)]
+        for value in values:
+            gk.insert(value)
+        ordered = sorted(values)
+        for delta in (0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99):
+            estimate = gk.quantile(delta)
+            # Convert the value estimate back to a rank and check the
+            # deviation against the eps*n guarantee (with slack for the
+            # discrete rank conversion).
+            import bisect
+
+            est_rank = bisect.bisect_right(ordered, estimate)
+            target_rank = int(delta * len(ordered)) + 1
+            assert abs(est_rank - target_rank) <= 2 * eps * len(ordered) + 2
+
+    def test_rank_error_sorted_input(self):
+        eps = 0.02
+        gk = GKSummary(eps=eps)
+        n = 3_000
+        for i in range(n):
+            gk.insert(float(i))
+        for delta in (0.2, 0.5, 0.9):
+            estimate = gk.quantile(delta)
+            assert abs(estimate - delta * n) <= 2 * eps * n + 2
+
+    def test_rank_error_reversed_input(self):
+        eps = 0.02
+        gk = GKSummary(eps=eps)
+        n = 3_000
+        for i in reversed(range(n)):
+            gk.insert(float(i))
+        for delta in (0.2, 0.5, 0.9):
+            estimate = gk.quantile(delta)
+            assert abs(estimate - delta * n) <= 2 * eps * n + 2
+
+    def test_summary_sublinear(self):
+        gk = GKSummary(eps=0.05)
+        rng = random.Random(2)
+        for _ in range(20_000):
+            gk.insert(rng.uniform(0, 1))
+        # 1/(2*0.05) = 10 tuples per band; allow generous headroom but
+        # require far fewer tuples than inputs.
+        assert gk.tuples < 2_000
+
+    def test_epsilon_parameter_in_quantile(self):
+        gk = GKSummary(eps=0.001)
+        for i in range(100):
+            gk.insert(float(i))
+        base = gk.quantile(0.9)
+        shifted = gk.quantile(0.9, epsilon=10)
+        assert shifted <= base
+
+    def test_too_few_values_for_epsilon(self):
+        gk = GKSummary()
+        gk.insert(5.0)
+        assert gk.quantile(0.95, epsilon=30) == NEG_INF
+
+    def test_duplicates(self):
+        gk = GKSummary(eps=0.01)
+        for _ in range(1_000):
+            gk.insert(7.0)
+        assert gk.quantile(0.5) == 7.0
+
+    def test_clear(self):
+        gk = GKSummary()
+        gk.insert(1.0)
+        gk.clear()
+        assert gk.count == 0
+        assert gk.quantile(0.5) == NEG_INF
+
+    def test_nbytes_tracks_tuples(self):
+        gk = GKSummary(eps=0.1)
+        for i in range(100):
+            gk.insert(float(i))
+        assert gk.nbytes == 16 * gk.tuples
+
+    def test_invalid_eps(self):
+        with pytest.raises(ParameterError):
+            GKSummary(eps=0.0)
+        with pytest.raises(ParameterError):
+            GKSummary(eps=1.0)

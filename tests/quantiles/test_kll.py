@@ -1,0 +1,90 @@
+"""Tests for repro.quantiles.kll."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.quantiles.base import NEG_INF
+from repro.quantiles.kll import KLLSketch
+
+
+class TestKLLSketch:
+    def test_empty(self):
+        kll = KLLSketch(k=50)
+        assert kll.quantile(0.5) == NEG_INF
+        assert kll.count == 0
+
+    def test_small_input_exact(self):
+        kll = KLLSketch(k=200)
+        values = [5.0, 1.0, 9.0]
+        for value in values:
+            kll.insert(value)
+        # Below the first compaction everything is stored verbatim.
+        assert kll.quantile(0.5) == 5.0
+
+    def test_rank_error_uniform(self):
+        rng = random.Random(1)
+        kll = KLLSketch(k=200, seed=1)
+        n = 20_000
+        values = [rng.uniform(0, 1) for _ in range(n)]
+        for value in values:
+            kll.insert(value)
+        ordered = sorted(values)
+        import bisect
+
+        for delta in (0.1, 0.5, 0.9, 0.99):
+            estimate = kll.quantile(delta)
+            est_rank = bisect.bisect_right(ordered, estimate)
+            # O(n/k) error with constant ~ a few; allow 5 * n / k.
+            assert abs(est_rank - delta * n) < 5 * n / 200
+
+    def test_space_sublinear(self):
+        kll = KLLSketch(k=100, seed=2)
+        for i in range(50_000):
+            kll.insert(float(i))
+        assert kll.stored_items < 1_500
+        assert kll.count == 50_000
+
+    def test_rank_estimate_unbiased_across_seeds(self):
+        n = 4_000
+        target_value = 2_000.0
+        ranks = []
+        for seed in range(25):
+            kll = KLLSketch(k=32, seed=seed)
+            for i in range(n):
+                kll.insert(float(i))
+            ranks.append(kll.rank(target_value))
+        assert abs(np.mean(ranks) - 2_001) < n * 0.05
+
+    def test_levels_grow_logarithmically(self):
+        kll = KLLSketch(k=64, seed=3)
+        for i in range(10_000):
+            kll.insert(float(i))
+        assert kll.levels <= 16
+
+    def test_adversarial_sorted_input(self):
+        kll = KLLSketch(k=200, seed=4)
+        n = 10_000
+        for i in range(n):
+            kll.insert(float(i))
+        estimate = kll.quantile(0.5)
+        assert abs(estimate - n / 2) < 5 * n / 200
+
+    def test_epsilon_argument(self):
+        kll = KLLSketch(k=200, seed=5)
+        for i in range(1_000):
+            kll.insert(float(i))
+        assert kll.quantile(0.9, epsilon=100) <= kll.quantile(0.9)
+
+    def test_clear(self):
+        kll = KLLSketch(k=50)
+        kll.insert(1.0)
+        kll.clear()
+        assert kll.count == 0
+        assert kll.stored_items == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            KLLSketch(k=1)

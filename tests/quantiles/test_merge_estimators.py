@@ -1,0 +1,143 @@
+"""Tests for merging the single-key quantile estimators."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.quantiles.ddsketch import DDSketch
+from repro.quantiles.exact import ExactQuantile
+from repro.quantiles.kll import KLLSketch
+from repro.quantiles.tdigest import TDigest
+
+
+def split_streams(seed: int, n: int = 6_000):
+    """Two value streams and their union's exact oracle."""
+    rng = random.Random(seed)
+    a = [rng.lognormvariate(2, 1) for _ in range(n)]
+    b = [rng.lognormvariate(3, 0.5) for _ in range(n // 2)]
+    exact = ExactQuantile()
+    for value in a + b:
+        exact.insert(value)
+    return a, b, exact
+
+
+class TestKLLMerge:
+    def test_merged_matches_union(self):
+        a, b, exact = split_streams(seed=1)
+        left = KLLSketch(k=256, seed=1)
+        right = KLLSketch(k=256, seed=2)
+        for value in a:
+            left.insert(value)
+        for value in b:
+            right.insert(value)
+        left.merge(right)
+        assert left.count == len(a) + len(b)
+        import bisect
+
+        ordered = exact.values()
+        for delta in (0.25, 0.5, 0.9, 0.95):
+            estimate = left.quantile(delta)
+            rank = bisect.bisect_right(ordered, estimate)
+            assert abs(rank - delta * len(ordered)) < 0.05 * len(ordered)
+
+    def test_merge_into_empty(self):
+        left = KLLSketch(k=64, seed=1)
+        right = KLLSketch(k=64, seed=2)
+        for i in range(500):
+            right.insert(float(i))
+        left.merge(right)
+        assert left.count == 500
+        assert abs(left.quantile(0.5) - 250) < 40
+
+    def test_space_still_bounded_after_merges(self):
+        total = KLLSketch(k=64, seed=1)
+        rng = random.Random(3)
+        for shard in range(10):
+            part = KLLSketch(k=64, seed=shard + 10)
+            for _ in range(2_000):
+                part.insert(rng.random())
+            total.merge(part)
+        assert total.count == 20_000
+        assert total.stored_items < 1_500
+
+
+class TestDDSketchMerge:
+    def test_merged_matches_union(self):
+        a, b, exact = split_streams(seed=4)
+        left = DDSketch(alpha=0.02)
+        right = DDSketch(alpha=0.02)
+        for value in a:
+            left.insert(value)
+        for value in b:
+            right.insert(value)
+        left.merge(right)
+        assert left.count == len(a) + len(b)
+        for delta in (0.5, 0.95):
+            true = exact.quantile(delta)
+            assert left.quantile(delta) == pytest.approx(true, rel=0.05)
+
+    def test_alpha_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            DDSketch(alpha=0.01).merge(DDSketch(alpha=0.02))
+
+    def test_collapse_floor_respected(self):
+        left = DDSketch(alpha=0.05, max_buckets=8)
+        right = DDSketch(alpha=0.05, max_buckets=8)
+        rng = random.Random(5)
+        for _ in range(5_000):
+            left.insert(rng.lognormvariate(0, 4))
+            right.insert(rng.lognormvariate(0, 4))
+        left.merge(right)
+        assert len(left._pos) <= 8
+        assert left.count == 10_000
+
+    def test_zero_and_negative_counts_merge(self):
+        left = DDSketch()
+        right = DDSketch()
+        left.insert(0.0)
+        right.insert(0.0)
+        right.insert(-5.0)
+        left.merge(right)
+        assert left.count == 3
+        assert left.quantile(0.0) == pytest.approx(-5.0, rel=0.05)
+
+
+class TestTDigestMerge:
+    def test_merged_matches_union(self):
+        a, b, exact = split_streams(seed=6)
+        left = TDigest(compression=200)
+        right = TDigest(compression=200)
+        for value in a:
+            left.insert(value)
+        for value in b:
+            right.insert(value)
+        left.merge(right)
+        assert left.count == len(a) + len(b)
+        for delta in (0.5, 0.95):
+            true = exact.quantile(delta)
+            assert left.quantile(delta) == pytest.approx(true, rel=0.1)
+
+    def test_centroid_count_bounded_after_merges(self):
+        total = TDigest(compression=100)
+        rng = random.Random(7)
+        for shard in range(8):
+            part = TDigest(compression=100)
+            for _ in range(3_000):
+                part.insert(rng.gauss(0, 1))
+            total.merge(part)
+        assert total.count == 24_000
+        assert total.centroid_count < 300
+
+    def test_compression_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            TDigest(compression=100).merge(TDigest(compression=200))
+
+    def test_merge_with_empty(self):
+        left = TDigest(compression=100)
+        right = TDigest(compression=100)
+        for i in range(100):
+            left.insert(float(i))
+        left.merge(right)
+        assert left.count == 100
+        assert left.quantile(0.5) == pytest.approx(50.0, abs=5.0)

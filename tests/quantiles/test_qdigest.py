@@ -1,0 +1,106 @@
+"""Tests for repro.quantiles.qdigest."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.quantiles.base import NEG_INF
+from repro.quantiles.exact import ExactQuantile
+from repro.quantiles.qdigest import QDigest
+
+
+class TestQDigest:
+    def test_empty(self):
+        qd = QDigest(k=32)
+        assert qd.quantile(0.5) == NEG_INF
+        assert qd.count == 0
+
+    def test_single_value(self):
+        qd = QDigest(k=32, log_universe=10)
+        qd.insert(137.0)
+        assert qd.quantile(0.5) == pytest.approx(137.0, abs=1.0)
+
+    def test_rank_error_within_guarantee(self):
+        rng = random.Random(1)
+        k, log_u = 128, 12
+        qd = QDigest(k=k, log_universe=log_u)
+        exact = ExactQuantile()
+        n = 20_000
+        for _ in range(n):
+            value = float(rng.randrange(0, 1 << log_u))
+            qd.insert(value)
+            exact.insert(value)
+        qd.compress()
+        ordered = exact.values()
+        import bisect
+
+        bound = n * log_u / k
+        for delta in (0.25, 0.5, 0.9, 0.99):
+            estimate = qd.quantile(delta)
+            est_rank = bisect.bisect_right(ordered, estimate)
+            assert abs(est_rank - delta * n) <= bound + n * 0.01, delta
+
+    def test_space_bounded(self):
+        rng = random.Random(2)
+        qd = QDigest(k=64, log_universe=16)
+        for _ in range(50_000):
+            qd.insert(float(rng.randrange(0, 1 << 16)))
+        qd.compress()
+        # O(k * logU) nodes: 64 * 16 = 1024, allow constant slack.
+        assert qd.node_count <= 3 * 64 * 16
+
+    def test_values_clamped_into_universe(self):
+        qd = QDigest(k=16, log_universe=8)
+        qd.insert(-5.0)
+        qd.insert(1e9)
+        assert qd.count == 2
+        assert 0 <= qd.quantile(0.0) <= 255
+        assert 0 <= qd.quantile(0.99) <= 255
+
+    def test_skewed_distribution(self):
+        rng = random.Random(3)
+        qd = QDigest(k=256, log_universe=14)
+        exact = ExactQuantile()
+        for _ in range(10_000):
+            value = min(float(int(rng.expovariate(0.01))), (1 << 14) - 1)
+            qd.insert(value)
+            exact.insert(value)
+        true = exact.quantile(0.95)
+        assert qd.quantile(0.95) == pytest.approx(true, rel=0.25, abs=10)
+
+    def test_compress_idempotent_on_counts(self):
+        rng = random.Random(4)
+        qd = QDigest(k=32, log_universe=10)
+        for _ in range(1_000):
+            qd.insert(float(rng.randrange(0, 1024)))
+        total_before = sum(qd._counts.values())
+        qd.compress()
+        qd.compress()
+        assert sum(qd._counts.values()) == total_before == 1_000
+
+    def test_rank_error_bound_formula(self):
+        qd = QDigest(k=100, log_universe=10)
+        for i in range(1_000):
+            qd.insert(float(i % 1024))
+        assert qd.rank_error_bound() == pytest.approx(1_000 * 10 / 100)
+
+    def test_epsilon_argument(self):
+        qd = QDigest(k=128, log_universe=10)
+        for i in range(200):
+            qd.insert(float(i % 1024))
+        assert qd.quantile(0.9, epsilon=50) <= qd.quantile(0.9)
+
+    def test_clear(self):
+        qd = QDigest(k=16)
+        qd.insert(5.0)
+        qd.clear()
+        assert qd.count == 0 and qd.node_count == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            QDigest(k=0)
+        with pytest.raises(ParameterError):
+            QDigest(log_universe=0)
+        with pytest.raises(ParameterError):
+            QDigest(log_universe=31)

@@ -1,0 +1,85 @@
+"""Tests for repro.quantiles.tdigest."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.quantiles.base import NEG_INF
+from repro.quantiles.tdigest import TDigest
+
+
+class TestTDigest:
+    def test_empty(self):
+        digest = TDigest()
+        assert digest.quantile(0.5) == NEG_INF
+        assert digest.count == 0
+
+    def test_single_value(self):
+        digest = TDigest()
+        digest.insert(13.0)
+        assert digest.quantile(0.5) == pytest.approx(13.0)
+
+    def test_uniform_median(self):
+        rng = random.Random(1)
+        digest = TDigest(compression=100)
+        for _ in range(20_000):
+            digest.insert(rng.uniform(0, 100))
+        assert digest.quantile(0.5) == pytest.approx(50.0, abs=3.0)
+
+    def test_tail_quantiles_tight(self):
+        """The k1 scale function keeps tail clusters tiny, so tail
+        quantiles are relatively accurate — t-digest's selling point."""
+        rng = random.Random(2)
+        digest = TDigest(compression=200)
+        values = [rng.uniform(0, 1000) for _ in range(30_000)]
+        for value in values:
+            digest.insert(value)
+        ordered = sorted(values)
+        for delta in (0.99, 0.999):
+            true = ordered[int(delta * len(ordered))]
+            assert digest.quantile(delta) == pytest.approx(true, rel=0.02)
+
+    def test_centroid_count_bounded(self):
+        rng = random.Random(3)
+        digest = TDigest(compression=100)
+        for _ in range(50_000):
+            digest.insert(rng.gauss(0, 1))
+        assert digest.centroid_count < 300
+
+    def test_monotone_quantiles(self):
+        rng = random.Random(4)
+        digest = TDigest(compression=100)
+        for _ in range(5_000):
+            digest.insert(rng.uniform(0, 10))
+        quantiles = [digest.quantile(d) for d in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert quantiles == sorted(quantiles)
+
+    def test_skewed_distribution(self):
+        rng = random.Random(5)
+        digest = TDigest(compression=200)
+        values = [rng.lognormvariate(0, 2) for _ in range(20_000)]
+        for value in values:
+            digest.insert(value)
+        ordered = sorted(values)
+        true_median = ordered[10_000]
+        assert digest.quantile(0.5) == pytest.approx(true_median, rel=0.1)
+
+    def test_clear(self):
+        digest = TDigest()
+        digest.insert(1.0)
+        digest.clear()
+        assert digest.count == 0
+        assert digest.quantile(0.5) == NEG_INF
+
+    def test_nbytes_bounded(self):
+        digest = TDigest(compression=100, buffer_size=100)
+        for i in range(10_000):
+            digest.insert(float(i))
+        assert digest.nbytes < 16 * 300 + 8 * 100
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            TDigest(compression=5)
+        with pytest.raises(ParameterError):
+            TDigest(buffer_size=0)

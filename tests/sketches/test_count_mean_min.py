@@ -1,0 +1,108 @@
+"""Tests for repro.sketches.count_mean_min."""
+
+import numpy as np
+import pytest
+
+from repro.common.hashing import canonical_key
+from repro.sketches.count_mean_min import CountMeanMinSketch
+from repro.sketches.count_min import CountMinSketch
+
+
+def k(i: int) -> int:
+    return canonical_key(i)
+
+
+class TestBasics:
+    def test_empty_estimates_zero(self):
+        sketch = CountMeanMinSketch(depth=3, width=64, seed=1)
+        assert sketch.estimate(k(5)) == 0.0
+
+    def test_single_key_exact_without_collisions(self):
+        sketch = CountMeanMinSketch(depth=3, width=1024, seed=1)
+        for _ in range(10):
+            sketch.update(k(1), 2.0)
+        # Correction subtracts ~0 noise when the key owns ~all the mass
+        # spread across 1024 columns.
+        assert sketch.estimate(k(1)) == pytest.approx(20.0, abs=0.5)
+
+    def test_negative_weights(self):
+        sketch = CountMeanMinSketch(depth=3, width=512, seed=2)
+        sketch.update(k(3), -7.0)
+        assert sketch.estimate(k(3)) == pytest.approx(-7.0, abs=0.5)
+
+    def test_delete_restores(self):
+        sketch = CountMeanMinSketch(depth=3, width=512, seed=3)
+        sketch.update(k(9), 30.0)
+        sketch.delete(k(9), 30.0)
+        assert sketch.estimate(k(9)) == pytest.approx(0.0, abs=1e-6)
+
+    def test_fused_matches_separate(self):
+        fused = CountMeanMinSketch(depth=3, width=128, seed=4)
+        separate = CountMeanMinSketch(depth=3, width=128, seed=4)
+        for i in range(300):
+            fused_est = fused.update_and_estimate(k(i % 19), 1.0)
+            separate.update(k(i % 19), 1.0)
+            assert fused_est == pytest.approx(separate.estimate(k(i % 19)))
+
+    def test_clear(self):
+        sketch = CountMeanMinSketch(depth=2, width=64, seed=5)
+        sketch.update(k(1), 5.0)
+        sketch.clear()
+        assert sketch.estimate(k(1)) == 0.0
+
+    def test_nbytes_includes_row_totals(self):
+        sketch = CountMeanMinSketch(depth=3, width=100, counter_kind="int32")
+        assert sketch.nbytes == 1200 + 24
+
+
+class TestNoiseCorrection:
+    def test_less_biased_than_cms_under_collisions(self):
+        """The point of the correction: on a crowded sketch the mean
+        absolute error for 1-count keys beats plain CMS."""
+        cmm = CountMeanMinSketch(depth=3, width=16, seed=6)
+        cms = CountMinSketch(depth=3, width=16, seed=6)
+        for key in range(400):
+            cmm.update(k(key), 1.0)
+            cms.update(k(key), 1.0)
+        cmm_err = np.mean([abs(cmm.estimate(k(key)) - 1.0) for key in range(400)])
+        cms_err = np.mean([abs(cms.estimate(k(key)) - 1.0) for key in range(400)])
+        assert cmm_err < cms_err
+
+    def test_roughly_unbiased(self):
+        estimates = []
+        for seed in range(40):
+            sketch = CountMeanMinSketch(depth=1, width=16, seed=seed)
+            for key in range(100):
+                sketch.update(k(key), 1.0)
+            sketch.update(k(999), 25.0)
+            estimates.append(sketch.estimate(k(999)))
+        assert abs(np.mean(estimates) - 25.0) < 3.0
+
+    def test_width_one_no_correction_blowup(self):
+        sketch = CountMeanMinSketch(depth=2, width=1, seed=7)
+        sketch.update(k(1), 5.0)
+        assert np.isfinite(sketch.estimate(k(1)))
+
+
+class TestAsVagueBackend:
+    def test_registered_in_vague_part(self):
+        from repro.core.vague import VaguePart
+
+        part = VaguePart(depth=3, width=64, backend="cmm")
+        assert isinstance(part.sketch, CountMeanMinSketch)
+
+    def test_quantilefilter_runs_with_cmm(self):
+        import random
+
+        from repro.core.criteria import Criteria
+        from repro.core.quantile_filter import QuantileFilter
+
+        crit = Criteria(delta=0.9, threshold=100.0, epsilon=3.0)
+        qf = QuantileFilter(crit, memory_bytes=16_384,
+                            vague_backend="cmm", seed=1)
+        rng = random.Random(8)
+        for _ in range(5_000):
+            key = rng.randrange(100)
+            value = 500.0 if key < 5 else rng.uniform(0, 50)
+            qf.insert(key, value)
+        assert {0, 1, 2, 3, 4} <= qf.reported_keys

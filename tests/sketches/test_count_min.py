@@ -1,0 +1,94 @@
+"""Tests for repro.sketches.count_min."""
+
+import numpy as np
+import pytest
+
+from repro.common.hashing import canonical_key, canonical_keys
+from repro.sketches.count_min import CountMinSketch
+
+
+def k(i: int) -> int:
+    return canonical_key(i)
+
+
+class TestBasics:
+    def test_empty_estimates_zero(self):
+        sketch = CountMinSketch(depth=3, width=64, seed=1)
+        assert sketch.estimate(k(5)) == 0.0
+
+    def test_single_key_exact_without_collisions(self):
+        sketch = CountMinSketch(depth=3, width=1024, seed=1)
+        for _ in range(7):
+            sketch.update(k(1), 3.0)
+        assert sketch.estimate(k(1)) == pytest.approx(21.0)
+
+    def test_never_underestimates_positive_streams(self):
+        """The classic CMS guarantee for non-negative updates."""
+        sketch = CountMinSketch(depth=3, width=16, seed=2)
+        truth = {}
+        for i in range(500):
+            key = i % 40
+            sketch.update(k(key), 1.0)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert sketch.estimate(k(key)) >= count
+
+    def test_negative_weights_allowed(self):
+        sketch = CountMinSketch(depth=3, width=512, seed=3)
+        sketch.update(k(5), -4.0)
+        assert sketch.estimate(k(5)) == pytest.approx(-4.0)
+
+    def test_delete(self):
+        sketch = CountMinSketch(depth=2, width=512, seed=4)
+        sketch.update(k(5), 10.0)
+        sketch.delete(k(5), 10.0)
+        assert sketch.estimate(k(5)) == pytest.approx(0.0)
+
+    def test_fused_update_matches_separate(self):
+        fused = CountMinSketch(depth=3, width=128, seed=5)
+        separate = CountMinSketch(depth=3, width=128, seed=5)
+        for i in range(300):
+            fused_est = fused.update_and_estimate(k(i % 23), 1.0)
+            separate.update(k(i % 23), 1.0)
+            assert fused_est == pytest.approx(separate.estimate(k(i % 23)))
+
+    def test_clear_and_nbytes(self):
+        sketch = CountMinSketch(depth=2, width=100, counter_kind="int16")
+        sketch.update(k(1), 5.0)
+        sketch.clear()
+        assert sketch.estimate(k(1)) == 0.0
+        assert sketch.nbytes == 400
+
+
+class TestBatch:
+    def test_update_batch_matches_scalar(self):
+        scalar = CountMinSketch(depth=3, width=64, counter_kind="float", seed=6)
+        batch = CountMinSketch(depth=3, width=64, counter_kind="float", seed=6)
+        raw = np.arange(300, dtype=np.int64) % 29
+        weights = np.ones(300)
+        canon = canonical_keys(raw)
+        for key in canon.tolist():
+            scalar.update(int(key), 1.0)
+        batch.update_batch(canon, weights)
+        assert np.allclose(scalar.counters.data, batch.counters.data)
+
+    def test_estimate_batch_matches_scalar(self):
+        sketch = CountMinSketch(depth=3, width=64, counter_kind="float", seed=7)
+        canon = canonical_keys(np.arange(50, dtype=np.int64))
+        sketch.update_batch(canon, np.ones(50))
+        estimates = sketch.estimate_batch(canon)
+        for key, estimate in zip(canon.tolist(), estimates.tolist()):
+            assert sketch.estimate(int(key)) == pytest.approx(estimate)
+
+
+class TestBiasComparedToCS:
+    def test_cms_biased_up_for_frequencies(self):
+        """Collisions only ever add in CMS — the bias that makes the CS
+        vague part more accurate for Qweights (paper Choice 2)."""
+        sketch = CountMinSketch(depth=3, width=8, seed=8)
+        for key in range(200):
+            sketch.update(k(key), 1.0)
+        overestimates = sum(
+            1 for key in range(200) if sketch.estimate(k(key)) > 1.0
+        )
+        assert overestimates > 150

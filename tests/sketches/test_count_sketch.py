@@ -1,0 +1,118 @@
+"""Tests for repro.sketches.count_sketch."""
+
+import numpy as np
+import pytest
+
+from repro.common.hashing import canonical_key, canonical_keys
+from repro.sketches.count_sketch import CountSketch
+
+
+def k(i: int) -> int:
+    return canonical_key(i)
+
+
+class TestBasics:
+    def test_empty_estimates_zero(self):
+        sketch = CountSketch(depth=3, width=64, seed=1)
+        assert sketch.estimate(k(5)) == 0.0
+
+    def test_single_key_exact_when_no_collisions(self):
+        sketch = CountSketch(depth=3, width=1024, seed=1)
+        for _ in range(10):
+            sketch.update(k(1), 2.0)
+        assert sketch.estimate(k(1)) == pytest.approx(20.0)
+
+    def test_negative_weights_supported(self):
+        sketch = CountSketch(depth=3, width=1024, seed=1)
+        sketch.update(k(1), -5.0)
+        assert sketch.estimate(k(1)) == pytest.approx(-5.0)
+
+    def test_mixed_weights_accumulate(self):
+        sketch = CountSketch(depth=3, width=1024, seed=2)
+        sketch.update(k(7), 19.0)
+        sketch.update(k(7), -1.0)
+        sketch.update(k(7), -1.0)
+        assert sketch.estimate(k(7)) == pytest.approx(17.0)
+
+    def test_delete_removes_mass(self):
+        sketch = CountSketch(depth=3, width=1024, seed=3)
+        sketch.update(k(9), 30.0)
+        sketch.delete(k(9), 30.0)
+        assert sketch.estimate(k(9)) == pytest.approx(0.0)
+
+    def test_update_and_estimate_fused_matches_separate(self):
+        fused = CountSketch(depth=3, width=256, seed=4)
+        separate = CountSketch(depth=3, width=256, seed=4)
+        for i in range(200):
+            fused_est = fused.update_and_estimate(k(i % 17), 1.0)
+            separate.update(k(i % 17), 1.0)
+            assert fused_est == pytest.approx(separate.estimate(k(i % 17)))
+
+    def test_clear(self):
+        sketch = CountSketch(depth=2, width=64, seed=5)
+        sketch.update(k(1), 10.0)
+        sketch.clear()
+        assert sketch.estimate(k(1)) == 0.0
+
+    def test_nbytes(self):
+        assert CountSketch(depth=3, width=100, counter_kind="int32").nbytes == 1200
+        assert CountSketch(depth=3, width=100, counter_kind="int16").nbytes == 600
+
+
+class TestAccuracy:
+    def test_unbiasedness_over_seeds(self):
+        """Theorem 1: E[estimate] equals the true Qweight."""
+        true_weight = 40.0
+        estimates = []
+        for seed in range(60):
+            sketch = CountSketch(depth=1, width=16, seed=seed)
+            for key in range(64):
+                sketch.update(k(key), 1.0)
+            sketch.update(k(999), true_weight)
+            estimates.append(sketch.estimate(k(999)))
+        assert abs(np.mean(estimates) - true_weight) < 4.0
+
+    def test_median_beats_single_row(self):
+        """More rows shrink the collision error of a hot key's estimate."""
+        errors = {1: [], 5: []}
+        for seed in range(30):
+            for depth in errors:
+                sketch = CountSketch(depth=depth, width=32, seed=seed)
+                for key in range(200):
+                    sketch.update(k(key), 1.0)
+                sketch.update(k(5000), 50.0)
+                errors[depth].append(abs(sketch.estimate(k(5000)) - 50.0))
+        assert np.mean(errors[5]) <= np.mean(errors[1]) + 1e-9
+
+    def test_error_shrinks_with_width(self):
+        errors = {}
+        for width in (16, 1024):
+            per_seed = []
+            for seed in range(20):
+                sketch = CountSketch(depth=3, width=width, seed=seed)
+                for key in range(300):
+                    sketch.update(k(key), 1.0)
+                per_seed.append(abs(sketch.estimate(k(31))) - 1.0)
+            errors[width] = np.mean(np.abs(per_seed))
+        assert errors[1024] <= errors[16]
+
+
+class TestBatch:
+    def test_update_batch_matches_scalar(self):
+        scalar = CountSketch(depth=3, width=128, counter_kind="float", seed=6)
+        batch = CountSketch(depth=3, width=128, counter_kind="float", seed=6)
+        raw_keys = np.arange(500, dtype=np.int64) % 37
+        weights = np.where(raw_keys % 5 == 0, 19.0, -1.0)
+        canon = canonical_keys(raw_keys)
+        for key, weight in zip(canon.tolist(), weights.tolist()):
+            scalar.update(int(key), weight)
+        batch.update_batch(canon, weights)
+        assert np.allclose(scalar.counters.data, batch.counters.data)
+
+    def test_estimate_batch_matches_scalar(self):
+        sketch = CountSketch(depth=3, width=128, counter_kind="float", seed=7)
+        canon = canonical_keys(np.arange(100, dtype=np.int64))
+        sketch.update_batch(canon, np.ones(100))
+        batch_estimates = sketch.estimate_batch(canon)
+        for key, estimate in zip(canon.tolist(), batch_estimates.tolist()):
+            assert sketch.estimate(int(key)) == pytest.approx(estimate)

@@ -1,0 +1,128 @@
+"""Tests for repro.sketches.sampling."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.sketches.sampling import ReservoirSampler
+
+
+class TestReservoirSampler:
+    def test_fills_before_sampling(self):
+        sampler = ReservoirSampler(capacity=5, seed=1)
+        for i in range(5):
+            sampler.offer(i)
+        assert sorted(sampler.sample()) == [0, 1, 2, 3, 4]
+
+    def test_capacity_respected(self):
+        sampler = ReservoirSampler(capacity=10, seed=2)
+        for i in range(1_000):
+            sampler.offer(i)
+        assert len(sampler) == 10
+        assert sampler.seen == 1_000
+
+    def test_uniformity(self):
+        """Each item's inclusion probability should be capacity / n."""
+        hits = np.zeros(100)
+        for seed in range(400):
+            sampler = ReservoirSampler(capacity=10, seed=seed)
+            for i in range(100):
+                sampler.offer(i)
+            for item in sampler.sample():
+                hits[item] += 1
+        # Expected hits per item: 400 * 10/100 = 40.
+        assert hits.min() > 15 and hits.max() < 75
+        assert abs(hits.mean() - 40.0) < 2.0
+
+    def test_reproducible_with_seed(self):
+        a = ReservoirSampler(capacity=4, seed=9)
+        b = ReservoirSampler(capacity=4, seed=9)
+        for i in range(100):
+            a.offer(i)
+            b.offer(i)
+        assert a.sample() == b.sample()
+
+    def test_clear(self):
+        sampler = ReservoirSampler(capacity=3, seed=1)
+        sampler.offer("x")
+        sampler.clear()
+        assert len(sampler) == 0
+        assert sampler.seen == 0
+
+    def test_sample_returns_copy(self):
+        sampler = ReservoirSampler(capacity=3, seed=1)
+        sampler.offer("x")
+        snapshot = sampler.sample()
+        snapshot.append("tampered")
+        assert len(sampler) == 1
+
+    def test_nbytes(self):
+        assert ReservoirSampler(capacity=100).nbytes == 1_600
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ParameterError):
+            ReservoirSampler(capacity=0)
+
+
+class TestKeyedReservoirSampler:
+    def _make(self, capacity=10, seed=1):
+        from repro.sketches.sampling import KeyedReservoirSampler
+
+        return KeyedReservoirSampler(capacity=capacity, seed=seed)
+
+    def test_index_matches_items(self):
+        import random
+
+        sampler = self._make(capacity=20, seed=3)
+        rng = random.Random(4)
+        for _ in range(2_000):
+            sampler.offer(rng.randrange(10), rng.random())
+        # Rebuild the index from the raw items and compare.
+        rebuilt = {}
+        for key, value in sampler.sample():
+            rebuilt.setdefault(key, []).append(value)
+        for key in range(10):
+            assert sorted(sampler.values_for(key)) == sorted(
+                rebuilt.get(key, [])
+            )
+
+    def test_capacity_respected(self):
+        sampler = self._make(capacity=5)
+        for i in range(100):
+            sampler.offer(i % 3, float(i))
+        assert len(sampler) == 5
+        assert sampler.seen == 100
+
+    def test_values_for_unknown_key(self):
+        sampler = self._make()
+        assert sampler.values_for("none") == []
+
+    def test_values_for_returns_copy(self):
+        sampler = self._make()
+        sampler.offer("k", 1.0)
+        values = sampler.values_for("k")
+        values.append(99.0)
+        assert sampler.values_for("k") == [1.0]
+
+    def test_uniformity_matches_plain_reservoir(self):
+        """Same replacement policy: inclusion probability capacity/n."""
+        import numpy as np
+
+        hits = np.zeros(100)
+        for seed in range(300):
+            sampler = self._make(capacity=10, seed=seed)
+            for i in range(100):
+                sampler.offer(i, float(i))
+            for key, _ in sampler.sample():
+                hits[key] += 1
+        assert abs(hits.mean() - 30.0) < 2.0
+
+    def test_clear(self):
+        sampler = self._make()
+        sampler.offer("k", 1.0)
+        sampler.clear()
+        assert len(sampler) == 0
+        assert sampler.values_for("k") == []
+
+    def test_nbytes(self):
+        assert self._make(capacity=100).nbytes == 1_600

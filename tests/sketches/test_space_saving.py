@@ -1,0 +1,118 @@
+"""Tests for repro.sketches.space_saving."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.sketches.space_saving import SpaceSaving
+
+
+class TestBasics:
+    def test_tracks_up_to_capacity_without_eviction(self):
+        ss = SpaceSaving(capacity=3)
+        for key in ("a", "b", "c"):
+            assert ss.update(key) is None
+        assert len(ss) == 3
+        assert ss.estimate("a") == 1
+
+    def test_repeated_key_increments(self):
+        ss = SpaceSaving(capacity=2)
+        ss.update("a")
+        ss.update("a")
+        ss.update("a")
+        assert ss.estimate("a") == 3
+        assert ss.guaranteed_count("a") == 3
+
+    def test_eviction_returns_victim(self):
+        ss = SpaceSaving(capacity=2)
+        ss.update("a")
+        ss.update("a")
+        ss.update("b")
+        victim = ss.update("c")
+        assert victim == "b"
+        assert "c" in ss and "b" not in ss
+
+    def test_replacement_inherits_count_as_error(self):
+        ss = SpaceSaving(capacity=1)
+        for _ in range(5):
+            ss.update("a")
+        ss.update("z")
+        # z inherits a's count 5 plus its own 1; error bound is 5.
+        assert ss.estimate("z") == 6
+        assert ss.guaranteed_count("z") == 1
+
+    def test_overestimate_invariant(self):
+        """estimate >= true frequency >= guaranteed_count, always."""
+        rng = random.Random(1)
+        ss = SpaceSaving(capacity=10)
+        truth = {}
+        for _ in range(2_000):
+            key = rng.randrange(50)
+            ss.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key in ss.keys():
+            assert ss.estimate(key) >= truth.get(key, 0)
+            assert ss.guaranteed_count(key) <= truth.get(key, 0)
+
+    def test_finds_true_heavy_hitters(self):
+        rng = random.Random(2)
+        ss = SpaceSaving(capacity=20)
+        for _ in range(10_000):
+            # Keys 0 and 1 each take ~25 % of the stream.
+            roll = rng.random()
+            if roll < 0.25:
+                ss.update(0)
+            elif roll < 0.5:
+                ss.update(1)
+            else:
+                ss.update(rng.randrange(2, 2_000))
+        top_keys = [key for key, _ in ss.top(2)]
+        assert set(top_keys) == {0, 1}
+
+    def test_top_k_sorted_descending(self):
+        ss = SpaceSaving(capacity=5)
+        for key, count in (("a", 5), ("b", 3), ("c", 9)):
+            ss.update(key, count)
+        top = ss.top()
+        counts = [count for _, count in top]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_weighted_update(self):
+        ss = SpaceSaving(capacity=2)
+        ss.update("a", 10)
+        assert ss.estimate("a") == 10
+
+    def test_untracked_estimates_zero(self):
+        ss = SpaceSaving(capacity=2)
+        ss.update("a")
+        assert ss.estimate("nope") == 0
+        assert ss.guaranteed_count("nope") == 0
+
+    def test_clear(self):
+        ss = SpaceSaving(capacity=2)
+        ss.update("a")
+        ss.clear()
+        assert len(ss) == 0
+        assert ss.estimate("a") == 0
+
+    def test_nbytes_fixed_by_capacity(self):
+        assert SpaceSaving(capacity=100).nbytes == 1_600
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ParameterError):
+            SpaceSaving(capacity=0)
+
+    def test_min_cache_correct_after_mixed_ops(self):
+        """Regression: the lazy min cache must not return a stale key."""
+        ss = SpaceSaving(capacity=3)
+        ss.update("a")
+        ss.update("b")
+        ss.update("c")
+        ss.update("a")  # a=2, b=1, c=1
+        victim = ss.update("d")  # must evict b or c, never a
+        assert victim in ("b", "c")
+        ss.update("d")
+        ss.update("d")
+        victim = ss.update("e")  # now min is the remaining 1-count key
+        assert ss.estimate("a") >= 2

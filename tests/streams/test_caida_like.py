@@ -1,0 +1,89 @@
+"""Tests for repro.streams.caida_like."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.streams.caida_like import (
+    CaidaLikeConfig,
+    generate_caida_like_trace,
+    pack_five_tuple,
+)
+
+
+def small_config(**overrides) -> CaidaLikeConfig:
+    defaults = dict(num_items=20_000, num_keys=500, seed=1)
+    defaults.update(overrides)
+    return CaidaLikeConfig(**defaults)
+
+
+class TestGenerator:
+    def test_shape_and_universe(self):
+        trace = generate_caida_like_trace(small_config())
+        assert len(trace) == 20_000
+        assert trace.keys.max() < 500
+        assert (trace.values > 0).all()
+
+    def test_reproducible(self):
+        a = generate_caida_like_trace(small_config())
+        b = generate_caida_like_trace(small_config())
+        assert (a.values == b.values).all()
+
+    def test_anomalous_keys_injected(self):
+        trace = generate_caida_like_trace(small_config())
+        assert trace.metadata["anomalous_keys"] > 0
+
+    def test_abnormal_item_share_near_paper(self):
+        """T = 300 ms should put roughly 5-15 % of items above it
+        (paper: 7.6 %)."""
+        trace = generate_caida_like_trace(small_config())
+        share = trace.anomaly_fraction(300.0)
+        assert 0.03 < share < 0.20
+
+    def test_key_frequency_skewed(self):
+        trace = generate_caida_like_trace(small_config())
+        counts = np.sort(np.bincount(trace.keys, minlength=500))[::-1]
+        assert counts[0] > 5 * counts[249]
+
+    def test_no_anomalies_config(self):
+        trace = generate_caida_like_trace(
+            small_config(anomalous_key_fraction=0.0)
+        )
+        assert trace.metadata["anomalous_keys"] == 0
+
+    def test_anomalous_band_fallback_on_tiny_trace(self):
+        """When no key reaches the frequency floor, the generator falls
+        back to the most frequent keys instead of producing none."""
+        trace = generate_caida_like_trace(
+            CaidaLikeConfig(num_items=200, num_keys=150,
+                            anomalous_min_frequency=1_000, seed=2)
+        )
+        assert trace.metadata["anomalous_keys"] > 0
+
+    def test_invalid_config(self):
+        with pytest.raises(ParameterError):
+            CaidaLikeConfig(num_items=0)
+        with pytest.raises(ParameterError):
+            CaidaLikeConfig(anomalous_key_fraction=1.5)
+        with pytest.raises(ParameterError):
+            CaidaLikeConfig(anomaly_boost=0.5)
+
+
+class TestPackFiveTuple:
+    def test_deterministic(self):
+        tuple_ = (0x0A000001, 0x0A000002, 443, 51234, 6)
+        assert pack_five_tuple(*tuple_) == pack_five_tuple(*tuple_)
+
+    def test_distinct_flows_distinct_keys(self):
+        keys = {
+            pack_five_tuple(src, dst, sport, 443, 6)
+            for src in range(20)
+            for dst in range(20)
+            for sport in (1000, 2000)
+        }
+        assert len(keys) == 800
+
+    def test_port_order_matters(self):
+        a = pack_five_tuple(1, 2, 80, 443, 6)
+        b = pack_five_tuple(1, 2, 443, 80, 6)
+        assert a != b

@@ -1,0 +1,60 @@
+"""Tests for repro.streams.cloud_like."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.streams.cloud_like import CloudLikeConfig, generate_cloud_like_trace
+
+
+def small_config(**overrides) -> CloudLikeConfig:
+    defaults = dict(num_items=20_000, recurring_keys=500, seed=1)
+    defaults.update(overrides)
+    return CloudLikeConfig(**defaults)
+
+
+class TestGenerator:
+    def test_extreme_key_cardinality(self):
+        """The Cloud dataset's signature: distinct keys ~ stream length."""
+        trace = generate_cloud_like_trace(small_config())
+        assert trace.distinct_keys > 0.6 * len(trace)
+
+    def test_singleton_fraction_controls_cardinality(self):
+        low = generate_cloud_like_trace(small_config(singleton_fraction=0.2))
+        high = generate_cloud_like_trace(small_config(singleton_fraction=0.9))
+        assert high.distinct_keys > low.distinct_keys
+
+    def test_singleton_keys_unique(self):
+        trace = generate_cloud_like_trace(small_config())
+        singleton_keys = trace.keys[trace.keys >= 500]
+        assert len(np.unique(singleton_keys)) == len(singleton_keys)
+
+    def test_recurring_keys_recur(self):
+        trace = generate_cloud_like_trace(small_config(singleton_fraction=0.5))
+        recurring = trace.keys[trace.keys < 500]
+        counts = np.bincount(recurring, minlength=500)
+        assert (counts > 1).sum() > 100
+
+    def test_reproducible(self):
+        a = generate_cloud_like_trace(small_config())
+        b = generate_cloud_like_trace(small_config())
+        assert (a.keys == b.keys).all() and (a.values == b.values).all()
+
+    def test_values_positive(self):
+        trace = generate_cloud_like_trace(small_config())
+        assert (trace.values > 0).all()
+
+    def test_abnormal_share_at_default_threshold(self):
+        trace = generate_cloud_like_trace(small_config())
+        share = trace.anomaly_fraction(20.0)
+        assert 0.02 < share < 0.25
+
+    def test_anomalous_keys_in_metadata(self):
+        trace = generate_cloud_like_trace(small_config())
+        assert trace.metadata["anomalous_keys"] > 0
+
+    def test_invalid_config(self):
+        with pytest.raises(ParameterError):
+            CloudLikeConfig(num_items=0)
+        with pytest.raises(ParameterError):
+            CloudLikeConfig(singleton_fraction=1.0)

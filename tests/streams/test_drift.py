@@ -1,0 +1,72 @@
+"""Tests for repro.streams.drift."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.streams.drift import DriftConfig, generate_drift_trace
+
+
+def small_config(**overrides) -> DriftConfig:
+    defaults = dict(num_items=12_000, num_keys=300, num_phases=3,
+                    anomalous_per_phase=8, seed=1)
+    defaults.update(overrides)
+    return DriftConfig(**defaults)
+
+
+class TestGenerator:
+    def test_shape_and_metadata(self):
+        trace = generate_drift_trace(small_config())
+        assert len(trace) == 12_000
+        meta = trace.metadata
+        assert meta["num_phases"] == 3
+        assert len(meta["phase_boundaries"]) == 3
+        assert len(meta["phase_anomalous_keys"]) == 3
+        for members in meta["phase_anomalous_keys"]:
+            assert len(members) == 8
+
+    def test_reproducible(self):
+        a = generate_drift_trace(small_config())
+        b = generate_drift_trace(small_config())
+        assert (a.values == b.values).all()
+        assert a.metadata["phase_anomalous_keys"] == (
+            b.metadata["phase_anomalous_keys"]
+        )
+
+    def test_full_churn_changes_anomalous_sets(self):
+        trace = generate_drift_trace(small_config(carry_over=0))
+        sets = [set(s) for s in trace.metadata["phase_anomalous_keys"]]
+        assert sets[0] != sets[1]
+        assert not (sets[0] & sets[1])  # full churn -> disjoint
+
+    def test_carry_over_keeps_some_keys(self):
+        trace = generate_drift_trace(small_config(carry_over=4))
+        sets = [set(s) for s in trace.metadata["phase_anomalous_keys"]]
+        assert len(sets[0] & sets[1]) == 4
+
+    def test_anomalous_keys_hot_only_in_their_phase(self):
+        trace = generate_drift_trace(small_config())
+        meta = trace.metadata
+        boundaries = meta["phase_boundaries"] + [len(trace)]
+        sets = [set(s) for s in meta["phase_anomalous_keys"]]
+        # A phase-0-only anomalous key has high values in phase 0 and
+        # normal values later.
+        only_phase0 = sets[0] - sets[1] - sets[2]
+        assert only_phase0
+        key = next(iter(only_phase0))
+        phase0_values = trace.values[:boundaries[1]][
+            trace.keys[:boundaries[1]] == key
+        ]
+        later_values = trace.values[boundaries[1]:][
+            trace.keys[boundaries[1]:] == key
+        ]
+        assert phase0_values.size and later_values.size
+        assert np.median(phase0_values) > 4 * np.median(later_values)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ParameterError):
+            DriftConfig(num_phases=0)
+        with pytest.raises(ParameterError):
+            DriftConfig(anomalous_per_phase=10, carry_over=11)
+        with pytest.raises(ParameterError):
+            DriftConfig(num_keys=5, anomalous_per_phase=10)

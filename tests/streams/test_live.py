@@ -1,0 +1,136 @@
+"""Tests for repro.streams.live."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.core.criteria import Criteria
+from repro.core.quantile_filter import QuantileFilter
+from repro.core.vectorized import BatchQuantileFilter
+from repro.detection.adapters import QuantileFilterDetector
+from repro.streams.live import (
+    batch_detect_stream,
+    detect_stream,
+    interleave_traces,
+    replay,
+)
+from repro.streams.model import Trace
+
+CRIT = Criteria(delta=0.5, threshold=10.0, epsilon=2.0)
+
+
+def hot_items(n):
+    for i in range(n):
+        yield "hot", 100.0
+
+
+class TestDetectStream:
+    def test_yields_reports_lazily(self):
+        qf = QuantileFilter(CRIT, memory_bytes=8_192, seed=1)
+        stream = detect_stream(qf, hot_items(100))
+        first = next(stream)
+        assert first.key == "hot"
+        # Laziness: the detector has only consumed up to the trigger.
+        assert qf.items_processed == first.item_index + 1
+
+    def test_report_count_matches_filter(self):
+        qf = QuantileFilter(CRIT, memory_bytes=8_192, seed=1)
+        reports = list(detect_stream(qf, hot_items(100)))
+        assert len(reports) == qf.report_count > 0
+
+    def test_unbounded_source_supported(self):
+        qf = QuantileFilter(CRIT, memory_bytes=8_192, seed=1)
+        infinite = (("hot", 100.0) for _ in itertools.count())
+        stream = detect_stream(qf, infinite)
+        got = [next(stream) for _ in range(3)]
+        assert len(got) == 3
+
+
+class TestBatchDetectStream:
+    def test_matches_whole_batch_run(self):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 100, size=5_000).astype(np.int64)
+        values = np.where(keys < 5, 100.0, 1.0)
+        crit = Criteria(delta=0.9, threshold=10.0, epsilon=3.0)
+
+        whole = BatchQuantileFilter(crit, 16_384, seed=3)
+        whole.process(keys, values)
+
+        chunked = BatchQuantileFilter(crit, 16_384, seed=3)
+        fresh_total = set()
+        for _, fresh in batch_detect_stream(
+            chunked, zip(keys.tolist(), values.tolist()), chunk_items=512
+        ):
+            fresh_total |= fresh
+        assert fresh_total == whole.reported_keys
+        assert chunked.items_processed == 5_000
+
+    def test_progress_counts(self):
+        crit = Criteria(delta=0.9, threshold=10.0, epsilon=3.0)
+        engine = BatchQuantileFilter(crit, 8_192, seed=1)
+        progress = [
+            processed
+            for processed, _ in batch_detect_stream(
+                engine, [(1, 1.0)] * 1_000, chunk_items=300
+            )
+        ]
+        assert progress == [300, 600, 900, 1_000]
+
+    def test_invalid_chunk(self):
+        crit = Criteria(delta=0.9, threshold=10.0)
+        engine = BatchQuantileFilter(crit, 8_192)
+        with pytest.raises(ParameterError):
+            list(batch_detect_stream(engine, [], chunk_items=0))
+
+
+class TestReplay:
+    def test_replay_runs_whole_trace(self):
+        # Report threshold is epsilon/(1-delta) = 4 Qweight; each above-T
+        # item adds +1, so the fifth item triggers the report.
+        trace = Trace(keys=np.array([1] * 5), values=np.array([99.0] * 5))
+        detector = QuantileFilterDetector.build(CRIT, memory_bytes=8_192)
+        replay(detector, trace)
+        assert detector.items_processed == 5
+        assert 1 in detector.reported_keys
+
+
+class TestInterleave:
+    def _traces(self):
+        a = Trace(keys=np.array([0, 1, 0]), values=np.array([1.0, 2.0, 3.0]),
+                  name="a")
+        b = Trace(keys=np.array([0, 0]), values=np.array([10.0, 20.0]),
+                  name="b")
+        return a, b
+
+    def test_lengths_add(self):
+        a, b = self._traces()
+        merged = interleave_traces([a, b], seed=1)
+        assert len(merged) == 5
+
+    def test_key_spaces_disjoint(self):
+        a, b = self._traces()
+        merged = interleave_traces([a, b], seed=1)
+        # a's keys stay 0..1; b's are offset past them.
+        b_offset = merged.metadata["key_offsets"][1]
+        assert b_offset > 1
+        assert set(merged.keys.tolist()) == {0, 1, b_offset}
+
+    def test_within_source_order_preserved(self):
+        a, b = self._traces()
+        merged = interleave_traces([a, b], seed=2)
+        a_values = [v for k, v in merged.items() if k in (0, 1)]
+        assert a_values == [1.0, 2.0, 3.0]
+        b_values = [v for k, v in merged.items() if k not in (0, 1)]
+        assert b_values == [10.0, 20.0]
+
+    def test_deterministic(self):
+        a, b = self._traces()
+        one = interleave_traces([a, b], seed=3)
+        two = interleave_traces([a, b], seed=3)
+        assert (one.keys == two.keys).all()
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ParameterError):
+            interleave_traces([])

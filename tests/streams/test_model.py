@@ -1,0 +1,84 @@
+"""Tests for repro.streams.model."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.streams.model import Trace, threshold_for_fraction
+
+
+def small_trace() -> Trace:
+    return Trace(
+        keys=np.array([1, 2, 1, 3, 1]),
+        values=np.array([10.0, 20.0, 30.0, 40.0, 50.0]),
+        name="small",
+    )
+
+
+class TestTrace:
+    def test_length(self):
+        assert len(small_trace()) == 5
+
+    def test_items_python_scalars(self):
+        for key, value in small_trace().items():
+            assert isinstance(key, int)
+            assert isinstance(value, float)
+
+    def test_distinct_keys(self):
+        assert small_trace().distinct_keys == 3
+
+    def test_anomaly_fraction(self):
+        trace = small_trace()
+        assert trace.anomaly_fraction(25.0) == pytest.approx(0.6)
+        assert trace.anomaly_fraction(100.0) == 0.0
+
+    def test_anomaly_fraction_empty(self):
+        empty = Trace(keys=np.array([], dtype=np.int64),
+                      values=np.array([], dtype=np.float64))
+        assert empty.anomaly_fraction(1.0) == 0.0
+
+    def test_head(self):
+        prefix = small_trace().head(2)
+        assert len(prefix) == 2
+        assert prefix.keys.tolist() == [1, 2]
+
+    def test_head_negative_raises(self):
+        with pytest.raises(ParameterError):
+            small_trace().head(-1)
+
+    def test_head_is_copy(self):
+        trace = small_trace()
+        prefix = trace.head(2)
+        prefix.values[0] = 999.0
+        assert trace.values[0] == 10.0
+
+    def test_key_frequency(self):
+        assert small_trace().key_frequency() == {1: 3, 2: 1, 3: 1}
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ParameterError):
+            Trace(keys=np.array([1, 2]), values=np.array([1.0]))
+
+    def test_dtype_coercion(self):
+        trace = Trace(keys=np.array([1, 2], dtype=np.int32),
+                      values=np.array([1, 2], dtype=np.int64))
+        assert trace.keys.dtype == np.int64
+        assert trace.values.dtype == np.float64
+
+
+class TestThresholdForFraction:
+    def test_calibrates_fraction(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0, 100, size=100_000)
+        threshold = threshold_for_fraction(values, 0.05)
+        assert np.mean(values > threshold) == pytest.approx(0.05, abs=0.005)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ParameterError):
+            threshold_for_fraction(np.array([1.0]), 0.0)
+        with pytest.raises(ParameterError):
+            threshold_for_fraction(np.array([1.0]), 1.0)
+
+    def test_empty_values(self):
+        with pytest.raises(ParameterError):
+            threshold_for_fraction(np.array([]), 0.05)

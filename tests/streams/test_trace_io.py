@@ -1,0 +1,91 @@
+"""Tests for repro.streams.trace_io."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.streams.model import Trace
+from repro.streams.trace_io import export_csv, import_csv, load_trace, save_trace
+
+
+def sample_trace() -> Trace:
+    return Trace(
+        keys=np.array([1, 2, 3, 1]),
+        values=np.array([1.5, 2.5, 3.5, -4.0]),
+        name="sample",
+        metadata={"generator": "test", "alpha": 1.5},
+    )
+
+
+class TestNpzRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        original = sample_trace()
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert (loaded.keys == original.keys).all()
+        assert (loaded.values == original.values).all()
+        assert loaded.name == "sample"
+        assert loaded.metadata == original.metadata
+
+    def test_large_trace_round_trip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        trace = Trace(
+            keys=rng.integers(0, 1_000, size=50_000),
+            values=rng.random(50_000),
+            name="big",
+        )
+        path = tmp_path / "big.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert (loaded.values == trace.values).all()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"not an npz archive")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_wrong_archive_keys(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        original = sample_trace()
+        export_csv(original, path)
+        loaded = import_csv(path)
+        assert (loaded.keys == original.keys).all()
+        assert (loaded.values == original.values).all()
+
+    def test_name_from_stem(self, tmp_path):
+        path = tmp_path / "mystream.csv"
+        export_csv(sample_trace(), path)
+        assert import_csv(path).name == "mystream"
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,2.0\n")
+        with pytest.raises(TraceFormatError):
+            import_csv(path)
+
+    def test_malformed_row(self, tmp_path):
+        path = tmp_path / "bad2.csv"
+        path.write_text("key,value\n1,not-a-number\n")
+        with pytest.raises(TraceFormatError, match="bad2.csv:2"):
+            import_csv(path)
+
+    def test_float_precision_preserved(self, tmp_path):
+        trace = Trace(keys=np.array([1]), values=np.array([0.1234567890123456]))
+        path = tmp_path / "precise.csv"
+        export_csv(trace, path)
+        loaded = import_csv(path)
+        assert loaded.values[0] == trace.values[0]

@@ -1,0 +1,80 @@
+"""Tests for repro.streams.zipf."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.common.rng import np_rng
+from repro.streams.zipf import ZipfConfig, generate_zipf_trace, sample_zipf_keys
+
+
+class TestSampleZipfKeys:
+    def test_keys_within_universe(self):
+        rng = np_rng(1, "test")
+        keys = sample_zipf_keys(10_000, 100, 1.1, rng)
+        assert keys.min() >= 0 and keys.max() < 100
+
+    def test_skew_increases_with_alpha(self):
+        rng_low = np_rng(2, "low")
+        rng_high = np_rng(2, "high")
+        low = sample_zipf_keys(20_000, 1_000, 0.8, rng_low)
+        high = sample_zipf_keys(20_000, 1_000, 1.6, rng_high)
+        top_share = lambda keys: np.sort(np.bincount(keys))[-10:].sum() / keys.size  # noqa: E731
+        assert top_share(high) > top_share(low)
+
+    def test_frequency_follows_power_law(self):
+        """Frequency of rank-r key ~ r^-alpha: check the 1st/10th ratio."""
+        rng = np_rng(3, "ratio")
+        alpha = 1.0
+        keys = sample_zipf_keys(200_000, 1_000, alpha, rng)
+        counts = np.sort(np.bincount(keys, minlength=1_000))[::-1]
+        ratio = counts[0] / counts[9]
+        assert 5.0 < ratio < 20.0  # ideal: 10^1 = 10
+
+    def test_ids_shuffled(self):
+        """Key id must not encode rank (id 0 isn't automatically heavy)."""
+        heavy_ids = []
+        for seed in range(20):
+            rng = np_rng(seed, "shuffle")
+            keys = sample_zipf_keys(5_000, 100, 1.5, rng)
+            heavy_ids.append(int(np.argmax(np.bincount(keys, minlength=100))))
+        assert len(set(heavy_ids)) > 5
+
+
+class TestGenerateZipfTrace:
+    def test_reproducible(self):
+        a = generate_zipf_trace(ZipfConfig(num_items=1_000, seed=7))
+        b = generate_zipf_trace(ZipfConfig(num_items=1_000, seed=7))
+        assert (a.keys == b.keys).all()
+        assert (a.values == b.values).all()
+
+    def test_seed_changes_trace(self):
+        a = generate_zipf_trace(ZipfConfig(num_items=1_000, seed=1))
+        b = generate_zipf_trace(ZipfConfig(num_items=1_000, seed=2))
+        assert not (a.values == b.values).all()
+
+    def test_paper_recipe_components(self):
+        """Per-key offsets: the same key always shares its constant
+        component, so per-key value spreads are Zipf-shaped only."""
+        trace = generate_zipf_trace(
+            ZipfConfig(num_items=20_000, num_keys=50, value_scale=30.0, seed=3)
+        )
+        # For each key, min value ~ offset + 1*scale; offsets differ by key.
+        mins = {}
+        for key, value in trace.items():
+            mins[key] = min(mins.get(key, np.inf), value)
+        assert np.std(list(mins.values())) > 10.0
+
+    def test_metadata(self):
+        config = ZipfConfig(num_items=100, num_keys=10, alpha=1.2, seed=4)
+        trace = generate_zipf_trace(config)
+        assert trace.metadata["generator"] == "zipf"
+        assert trace.metadata["alpha"] == 1.2
+
+    def test_invalid_config(self):
+        with pytest.raises(ParameterError):
+            ZipfConfig(num_items=0)
+        with pytest.raises(ParameterError):
+            ZipfConfig(alpha=0.0)
+        with pytest.raises(ParameterError):
+            ZipfConfig(value_alpha=1.0)
