@@ -29,6 +29,8 @@ from repro.core.vectorized import BatchQuantileFilter
 from repro.core.multi_criteria import MultiCriteriaFilter
 from repro.core.windowed import WindowedQuantileFilter
 from repro.core.persistence import save_filter, load_filter
+from repro.parallel.sharded import ShardedQuantileFilter
+from repro.parallel.pipeline import ParallelPipeline
 from repro.common.errors import ReproError, ParameterError
 from repro.detection.ground_truth import GroundTruthDetector, compute_ground_truth
 from repro.metrics.accuracy import DetectionScore, score_sets
@@ -43,6 +45,8 @@ __all__ = [
     "BatchQuantileFilter",
     "MultiCriteriaFilter",
     "WindowedQuantileFilter",
+    "ShardedQuantileFilter",
+    "ParallelPipeline",
     "save_filter",
     "load_filter",
     "ReproError",

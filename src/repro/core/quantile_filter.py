@@ -389,20 +389,27 @@ class QuantileFilter:
             self.vague.update(vague_key(fp, bucket), qw)
 
     def _check_merge_compatible(self, other: "QuantileFilter") -> None:
-        ours = (
-            self.candidate.num_buckets, self.candidate.bucket_size,
-            self.candidate.fp_bits, self.vague.depth, self.vague.width,
-            self.vague.backend, self._seed,
-        )
-        theirs = (
-            other.candidate.num_buckets, other.candidate.bucket_size,
-            other.candidate.fp_bits, other.vague.depth, other.vague.width,
-            other.vague.backend, other._seed,
-        )
-        if ours != theirs:
+        checks = [
+            ("num_buckets", self.candidate.num_buckets, other.candidate.num_buckets),
+            ("bucket_size", self.candidate.bucket_size, other.candidate.bucket_size),
+            ("fp_bits", self.candidate.fp_bits, other.candidate.fp_bits),
+            ("vague_depth", self.vague.depth, other.vague.depth),
+            ("vague_width", self.vague.width, other.vague.width),
+            ("vague_backend", self.vague.backend, other.vague.backend),
+            ("seed", self._seed, other._seed),
+            ("criteria", self.criteria, other.criteria),
+        ]
+        mismatched = [
+            f"{name} ({mine!r} != {theirs!r})"
+            for name, mine, theirs in checks
+            if mine != theirs
+        ]
+        if mismatched:
             raise ParameterError(
-                "cannot merge differently-configured filters: "
-                f"{ours} vs {theirs} (dimensions, backend and seed must match)"
+                "cannot merge incompatible QuantileFilters — mismatched "
+                + ", ".join(mismatched)
+                + "; shards must share geometry, fingerprint width, vague "
+                "backend, seed and default criteria"
             )
 
     # ------------------------------------------------------------------

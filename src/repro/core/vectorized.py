@@ -91,7 +91,10 @@ class BatchQuantileFilter:
             self.width = vague_width
 
         # Hash families constructed with the SAME seed derivations as the
-        # scalar filter, so both address identical cells.
+        # scalar filter, so both address identical cells.  The seed is
+        # kept because sharded deployments rebuild a scalar twin from it
+        # (repro.parallel.sharded.batch_filter_to_scalar).
+        self.seed = seed
         self._hashes = HashFamily(depth, self.width, seed=seed)
         self._signs = SignHashFamily(depth, seed=seed + 1)
         self._fp_hasher = FingerprintHasher(bits=fp_bits, seed=seed + 7)

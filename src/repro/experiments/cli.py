@@ -18,7 +18,7 @@ from typing import Callable, Dict
 
 from repro.experiments import figures
 from repro.experiments.harness import FigureResult, format_rows
-from repro.experiments.scaling import scaling_study
+from repro.experiments.scaling import parallel_scaling_study, scaling_study
 
 #: Figure name -> (driver, whether it takes a dataset argument).
 _DRIVERS: Dict[str, Callable[..., FigureResult]] = {
@@ -35,11 +35,12 @@ _DRIVERS: Dict[str, Callable[..., FigureResult]] = {
     "fig14": figures.fig14_modify_delta,
     "fig15": figures.fig15_modify_threshold,
     "scaling": scaling_study,
+    "parallel": parallel_scaling_study,
 }
 
 _DATASET_AWARE = {
     "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "fig13", "fig14", "fig15", "scaling",
+    "fig13", "fig14", "fig15", "scaling", "parallel",
 }
 
 #: Drivers that do not take the per-figure ``scale`` parameter.
@@ -74,6 +75,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit rows as JSON instead of a text table",
     )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="max shard count for the 'parallel' scaling study "
+        "(sweeps powers of two up to this value; default 4)",
+    )
+    parser.add_argument(
+        "--processes", action="store_true",
+        help="back the 'parallel' study with worker processes "
+        "(ParallelPipeline) instead of in-process sharding",
+    )
     return parser
 
 
@@ -84,6 +95,11 @@ def _run_one(name: str, args: argparse.Namespace) -> FigureResult:
         kwargs["scale"] = args.scale
     if args.dataset is not None and name in _DATASET_AWARE:
         kwargs["dataset"] = args.dataset
+    if name == "parallel":
+        if args.shards is not None:
+            kwargs["max_shards"] = args.shards
+        if args.processes:
+            kwargs["processes"] = True
     return driver(**kwargs)
 
 

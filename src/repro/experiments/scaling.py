@@ -12,6 +12,7 @@ movement is a measured curve rather than an assumption.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence
 
 from repro.experiments.config import build_trace, default_criteria_for
@@ -21,6 +22,12 @@ from repro.experiments.harness import (
     build_detector,
     ground_truth_for,
     run_detection,
+)
+from repro.metrics.accuracy import score_sets
+from repro.metrics.throughput import (
+    ShardScalingPoint,
+    ThroughputResult,
+    scaling_table,
 )
 
 
@@ -80,5 +87,99 @@ def scaling_study(
         figure="scaling-study",
         description=f"Minimal QF budget for F1 >= {f1_target} vs stream "
         f"scale on {dataset}",
+        records=records,
+    )
+
+
+def shard_ladder(max_shards: int) -> List[int]:
+    """Shard counts to sweep: powers of two up to and incl. ``max_shards``."""
+    ladder = []
+    shards = 1
+    while shards < max_shards:
+        ladder.append(shards)
+        shards *= 2
+    ladder.append(max_shards)
+    return ladder
+
+
+def parallel_scaling_study(
+    dataset: str = "internet",
+    scale: int = 40_000,
+    seed: int = 0,
+    max_shards: int = 4,
+    engine: str = "batch",
+    processes: bool = False,
+    num_buckets: int = 4_096,
+    vague_width: int = 2_048,
+) -> FigureResult:
+    """Sharded-filter throughput and accuracy vs shard count.
+
+    For every shard count on the ladder the same trace runs through a
+    :class:`~repro.parallel.sharded.ShardedQuantileFilter` (in-process;
+    deterministic timing) and, with ``processes=True``, additionally
+    through the worker-process :class:`~repro.parallel.pipeline.
+    ParallelPipeline` — the configuration the ``--shards`` CLI flag
+    exercises.  Records carry F1 against the exact ground truth plus
+    the speedup/efficiency columns of
+    :func:`repro.metrics.throughput.scaling_table`.
+    """
+    from repro.parallel.pipeline import ParallelPipeline
+    from repro.parallel.sharded import ShardedQuantileFilter
+
+    trace = build_trace(dataset, scale=scale, seed=seed)
+    criteria = default_criteria_for(dataset)
+    truth = ground_truth_for(trace, criteria)
+    geometry = dict(num_buckets=num_buckets, vague_width=vague_width, seed=seed)
+
+    records: List[RunRecord] = []
+    points: List[ShardScalingPoint] = []
+    for shards in shard_ladder(max_shards):
+        if processes:
+            pipeline = ParallelPipeline(
+                criteria, shards, engine=engine, **geometry
+            )
+            outcome = pipeline.run(trace.keys, trace.values)
+            reported, seconds = outcome.reported_keys, outcome.seconds
+            nbytes = 0
+        else:
+            sharded = ShardedQuantileFilter(
+                criteria, shards, engine=engine, counter_kind="float",
+                **geometry,
+            )
+            start = time.perf_counter()
+            reported = sharded.process(trace.keys, trace.values)
+            seconds = time.perf_counter() - start
+            nbytes = sharded.nbytes
+        points.append(
+            ShardScalingPoint(
+                shards=shards,
+                throughput=ThroughputResult(items=len(trace), seconds=seconds),
+            )
+        )
+        records.append(
+            RunRecord(
+                algorithm=f"qf-sharded-{engine}",
+                dataset=dataset,
+                memory_bytes=0,
+                actual_bytes=nbytes,
+                score=score_sets(reported, truth),
+                seconds=seconds,
+                items=len(trace),
+                extra={
+                    "shards": shards,
+                    "backend": "processes" if processes else "inprocess",
+                },
+            )
+        )
+    for record, row in zip(records, scaling_table(points)):
+        record.extra["speedup"] = round(row["speedup"], 3)
+        record.extra["efficiency"] = round(row["efficiency"], 3)
+    return FigureResult(
+        figure="parallel-scaling",
+        description=(
+            f"Sharded QuantileFilter ({engine} engine, "
+            f"{'worker processes' if processes else 'in-process'}) "
+            f"throughput vs shard count on {dataset}"
+        ),
         records=records,
     )

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Dict, List, Sequence
 
 from repro.common.errors import ParameterError
 
@@ -59,3 +59,37 @@ def speedup(ours: ThroughputResult, baseline: ThroughputResult) -> float:
     if baseline.mops == 0:
         return float("inf")
     return ours.mops / baseline.mops
+
+
+@dataclass(frozen=True)
+class ShardScalingPoint:
+    """Throughput of one shard-count configuration in a scaling sweep."""
+
+    shards: int
+    throughput: ThroughputResult
+
+
+def scaling_table(points: Sequence[ShardScalingPoint]) -> List[Dict[str, float]]:
+    """Speedup and parallel efficiency of a shard-count sweep.
+
+    The baseline is the sweep's smallest shard count (normally 1).
+    Efficiency is ``speedup / shards`` — 1.0 is perfect linear scaling;
+    the parallel benchmarks record it so scaling regressions show up as
+    a number, not a vibe.
+    """
+    if not points:
+        raise ParameterError("scaling_table needs at least one point")
+    ordered = sorted(points, key=lambda p: p.shards)
+    base = ordered[0].throughput
+    rows = []
+    for point in ordered:
+        gain = speedup(point.throughput, base)
+        rows.append(
+            {
+                "shards": point.shards,
+                "mops": point.throughput.mops,
+                "speedup": gain,
+                "efficiency": gain / point.shards,
+            }
+        )
+    return rows

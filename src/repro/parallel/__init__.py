@@ -1,0 +1,53 @@
+"""Parallel and sharded QuantileFilter deployments.
+
+Two layers:
+
+* :class:`~repro.parallel.sharded.ShardedQuantileFilter` — in-process
+  bucket-affine sharding: N full-geometry shard filters behind one
+  filter-shaped façade, with a merge-based global view.
+* :class:`~repro.parallel.pipeline.ParallelPipeline` — a
+  ``multiprocessing`` pipeline placing one shard per worker process,
+  with bounded queues, ordered/unordered report delivery, periodic
+  merged views and crash surfacing.
+
+Both share one partition rule (:class:`~repro.parallel.sharded.
+ShardRouter`), so the process-backed pipeline reports exactly the same
+key set as the in-process sharded filter, which in turn matches a
+single scalar filter whenever the candidate part never overflows (see
+``tests/parallel/test_shard_equivalence.py`` and the consistency-model
+notes in ``docs/operations.md``).
+"""
+
+from repro.parallel.sharded import (
+    ENGINES,
+    ShardRouter,
+    ShardedQuantileFilter,
+    batch_filter_to_scalar,
+    sharded_reported_union,
+)
+from repro.parallel.pipeline import (
+    DEFAULT_CHUNK_ITEMS,
+    ParallelPipeline,
+    PipelineError,
+    PipelineResult,
+    PipelineStallError,
+    ReportBatch,
+    WorkerCrashError,
+    WorkerFailedError,
+)
+
+__all__ = [
+    "ENGINES",
+    "ShardRouter",
+    "ShardedQuantileFilter",
+    "batch_filter_to_scalar",
+    "sharded_reported_union",
+    "DEFAULT_CHUNK_ITEMS",
+    "ParallelPipeline",
+    "PipelineError",
+    "PipelineResult",
+    "PipelineStallError",
+    "ReportBatch",
+    "WorkerCrashError",
+    "WorkerFailedError",
+]

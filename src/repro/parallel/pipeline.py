@@ -1,0 +1,604 @@
+"""Multiprocessing pipeline feeding stream chunks to shard workers.
+
+One worker process per shard, each owning a private shard filter (batch
+engine by default).  The master slices the stream into chunks, routes
+each chunk's items to their owning shards (:class:`~repro.parallel.
+sharded.ShardRouter` — the same bucket-affine partition the in-process
+:class:`~repro.parallel.sharded.ShardedQuantileFilter` uses, so both
+paths report identical key sets), and collects newly-reported keys
+through a **bounded** result queue.
+
+Consistency model (also documented in ``docs/operations.md``):
+
+* Within a shard, reports follow stream order — each worker consumes
+  its chunks strictly in sequence.
+* ``mode="unordered"`` surfaces report batches as workers produce them
+  (shard interleaving is nondeterministic, contents are not).
+* ``mode="ordered"`` buffers batches until every shard has finished a
+  chunk, then releases chunks in stream order (and shard order within
+  a chunk) — deterministic delivery at the cost of buffering.
+* Periodic global views: every ``merge_every`` chunks the master
+  requests shard snapshots and folds them into one filter with
+  :meth:`~repro.core.quantile_filter.QuantileFilter.merge`.  The
+  snapshot request rides the same per-worker queue as the chunks, so
+  each view is a consistent per-shard cut between chunks.
+
+Failure model: every blocking queue operation is bounded by timeouts
+and interleaved with worker liveness checks.  A worker that dies
+(crash, OOM-kill) surfaces as :class:`WorkerCrashError`; a worker that
+raises ships its traceback back as :class:`WorkerFailedError`; a stall
+longer than ``stall_timeout`` raises :class:`PipelineStallError`.  In
+all cases the pipeline terminates remaining workers — it never hangs
+(``tests/integration/test_parallel_stack.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.common.errors import ReproError, ParameterError
+from repro.core.criteria import Criteria
+from repro.core.quantile_filter import QuantileFilter
+from repro.core.vectorized import BatchQuantileFilter
+from repro.parallel.sharded import ENGINES, ShardRouter, batch_filter_to_scalar
+
+#: Default items per pipeline chunk.
+DEFAULT_CHUNK_ITEMS = 16_384
+
+
+class PipelineError(ReproError):
+    """Base class of pipeline failure modes."""
+
+
+class WorkerCrashError(PipelineError):
+    """A worker process died without reporting (killed / crashed)."""
+
+
+class WorkerFailedError(PipelineError):
+    """A worker raised; carries the remote traceback text."""
+
+
+class PipelineStallError(PipelineError):
+    """No progress within ``stall_timeout`` seconds."""
+
+
+@dataclass
+class ReportBatch:
+    """Newly-reported keys from one (chunk, shard) work unit."""
+
+    chunk_id: int
+    shard_id: int
+    keys: List
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one pipeline run."""
+
+    reported_keys: Set
+    items: int
+    seconds: float
+    num_shards: int
+    mode: str
+    chunks: int
+    per_shard_items: List[int]
+    per_shard_reports: List[int]
+    batches: List[ReportBatch] = field(default_factory=list)
+    merged: Optional[QuantileFilter] = None
+
+    @property
+    def mops(self) -> float:
+        """Million items per second of wall time."""
+        if self.seconds <= 0:
+            return float("inf")
+        return self.items / self.seconds / 1e6
+
+
+def _build_worker_filter(config: dict):
+    common = dict(
+        num_buckets=config["num_buckets"],
+        vague_width=config["vague_width"],
+        bucket_size=config["bucket_size"],
+        depth=config["depth"],
+        fp_bits=config["fp_bits"],
+        strategy=config["strategy"],
+        seed=config["seed"],
+    )
+    if config["engine"] == "batch":
+        return BatchQuantileFilter(config["criteria"], **common)
+    return QuantileFilter(config["criteria"], counter_kind="float", **common)
+
+
+def _worker_main(shard_id: int, config: dict, in_queue, out_queue) -> None:
+    """Worker loop: build the shard filter, consume chunks until stop."""
+    try:
+        filt = _build_worker_filter(config)
+        engine = config["engine"]
+        known: Set = set()
+        while True:
+            message = in_queue.get()
+            kind = message[0]
+            if kind == "chunk":
+                _, chunk_id, keys, values = message
+                if keys.shape[0]:
+                    if engine == "batch":
+                        filt.process(keys, values)
+                    else:
+                        for key, value in zip(keys.tolist(), values.tolist()):
+                            filt.insert(key, value)
+                fresh = filt.reported_keys - known
+                known |= fresh
+                out_queue.put(("reports", chunk_id, shard_id, list(fresh)))
+            elif kind == "snapshot":
+                _, sync_id = message
+                snapshot = (
+                    batch_filter_to_scalar(filt) if engine == "batch" else filt
+                )
+                out_queue.put(("snapshot", sync_id, shard_id, snapshot))
+            elif kind == "stop":
+                out_queue.put(
+                    ("done", shard_id, filt.items_processed, filt.report_count)
+                )
+                return
+            else:  # pragma: no cover - defensive
+                raise ParameterError(f"unknown worker message {kind!r}")
+    except Exception:
+        out_queue.put(("error", shard_id, traceback.format_exc()))
+
+
+class ParallelPipeline:
+    """Process-per-shard QuantileFilter pipeline over integer-keyed streams.
+
+    Use as a one-shot ``run(keys, values)`` or stream explicitly::
+
+        pipe = ParallelPipeline(criteria, 4, num_buckets=4096,
+                                vague_width=2048)
+        pipe.start()
+        for chunk_keys, chunk_values in chunks:
+            pipe.feed(chunk_keys, chunk_values)
+        result = pipe.finish()
+
+    Parameters
+    ----------
+    mode:
+        ``"unordered"`` (default) or ``"ordered"`` report delivery.
+    chunk_items:
+        Items per chunk fed to the workers.
+    queue_capacity:
+        Bound (in chunks) of each worker's input queue; the shared
+        result queue is bounded proportionally.  Backpressure, not
+        unbounded buffering.
+    merge_every:
+        Every this-many chunks, collect a merged global view and pass
+        it to ``on_merge`` (also kept as :attr:`last_merged`).
+    collect_merged:
+        Collect one final merged view into ``result.merged``.
+    on_reports:
+        Callback receiving each :class:`ReportBatch` as it is released
+        (after ordering in ordered mode).
+    """
+
+    def __init__(
+        self,
+        criteria: Criteria,
+        num_shards: int,
+        *,
+        engine: str = "batch",
+        memory_bytes: Optional[int] = None,
+        num_buckets: Optional[int] = None,
+        vague_width: Optional[int] = None,
+        bucket_size: int = 6,
+        depth: int = 3,
+        fp_bits: int = 16,
+        strategy: str = "comparative",
+        seed: int = 0,
+        mode: str = "unordered",
+        chunk_items: int = DEFAULT_CHUNK_ITEMS,
+        queue_capacity: int = 4,
+        stall_timeout: float = 30.0,
+        merge_every: Optional[int] = None,
+        collect_merged: bool = False,
+        on_reports: Optional[Callable[[ReportBatch], None]] = None,
+        on_merge: Optional[Callable[[QuantileFilter, int], None]] = None,
+        start_method: Optional[str] = None,
+    ):
+        if num_shards < 1:
+            raise ParameterError(f"num_shards must be >= 1, got {num_shards}")
+        if engine not in ENGINES:
+            raise ParameterError(f"unknown engine {engine!r}; choose from {ENGINES}")
+        if mode not in ("unordered", "ordered"):
+            raise ParameterError(
+                f"mode must be 'unordered' or 'ordered', got {mode!r}"
+            )
+        if chunk_items < 1:
+            raise ParameterError(f"chunk_items must be >= 1, got {chunk_items}")
+        if queue_capacity < 1:
+            raise ParameterError(
+                f"queue_capacity must be >= 1, got {queue_capacity}"
+            )
+        if merge_every is not None and merge_every < 1:
+            raise ParameterError(f"merge_every must be >= 1, got {merge_every}")
+        self.criteria = criteria
+        self.num_shards = num_shards
+        self.engine = engine
+        self.mode = mode
+        self.chunk_items = chunk_items
+        self.queue_capacity = queue_capacity
+        self.stall_timeout = stall_timeout
+        self.merge_every = merge_every
+        self.collect_merged = collect_merged
+        self._on_reports = on_reports
+        self._on_merge = on_merge
+
+        # Resolve the geometry once in the master (a throwaway template
+        # filter applies the byte-budget split), then ship explicit
+        # dimensions to the workers so every process agrees exactly.
+        template_kwargs = dict(
+            num_buckets=num_buckets,
+            vague_width=vague_width,
+            bucket_size=bucket_size,
+            depth=depth,
+            fp_bits=fp_bits,
+            strategy=strategy,
+            seed=seed,
+        )
+        if engine == "batch":
+            template = BatchQuantileFilter(
+                criteria, memory_bytes, **template_kwargs
+            )
+            resolved_buckets, resolved_width = template.num_buckets, template.width
+        else:
+            template = QuantileFilter(
+                criteria, memory_bytes, counter_kind="float", **template_kwargs
+            )
+            resolved_buckets = template.candidate.num_buckets
+            resolved_width = template.vague.width
+        self._config = dict(
+            criteria=criteria,
+            engine=engine,
+            num_buckets=resolved_buckets,
+            vague_width=resolved_width,
+            bucket_size=bucket_size,
+            depth=depth,
+            fp_bits=fp_bits,
+            strategy=strategy,
+            seed=seed,
+        )
+        self.router = ShardRouter(num_shards, resolved_buckets, seed=seed)
+
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        self._ctx = multiprocessing.get_context(start_method)
+
+        self.workers: List = []
+        self._in_queues: List = []
+        self._out_queue = None
+        self._started = False
+        self._finished = False
+        self._chunk_id = 0
+        self._sync_id = 0
+        self.items_fed = 0
+        self.last_merged: Optional[QuantileFilter] = None
+        # Collection state.
+        self._reported: Set = set()
+        self._batches: List[ReportBatch] = []
+        self._pending: Dict[int, List[ReportBatch]] = {}
+        self._acks: Dict[int, int] = {}
+        self._next_release = 0
+        self._done: Dict[int, Tuple[int, int]] = {}
+        self._snapshots: Dict[int, List] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ParallelPipeline":
+        """Spawn the shard workers; idempotent until :meth:`finish`."""
+        if self._started:
+            return self
+        self._out_queue = self._ctx.Queue(
+            maxsize=max(8, 2 * self.num_shards * self.queue_capacity)
+        )
+        for shard_id in range(self.num_shards):
+            in_queue = self._ctx.Queue(maxsize=self.queue_capacity)
+            worker = self._ctx.Process(
+                target=_worker_main,
+                args=(shard_id, self._config, in_queue, self._out_queue),
+                daemon=True,
+                name=f"qf-shard-{shard_id}",
+            )
+            worker.start()
+            self._in_queues.append(in_queue)
+            self.workers.append(worker)
+        self._started = True
+        return self
+
+    def __enter__(self) -> "ParallelPipeline":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def feed(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Slice a stream segment into chunks and dispatch them."""
+        if self._finished:
+            raise PipelineError(
+                "pipeline already finished; build a new ParallelPipeline "
+                "to process another stream"
+            )
+        if not self._started:
+            self.start()
+        keys = np.asarray(keys, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if keys.shape[0] != values.shape[0]:
+            raise ParameterError(
+                f"keys and values length mismatch: {keys.shape[0]} vs "
+                f"{values.shape[0]}"
+            )
+        for start in range(0, keys.shape[0], self.chunk_items):
+            chunk_keys = keys[start:start + self.chunk_items]
+            chunk_values = values[start:start + self.chunk_items]
+            chunk_id = self._chunk_id
+            self._chunk_id += 1
+            slices = self.router.split(chunk_keys, chunk_values)
+            # Every shard gets a (possibly empty) slice of every chunk:
+            # uniform acks keep ordered-mode accounting trivial.
+            for shard_id, (sub_keys, sub_values) in enumerate(slices):
+                self._put(
+                    shard_id, ("chunk", chunk_id, sub_keys, sub_values)
+                )
+            self.items_fed += int(chunk_keys.shape[0])
+            if self.merge_every and (chunk_id + 1) % self.merge_every == 0:
+                self._collect_merged_view()
+
+    def finish(self) -> PipelineResult:
+        """Stop the workers, drain all results, and join cleanly."""
+        if self._finished:
+            raise PipelineError("pipeline already finished")
+        if not self._started:
+            raise PipelineError("pipeline was never started")
+        start_wall = time.perf_counter()
+        try:
+            merged = None
+            if self.collect_merged:
+                merged = self._collect_merged_view()
+            for shard_id in range(self.num_shards):
+                self._put(shard_id, ("stop",))
+            deadline = time.monotonic() + self.stall_timeout
+            while len(self._done) < self.num_shards:
+                if not self._drain(block=True):
+                    self._check_workers()
+                    if time.monotonic() > deadline:
+                        raise PipelineStallError(
+                            f"workers did not finish within "
+                            f"{self.stall_timeout}s "
+                            f"({len(self._done)}/{self.num_shards} done)"
+                        )
+                else:
+                    deadline = time.monotonic() + self.stall_timeout
+            self._drain(block=False)  # late stragglers (per-worker FIFO)
+            self._release_ready(flush=True)
+            for worker in self.workers:
+                worker.join(timeout=self.stall_timeout)
+            per_items = [self._done[s][0] for s in range(self.num_shards)]
+            per_reports = [self._done[s][1] for s in range(self.num_shards)]
+            result = PipelineResult(
+                reported_keys=set(self._reported),
+                items=self.items_fed,
+                seconds=time.perf_counter() - start_wall,
+                num_shards=self.num_shards,
+                mode=self.mode,
+                chunks=self._chunk_id,
+                per_shard_items=per_items,
+                per_shard_reports=per_reports,
+                batches=list(self._batches),
+                merged=merged if merged is not None else self.last_merged,
+            )
+            self._finished = True
+            return result
+        finally:
+            self.close()
+
+    def run(self, keys: np.ndarray, values: np.ndarray) -> PipelineResult:
+        """One-shot convenience: start, feed everything, finish.
+
+        ``result.seconds`` covers the whole run including worker
+        start-up and shutdown — the honest parallel-throughput number.
+        """
+        start_wall = time.perf_counter()
+        try:
+            self.start()
+            self.feed(keys, values)
+            result = self.finish()
+        finally:
+            self.close()
+        result.seconds = time.perf_counter() - start_wall
+        return result
+
+    def close(self) -> None:
+        """Terminate any still-running workers and release the queues.
+
+        Safe to call multiple times and from error paths; after a clean
+        :meth:`finish` it only reaps already-exited processes.
+        """
+        for worker in self.workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in self.workers:
+            if worker.is_alive():
+                worker.join(timeout=5.0)
+            if worker.is_alive():  # pragma: no cover - last resort
+                worker.kill()
+                worker.join(timeout=5.0)
+        for in_queue in self._in_queues:
+            in_queue.cancel_join_thread()
+            in_queue.close()
+        if self._out_queue is not None:
+            self._out_queue.cancel_join_thread()
+            self._out_queue.close()
+        self._in_queues = []
+        self._out_queue = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # master-side plumbing
+    # ------------------------------------------------------------------
+    def _put(self, shard_id: int, message) -> None:
+        """Bounded put with result draining and liveness checks.
+
+        Draining while blocked on a full input queue is what prevents
+        the classic feeder/collector deadlock: the worker may itself be
+        blocked putting results into the bounded result queue.
+        """
+        deadline = time.monotonic() + self.stall_timeout
+        while True:
+            try:
+                self._in_queues[shard_id].put(message, timeout=0.1)
+                return
+            except queue_module.Full:
+                if self._drain(block=False):
+                    deadline = time.monotonic() + self.stall_timeout
+                self._check_workers()
+                if time.monotonic() > deadline:
+                    self._fail(
+                        PipelineStallError(
+                            f"shard {shard_id} accepted no work for "
+                            f"{self.stall_timeout}s"
+                        )
+                    )
+
+    def _drain(self, block: bool) -> bool:
+        """Move every available result message into master state.
+
+        Returns True when at least one message was consumed.
+        """
+        consumed = False
+        while True:
+            try:
+                message = self._out_queue.get(timeout=0.1 if block else 0.0)
+            except queue_module.Empty:
+                return consumed
+            consumed = True
+            block = False  # only block for the first message
+            kind = message[0]
+            if kind == "reports":
+                _, chunk_id, shard_id, keys = message
+                self._reported.update(keys)
+                self._pending.setdefault(chunk_id, []).append(
+                    ReportBatch(chunk_id=chunk_id, shard_id=shard_id, keys=keys)
+                )
+                self._acks[chunk_id] = self._acks.get(chunk_id, 0) + 1
+                self._release_ready()
+            elif kind == "snapshot":
+                _, sync_id, shard_id, snapshot = message
+                self._snapshots.setdefault(sync_id, []).append(snapshot)
+            elif kind == "done":
+                _, shard_id, items, reports = message
+                self._done[shard_id] = (items, reports)
+            elif kind == "error":
+                _, shard_id, tb_text = message
+                self._fail(
+                    WorkerFailedError(
+                        f"shard {shard_id} worker raised:\n{tb_text}"
+                    )
+                )
+
+    def _release_ready(self, flush: bool = False) -> None:
+        """Hand completed batches to the callback / result list.
+
+        Unordered mode releases immediately; ordered mode releases a
+        chunk only when all shards have acked it, in chunk order.
+        """
+        if self.mode == "unordered":
+            for chunk_id in sorted(self._pending):
+                for batch in self._pending.pop(chunk_id):
+                    self._emit(batch)
+            return
+        while self._next_release in self._acks and (
+            self._acks[self._next_release] == self.num_shards
+        ):
+            batches = self._pending.pop(self._next_release, [])
+            for batch in sorted(batches, key=lambda b: b.shard_id):
+                self._emit(batch)
+            del self._acks[self._next_release]
+            self._next_release += 1
+        if flush:
+            for chunk_id in sorted(self._pending):
+                for batch in sorted(
+                    self._pending.pop(chunk_id), key=lambda b: b.shard_id
+                ):
+                    self._emit(batch)
+
+    def _emit(self, batch: ReportBatch) -> None:
+        self._batches.append(batch)
+        if self._on_reports is not None:
+            self._on_reports(batch)
+
+    def _collect_merged_view(self) -> QuantileFilter:
+        """Request shard snapshots and merge them into one global filter."""
+        sync_id = self._sync_id
+        self._sync_id += 1
+        for shard_id in range(self.num_shards):
+            self._put(shard_id, ("snapshot", sync_id))
+        deadline = time.monotonic() + self.stall_timeout
+        while len(self._snapshots.get(sync_id, [])) < self.num_shards:
+            if self._drain(block=True):
+                deadline = time.monotonic() + self.stall_timeout
+            else:
+                self._check_workers()
+                if time.monotonic() > deadline:
+                    self._fail(
+                        PipelineStallError(
+                            f"snapshot sync {sync_id} incomplete after "
+                            f"{self.stall_timeout}s"
+                        )
+                    )
+        snapshots = self._snapshots.pop(sync_id)
+        merged = QuantileFilter(
+            self.criteria,
+            num_buckets=self._config["num_buckets"],
+            vague_width=self._config["vague_width"],
+            bucket_size=self._config["bucket_size"],
+            depth=self._config["depth"],
+            fp_bits=self._config["fp_bits"],
+            counter_kind="float",
+            strategy=self._config["strategy"],
+            seed=self._config["seed"],
+        )
+        for snapshot in snapshots:
+            merged.merge(snapshot)
+        self.last_merged = merged
+        if self._on_merge is not None:
+            self._on_merge(merged, self.items_fed)
+        return merged
+
+    def _check_workers(self) -> None:
+        """Raise (after cleanup) when any unfinished worker is dead."""
+        for shard_id, worker in enumerate(self.workers):
+            if shard_id in self._done or worker.is_alive():
+                continue
+            # One last drain: the worker may have parked an error or its
+            # done message in the result queue just before exiting.
+            self._drain(block=False)
+            if shard_id in self._done:
+                continue
+            self._fail(
+                WorkerCrashError(
+                    f"shard {shard_id} worker (pid {worker.pid}) died with "
+                    f"exitcode {worker.exitcode} before finishing"
+                )
+            )
+
+    def _fail(self, error: PipelineError) -> None:
+        self.close()
+        raise error

@@ -2,12 +2,23 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.core.criteria import Criteria
+
+# Pinned profile for CI: derandomized (the same example sequence on
+# every run and every Python version) with a trimmed example budget.
+# Locally the default profile keeps hypothesis exploring fresh seeds.
+settings.register_profile(
+    "ci", derandomize=True, deadline=None, max_examples=30,
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

@@ -147,6 +147,71 @@ class TestQuantileFilterMerge:
                 different_seed
             )
 
+    def test_mismatch_error_names_the_differing_field(self):
+        """The rejection message must say *what* differs — a bare
+        'incompatible' is useless when debugging a shard fleet."""
+        mine = QuantileFilter(self.CRIT, num_buckets=64, vague_width=256,
+                              seed=9)
+        other = QuantileFilter(self.CRIT, num_buckets=128, vague_width=256,
+                               seed=9)
+        with pytest.raises(ParameterError, match="num_buckets"):
+            mine.merge(other)
+        with pytest.raises(ParameterError, match=r"64.*128"):
+            mine.merge(other)
+        different_seed = QuantileFilter(self.CRIT, num_buckets=64,
+                                        vague_width=256, seed=10)
+        with pytest.raises(ParameterError, match="seed"):
+            mine.merge(different_seed)
+
+    def test_mismatched_criteria_rejected(self):
+        """Shards with different default criteria never made the same
+        report decisions; merging them is a configuration bug."""
+        mine = QuantileFilter(self.CRIT, memory_bytes=64 * 1024, seed=9)
+        other_criteria = Criteria(delta=0.9, threshold=200.0, epsilon=10.0)
+        other = QuantileFilter(other_criteria, memory_bytes=64 * 1024, seed=9)
+        with pytest.raises(ParameterError, match="criteria"):
+            mine.merge(other)
+
+    def test_merge_with_differing_candidate_occupancy(self):
+        """One nearly-empty shard merged into one saturated shard: the
+        saturated shard's state survives, the sparse keys arrive, and
+        the empty slots stay consistent."""
+        full = QuantileFilter(self.CRIT, num_buckets=4, bucket_size=2,
+                              vague_width=512, counter_kind="float", seed=9)
+        sparse = QuantileFilter(self.CRIT, num_buckets=4, bucket_size=2,
+                                vague_width=512, counter_kind="float", seed=9)
+        rng = random.Random(3)
+        for _ in range(2_000):  # saturate all 8 candidate slots
+            full.insert(rng.randrange(100), 500.0 * rng.random())
+        sparse.insert("lonely", 500.0)  # one occupied slot in total
+        full.merge(sparse)
+        assert full.query("lonely") == pytest.approx(19.0)
+        # Symmetric direction: sparse absorbing full also works and
+        # agrees on the sparse shard's own key.
+        sparse2 = QuantileFilter(self.CRIT, num_buckets=4, bucket_size=2,
+                                 vague_width=512, counter_kind="float",
+                                 seed=9)
+        sparse2.insert("lonely", 500.0)
+        full2 = QuantileFilter(self.CRIT, num_buckets=4, bucket_size=2,
+                               vague_width=512, counter_kind="float", seed=9)
+        rng = random.Random(3)
+        for _ in range(2_000):
+            full2.insert(rng.randrange(100), 500.0 * rng.random())
+        sparse2.merge(full2)
+        assert sparse2.items_processed == full.items_processed
+        assert sparse2.query("lonely") == pytest.approx(full.query("lonely"))
+
+    def test_merge_empty_shard_is_identity(self):
+        loaded = self._shard(1)
+        empty = QuantileFilter(self.CRIT, memory_bytes=64 * 1024,
+                               counter_kind="float", seed=9)
+        before_reports = set(loaded.reported_keys)
+        before_queries = {key: loaded.query(key) for key in range(200)}
+        loaded.merge(empty)
+        assert loaded.reported_keys == before_reports
+        for key, qweight in before_queries.items():
+            assert loaded.query(key) == pytest.approx(qweight)
+
     def test_detection_after_merge(self):
         """A key just under threshold on both shards crosses it once
         their Qweights combine — the distributed-detection payoff."""

@@ -52,6 +52,7 @@ class TestSlowExamplesCompile:
     SLOW_EXAMPLES = [
         "network_latency_monitoring", "parameter_tuning",
         "streaming_service", "distributed_monitoring",
+        "sharded_monitoring",
     ]
 
     @pytest.mark.parametrize("name", SLOW_EXAMPLES)

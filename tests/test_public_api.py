@@ -41,6 +41,7 @@ PUBLIC_MODULES = [
     "repro.experiments.harness", "repro.experiments.figures",
     "repro.experiments.scaling", "repro.experiments.report",
     "repro.experiments.cli",
+    "repro.parallel", "repro.parallel.sharded", "repro.parallel.pipeline",
 ]
 
 
@@ -54,7 +55,7 @@ def test_module_imports(module_name):
     "package_name",
     ["repro", "repro.common", "repro.sketches", "repro.quantiles",
      "repro.core", "repro.baselines", "repro.detection", "repro.streams",
-     "repro.metrics", "repro.analysis"],
+     "repro.metrics", "repro.analysis", "repro.parallel"],
 )
 def test_all_lists_resolve(package_name):
     package = importlib.import_module(package_name)
@@ -69,6 +70,7 @@ def test_top_level_quickstart_names():
     from repro import WindowedQuantileFilter  # noqa: F401
     from repro import save_filter, load_filter  # noqa: F401
     from repro import compute_ground_truth, score_sets  # noqa: F401
+    from repro import ShardedQuantileFilter, ParallelPipeline  # noqa: F401
     from repro.analysis.sizing import recommend  # noqa: F401
     from repro.detection.reports import AlertPolicy, ReportLog  # noqa: F401
 
