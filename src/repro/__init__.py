@@ -31,6 +31,11 @@ from repro.core.windowed import WindowedQuantileFilter
 from repro.core.persistence import save_filter, load_filter
 from repro.parallel.sharded import ShardedQuantileFilter
 from repro.parallel.pipeline import ParallelPipeline
+from repro.observability import (
+    StatsRegistry,
+    observe_filter,
+    render_prometheus,
+)
 from repro.common.errors import ReproError, ParameterError
 from repro.detection.ground_truth import GroundTruthDetector, compute_ground_truth
 from repro.metrics.accuracy import DetectionScore, score_sets
@@ -47,6 +52,9 @@ __all__ = [
     "WindowedQuantileFilter",
     "ShardedQuantileFilter",
     "ParallelPipeline",
+    "StatsRegistry",
+    "observe_filter",
+    "render_prometheus",
     "save_filter",
     "load_filter",
     "ReproError",

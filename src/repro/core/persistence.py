@@ -81,6 +81,10 @@ def save_filter(
         "candidate_hits": qf.candidate_hits,
         "vague_inserts": qf.vague_inserts,
         "swaps": qf.swaps,
+        "candidate_reports": qf.candidate_reports,
+        "vague_reports": qf.vague_reports,
+        "resets": qf.resets,
+        "merges": qf.merges,
         "track_reports": qf._track_reports,
         "has_history": bool(include_history),
     }
@@ -150,6 +154,11 @@ def load_filter(path: PathLike) -> QuantileFilter:
     qf.candidate_hits = meta["candidate_hits"]
     qf.vague_inserts = meta["vague_inserts"]
     qf.swaps = meta["swaps"]
+    # Telemetry counters; .get() keeps pre-observability checkpoints loadable.
+    qf.candidate_reports = meta.get("candidate_reports", 0)
+    qf.vague_reports = meta.get("vague_reports", 0)
+    qf.resets = meta.get("resets", 0)
+    qf.merges = meta.get("merges", 0)
     if meta.get("has_history"):
         qf.reported_keys = {
             key if tag == "str" else int(key)

@@ -161,6 +161,13 @@ class QuantileFilter:
         self.candidate_hits = 0
         self.vague_inserts = 0
         self.swaps = 0
+        # Telemetry counters (repro.observability reads these through
+        # pull gauges, so the insert path stays unchanged; the report /
+        # reset / merge paths are rare enough for plain increments).
+        self.candidate_reports = 0
+        self.vague_reports = 0
+        self.resets = 0
+        self.merges = 0
 
     # ------------------------------------------------------------------
     # addressing helpers
@@ -249,6 +256,10 @@ class QuantileFilter:
     def _emit(self, key, qweight, source, item_index) -> Report:
         report = Report(key=key, qweight=qweight, source=source, item_index=item_index)
         self.report_count += 1
+        if source == "candidate":
+            self.candidate_reports += 1
+        else:
+            self.vague_reports += 1
         if self._track_reports:
             self.reported_keys.add(key)
         if self._on_report is not None:
@@ -291,6 +302,7 @@ class QuantileFilter:
         """
         self.candidate.clear()
         self.vague.clear()
+        self.resets += 1
 
     # ------------------------------------------------------------------
     # per-key criteria (Sec. III-C)
@@ -367,6 +379,10 @@ class QuantileFilter:
         self.candidate_hits += other.candidate_hits
         self.vague_inserts += other.vague_inserts
         self.swaps += other.swaps
+        self.candidate_reports += other.candidate_reports
+        self.vague_reports += other.vague_reports
+        self.resets += other.resets
+        self.merges += other.merges + 1
         self.reported_keys |= other.reported_keys
         for key, criteria in other._key_criteria.items():
             self._key_criteria.setdefault(key, criteria)

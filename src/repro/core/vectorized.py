@@ -116,6 +116,17 @@ class BatchQuantileFilter:
         self.reported_keys: Set[int] = set()
         self.items_processed = 0
         self.report_count = 0
+        #: When True, the hot loop maintains the per-event tallies below
+        #: (candidate hits, vague inserts, swaps).  Off by default so an
+        #: uninstrumented run pays only one local-bool branch per item;
+        #: ``repro.observability.observe_filter`` switches it on.
+        self.stats_tallies = False
+        self.candidate_hits = 0
+        self.vague_inserts = 0
+        self.swaps = 0
+        # Reports are rare, so the by-source split is always maintained.
+        self.candidate_reports = 0
+        self.vague_reports = 0
 
     # ------------------------------------------------------------------
     # public API
@@ -185,6 +196,8 @@ class BatchQuantileFilter:
         bucket_size = self.bucket_size
         should_replace = self.strategy.should_replace
         reported = self.reported_keys
+        track = self.stats_tallies
+        n_hits = n_vague = n_swaps = 0
 
         for i in range(len(key_list)):
             fp = fp_list[i]
@@ -199,11 +212,14 @@ class BatchQuantileFilter:
             for slot in range(bucket_size):
                 slot_fp = bucket_fps[slot]
                 if slot_fp == fp:
+                    if track:
+                        n_hits += 1
                     new_qw = bucket_qws[slot] + weight
                     if new_qw >= report_threshold:
                         bucket_qws[slot] = 0.0
                         reported.add(key_list[i])
                         self.report_count += 1
+                        self.candidate_reports += 1
                     else:
                         bucket_qws[slot] = new_qw
                     matched = True
@@ -220,11 +236,14 @@ class BatchQuantileFilter:
                     bucket_qws[free] = 0.0
                     reported.add(key_list[i])
                     self.report_count += 1
+                    self.candidate_reports += 1
                 else:
                     bucket_qws[free] = weight
                 continue
 
             # Case 3: vague part (fused insert + median estimate).
+            if track:
+                n_vague += 1
             ests = []
             for r in range(depth):
                 col = col_rows[r][i]
@@ -241,6 +260,7 @@ class BatchQuantileFilter:
                     rows[r][col_rows[r][i]] -= sign_rows[r][i] * estimate
                 reported.add(key_list[i])
                 self.report_count += 1
+                self.vague_reports += 1
                 estimate = 0.0
 
             # Candidate election against the bucket minimum.
@@ -251,6 +271,8 @@ class BatchQuantileFilter:
                     min_qw = bucket_qws[slot]
                     min_slot = slot
             if should_replace(estimate, min_qw):
+                if track:
+                    n_swaps += 1
                 evicted_fp = bucket_fps[min_slot]
                 evicted_vkey = vague_key(evicted_fp, bucket)
                 evicted_cols = self._hashes.indices(evicted_vkey)
@@ -264,10 +286,34 @@ class BatchQuantileFilter:
                 bucket_qws[min_slot] = estimate
 
         self.items_processed += len(key_list)
+        if track:
+            self.candidate_hits += n_hits
+            self.vague_inserts += n_vague
+            self.swaps += n_swaps
 
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        """Occupied candidate slots (snapshot-time scan, not hot-path)."""
+        return sum(
+            1 for bucket in self._cand_fps for fp in bucket if fp != 0
+        )
+
+    def occupancy(self) -> float:
+        """Fraction of candidate slots currently holding an entry."""
+        return self.entry_count() / (self.num_buckets * self.bucket_size)
+
+    def candidate_hit_rate(self) -> float:
+        """Fraction of inserts resolved in the candidate part.
+
+        Meaningful only while :attr:`stats_tallies` is on (the hit tally
+        does not advance otherwise).
+        """
+        if self.items_processed == 0:
+            return 0.0
+        return self.candidate_hits / self.items_processed
+
     @property
     def nbytes(self) -> int:
         """Modelled memory footprint (same model as the scalar filter)."""

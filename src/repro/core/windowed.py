@@ -59,6 +59,7 @@ class WindowedQuantileFilter:
         self.mode = mode
         self.items_processed = 0
         self.resets = 0
+        self.report_count = 0
         self.reported_keys: Set[Hashable] = set()
         seed = filter_kwargs.pop("seed", 0)
         if mode == "tumbling":
@@ -102,6 +103,7 @@ class WindowedQuantileFilter:
                 younger.insert(key, value, criteria=criteria)
         if report is not None:
             self.reported_keys.add(report.key)
+            self.report_count += 1
         return report
 
     def _maybe_rotate(self) -> None:

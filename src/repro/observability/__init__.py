@@ -1,0 +1,59 @@
+"""Runtime observability: registries, instrumentation and exporters.
+
+The subsystem has three layers, all zero-dependency:
+
+* :mod:`~repro.observability.registry` — cheap monotonic
+  :class:`Counter` / :class:`Gauge` metrics collected in a
+  :class:`StatsRegistry`, with pull-model (callback) variants so
+  instrumentation can read existing state at snapshot time instead of
+  touching the insert hot path.
+* :mod:`~repro.observability.instrument` — :func:`observe_filter`
+  attaches a registry to a ``QuantileFilter`` /
+  ``BatchQuantileFilter`` / ``WindowedQuantileFilter``;
+  ``ParallelPipeline(collect_stats=True)`` does the same per worker and
+  aggregates shard registries master-side.
+* :mod:`~repro.observability.exporters` — ``snapshot()`` dicts,
+  :class:`JsonLinesEmitter`, and Prometheus text rendering
+  (:func:`render_prometheus`), plus the ``repro stats`` / ``repro
+  watch`` CLI (:mod:`~repro.observability.cli`).
+
+>>> from repro.observability import StatsRegistry, render_prometheus
+>>> reg = StatsRegistry()
+>>> reg.counter("obs_demo_total", help="demo events").inc(2)
+>>> print(render_prometheus(reg.snapshot(), specs=reg.specs()))
+# HELP obs_demo_total demo events
+# TYPE obs_demo_total counter
+obs_demo_total 2
+
+See ``docs/observability.md`` for the full metric reference and the
+operational healthy/degraded reading of each signal.
+"""
+
+from repro.observability.registry import (
+    Counter,
+    Gauge,
+    MetricSpec,
+    StatsRegistry,
+    aggregate_snapshots,
+)
+from repro.observability.exporters import (
+    JsonLinesEmitter,
+    registry_to_prometheus,
+    render_prometheus,
+    render_snapshot_text,
+)
+from repro.observability.instrument import FILTER_METRIC_HELP, observe_filter
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricSpec",
+    "StatsRegistry",
+    "aggregate_snapshots",
+    "JsonLinesEmitter",
+    "registry_to_prometheus",
+    "render_prometheus",
+    "render_snapshot_text",
+    "FILTER_METRIC_HELP",
+    "observe_filter",
+]

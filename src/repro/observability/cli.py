@@ -1,0 +1,169 @@
+"""The ``repro`` operations CLI: ``repro stats`` and ``repro watch``.
+
+Both subcommands drive a live :class:`~repro.parallel.pipeline.
+ParallelPipeline` (workers, bounded queues, per-worker registries) over
+a registered dataset and export its telemetry:
+
+* ``repro stats`` — run the stream to completion and print one final
+  aggregated snapshot (Prometheus text by default).
+* ``repro watch`` — print a periodic snapshot every ``--every`` chunks
+  while the stream is flowing (JSON lines by default, one object per
+  tick — the format to pipe into a file and tail).
+
+Examples::
+
+    repro stats --dataset cloud --shards 4
+    repro watch --every 8 --format json > stats.jsonl
+    python -m repro stats          # equivalent entry point
+
+The parser is plain argparse:
+
+>>> build_parser().parse_args(["stats", "--shards", "3"]).shards
+3
+>>> build_parser().parse_args(["watch"]).format
+'json'
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional
+
+from repro.observability.exporters import (
+    JsonLinesEmitter,
+    render_prometheus,
+    render_snapshot_text,
+)
+
+#: Default byte budget per shard for the CLI's demonstration runs.
+DEFAULT_MEMORY_BYTES = 64 * 1024
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Operate and observe a running QuantileFilter pipeline.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    stats = sub.add_parser(
+        "stats",
+        help="run a pipeline over a dataset and print one final "
+        "telemetry snapshot",
+    )
+    watch = sub.add_parser(
+        "watch",
+        help="run a pipeline and print periodic telemetry snapshots "
+        "while the stream flows",
+    )
+    for sub_parser, default_format in ((stats, "prom"), (watch, "json")):
+        sub_parser.add_argument(
+            "--dataset", default="internet",
+            help="registered dataset name (internet/cloud/zipf-*)",
+        )
+        sub_parser.add_argument(
+            "--scale", type=int, default=50_000, help="stream length",
+        )
+        sub_parser.add_argument(
+            "--shards", type=int, default=2, help="worker process count",
+        )
+        sub_parser.add_argument(
+            "--memory-bytes", type=int, default=DEFAULT_MEMORY_BYTES,
+            help="per-shard byte budget",
+        )
+        sub_parser.add_argument(
+            "--chunk-items", type=int, default=8_192,
+            help="items per pipeline chunk",
+        )
+        sub_parser.add_argument("--seed", type=int, default=0)
+        sub_parser.add_argument(
+            "--format", choices=("prom", "json", "text"),
+            default=default_format,
+            help=f"snapshot output format (default {default_format})",
+        )
+    watch.add_argument(
+        "--every", type=int, default=4,
+        help="chunks between telemetry snapshots (default 4)",
+    )
+    return parser
+
+
+def _render(snapshot: Dict[str, float], fmt: str, **context) -> str:
+    if fmt == "json":
+        return JsonLinesEmitter(stream=_NullStream()).emit(snapshot, **context)
+    if fmt == "text":
+        return render_snapshot_text(snapshot)
+    return render_prometheus(snapshot)
+
+
+class _NullStream:
+    """Sink for JsonLinesEmitter when the caller prints the line itself."""
+
+    def write(self, _text: str) -> None:
+        pass
+
+
+def _build_pipeline(args: argparse.Namespace):
+    # Imported lazily so `repro stats --help` stays instant.
+    from repro.experiments.config import build_trace, default_criteria_for
+    from repro.parallel.pipeline import ParallelPipeline
+
+    trace = build_trace(args.dataset, scale=args.scale, seed=args.seed)
+    criteria = default_criteria_for(args.dataset)
+    pipeline = ParallelPipeline(
+        criteria,
+        args.shards,
+        memory_bytes=args.memory_bytes,
+        chunk_items=args.chunk_items,
+        seed=args.seed,
+        collect_stats=True,
+    )
+    return pipeline, trace
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    pipeline, trace = _build_pipeline(args)
+    result = pipeline.run(trace.keys, trace.values)
+    print(_render(result.stats, args.format, items=result.items))
+    print(
+        f"# run: {result.items} items, {result.num_shards} shards, "
+        f"{result.seconds:.2f}s ({result.mops:.2f} MOPS), "
+        f"{len(result.reported_keys)} reported keys",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    if args.every < 1:
+        print(f"--every must be >= 1, got {args.every}", file=sys.stderr)
+        return 2
+    pipeline, trace = _build_pipeline(args)
+    stride = args.chunk_items * args.every
+    with pipeline:
+        for start in range(0, trace.keys.shape[0], stride):
+            pipeline.feed(
+                trace.keys[start:start + stride],
+                trace.values[start:start + stride],
+            )
+            view = pipeline.collect_stats_view()
+            if args.format == "prom":
+                print(f"# --- after {pipeline.items_fed} items ---")
+            print(_render(view, args.format, items=pipeline.items_fed))
+        result = pipeline.finish()
+    if args.format == "prom":
+        print("# --- final ---")
+    print(_render(result.stats, args.format, items=result.items, final=True))
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    return _cmd_watch(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

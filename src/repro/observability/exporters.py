@@ -1,0 +1,134 @@
+"""Snapshot exporters: Prometheus text format and JSON lines.
+
+A snapshot is the plain ``{sample_name: float}`` dict produced by
+:meth:`~repro.observability.registry.StatsRegistry.snapshot` (or by
+aggregating several of them).  Exporters are pure functions over that
+dict plus the metric specs, so they work equally on a live registry and
+on a snapshot that crossed a process boundary.
+
+>>> from repro.observability.registry import StatsRegistry
+>>> reg = StatsRegistry()
+>>> reg.counter("exp_items_total", help="items processed").inc(3)
+>>> reg.counter("exp_reports_total", labels={"source": "vague"}).inc()
+>>> print(render_prometheus(reg.snapshot(), specs=reg.specs()))
+# HELP exp_items_total items processed
+# TYPE exp_items_total counter
+exp_items_total 3
+# HELP exp_reports_total
+# TYPE exp_reports_total counter
+exp_reports_total{source="vague"} 1
+
+JSON lines append one self-contained object per emit — the format to
+tail from a long-running monitor:
+
+>>> import io
+>>> out = io.StringIO()
+>>> emitter = JsonLinesEmitter(out)
+>>> _ = emitter.emit({"exp_items_total": 3.0}, run="doctest")
+>>> out.getvalue()
+'{"run": "doctest", "exp_items_total": 3.0}\\n'
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, TextIO
+
+from repro.observability.registry import (
+    SPEC_INDEX,
+    MetricSpec,
+    StatsRegistry,
+    base_name,
+)
+
+
+def _format_value(value: float) -> str:
+    """Render ints without a trailing ``.0`` (Prometheus accepts both)."""
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def render_prometheus(
+    snapshot: Mapping[str, float],
+    specs: Optional[Mapping[str, MetricSpec]] = None,
+) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Samples are grouped by metric family (sorted by name) with one
+    ``# HELP`` / ``# TYPE`` header per family.  ``specs`` defaults to
+    the process-wide :data:`~repro.observability.registry.SPEC_INDEX`;
+    families absent from both are rendered as untyped gauges.
+    """
+    if specs is None:
+        specs = SPEC_INDEX
+    families: Dict[str, List[str]] = {}
+    for sample in snapshot:
+        families.setdefault(base_name(sample), []).append(sample)
+    lines: List[str] = []
+    for family in sorted(families):
+        spec = specs.get(family) or SPEC_INDEX.get(family)
+        help_text = spec.help if spec is not None else ""
+        kind = spec.kind if spec is not None else "gauge"
+        lines.append(f"# HELP {family} {help_text}".rstrip())
+        lines.append(f"# TYPE {family} {kind}")
+        for sample in sorted(families[family]):
+            lines.append(f"{sample} {_format_value(snapshot[sample])}")
+    return "\n".join(lines)
+
+
+def render_snapshot_text(snapshot: Mapping[str, float]) -> str:
+    """Plain aligned ``name value`` lines (the CLI's human format)."""
+    if not snapshot:
+        return "(no samples)"
+    width = max(len(sample) for sample in snapshot)
+    return "\n".join(
+        f"{sample:<{width}}  {_format_value(snapshot[sample])}"
+        for sample in sorted(snapshot)
+    )
+
+
+class JsonLinesEmitter:
+    """Append snapshots to a stream as one JSON object per line.
+
+    Parameters
+    ----------
+    stream:
+        Any ``.write()``-able text stream (defaults to ``sys.stdout``
+        at emit time, so an emitter built at import time still honours
+        later stdout redirection).
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None):
+        self._stream = stream
+
+    def emit(self, snapshot: Mapping[str, float], **extra) -> str:
+        """Write one line for ``snapshot``; returns the line (no newline).
+
+        ``extra`` key-values (run ids, timestamps, phase tags) are
+        placed before the samples in the emitted object.
+        """
+        record = dict(extra)
+        record.update(snapshot)
+        line = json.dumps(record)
+        stream = self._stream
+        if stream is None:  # pragma: no cover - convenience default
+            import sys
+
+            stream = sys.stdout
+        stream.write(line + "\n")
+        return line
+
+
+def registry_to_prometheus(registry: StatsRegistry) -> str:
+    """Convenience: snapshot a live registry and render it.
+
+    >>> reg = StatsRegistry()
+    >>> reg.gauge("exp_depth", help="queue depth").set(2)
+    >>> print(registry_to_prometheus(reg))
+    # HELP exp_depth queue depth
+    # TYPE exp_depth gauge
+    exp_depth 2
+    """
+    return render_prometheus(registry.snapshot(), specs=registry.specs())

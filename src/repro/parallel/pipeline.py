@@ -23,6 +23,16 @@ Consistency model (also documented in ``docs/operations.md``):
   snapshot request rides the same per-worker queue as the chunks, so
   each view is a consistent per-shard cut between chunks.
 
+Telemetry: built with ``collect_stats=True``, every worker attaches a
+:class:`~repro.observability.registry.StatsRegistry` to its shard
+filter (:func:`~repro.observability.instrument.observe_filter`).
+Per-shard snapshots ride the worker queues — on demand
+(:meth:`ParallelPipeline.collect_stats_view`) and with the final
+``done`` messages — and aggregate master-side into
+``PipelineResult.stats`` / ``per_shard_stats`` alongside the master's
+own ``pipeline_*`` counters (chunks/items fed, batches released, queue
+depths, worker liveness).  See ``docs/observability.md``.
+
 Failure model: every blocking queue operation is bounded by timeouts
 and interleaved with worker liveness checks.  A worker that dies
 (crash, OOM-kill) surfaces as :class:`WorkerCrashError`; a worker that
@@ -47,6 +57,8 @@ from repro.common.errors import ReproError, ParameterError
 from repro.core.criteria import Criteria
 from repro.core.quantile_filter import QuantileFilter
 from repro.core.vectorized import BatchQuantileFilter
+from repro.observability.instrument import observe_filter
+from repro.observability.registry import StatsRegistry, aggregate_snapshots
 from repro.parallel.sharded import ENGINES, ShardRouter, batch_filter_to_scalar
 
 #: Default items per pipeline chunk.
@@ -92,6 +104,12 @@ class PipelineResult:
     per_shard_reports: List[int]
     batches: List[ReportBatch] = field(default_factory=list)
     merged: Optional[QuantileFilter] = None
+    #: Aggregated telemetry snapshot (worker registries summed per the
+    #: metric aggregation rules, plus the master's pipeline_* samples).
+    #: None unless the pipeline ran with ``collect_stats=True``.
+    stats: Optional[Dict[str, float]] = None
+    #: One snapshot dict per shard, in shard order (collect_stats only).
+    per_shard_stats: Optional[List[Dict[str, float]]] = None
 
     @property
     def mops(self) -> float:
@@ -121,6 +139,13 @@ def _worker_main(shard_id: int, config: dict, in_queue, out_queue) -> None:
     try:
         filt = _build_worker_filter(config)
         engine = config["engine"]
+        registry = chunk_counter = None
+        if config.get("stats"):
+            registry = observe_filter(filt)
+            chunk_counter = registry.counter(
+                "worker_chunks_total",
+                help="Chunks this shard worker has consumed.",
+            )
         known: Set = set()
         while True:
             message = in_queue.get()
@@ -133,6 +158,8 @@ def _worker_main(shard_id: int, config: dict, in_queue, out_queue) -> None:
                     else:
                         for key, value in zip(keys.tolist(), values.tolist()):
                             filt.insert(key, value)
+                if chunk_counter is not None:
+                    chunk_counter.inc()
                 fresh = filt.reported_keys - known
                 known |= fresh
                 out_queue.put(("reports", chunk_id, shard_id, list(fresh)))
@@ -142,9 +169,17 @@ def _worker_main(shard_id: int, config: dict, in_queue, out_queue) -> None:
                     batch_filter_to_scalar(filt) if engine == "batch" else filt
                 )
                 out_queue.put(("snapshot", sync_id, shard_id, snapshot))
+            elif kind == "stats":
+                _, sync_id = message
+                stats = registry.snapshot() if registry is not None else {}
+                out_queue.put(("stats", sync_id, shard_id, stats))
             elif kind == "stop":
+                final_stats = (
+                    registry.snapshot() if registry is not None else None
+                )
                 out_queue.put(
-                    ("done", shard_id, filt.items_processed, filt.report_count)
+                    ("done", shard_id, filt.items_processed,
+                     filt.report_count, final_stats)
                 )
                 return
             else:  # pragma: no cover - defensive
@@ -205,6 +240,7 @@ class ParallelPipeline:
         stall_timeout: float = 30.0,
         merge_every: Optional[int] = None,
         collect_merged: bool = False,
+        collect_stats: bool = False,
         on_reports: Optional[Callable[[ReportBatch], None]] = None,
         on_merge: Optional[Callable[[QuantileFilter, int], None]] = None,
         start_method: Optional[str] = None,
@@ -234,6 +270,7 @@ class ParallelPipeline:
         self.stall_timeout = stall_timeout
         self.merge_every = merge_every
         self.collect_merged = collect_merged
+        self.collect_stats = collect_stats
         self._on_reports = on_reports
         self._on_merge = on_merge
 
@@ -270,6 +307,7 @@ class ParallelPipeline:
             fp_bits=fp_bits,
             strategy=strategy,
             seed=seed,
+            stats=collect_stats,
         )
         self.router = ShardRouter(num_shards, resolved_buckets, seed=seed)
 
@@ -296,8 +334,44 @@ class ParallelPipeline:
         self._pending: Dict[int, List[ReportBatch]] = {}
         self._acks: Dict[int, int] = {}
         self._next_release = 0
-        self._done: Dict[int, Tuple[int, int]] = {}
+        self._done: Dict[int, Tuple[int, int, Optional[dict]]] = {}
         self._snapshots: Dict[int, List] = {}
+        self._stat_views: Dict[int, Dict[int, dict]] = {}
+
+        # Master-side telemetry: always registered (the counters are a
+        # few adds per *chunk*, not per item), rendered by repro stats.
+        self.stats = StatsRegistry()
+        self._chunks_counter = self.stats.counter(
+            "pipeline_chunks_fed_total",
+            help="Chunks sliced off the stream and dispatched to workers.",
+        )
+        self._items_counter = self.stats.counter(
+            "pipeline_items_fed_total",
+            help="Items dispatched to workers.",
+        )
+        self._batches_counter = self.stats.counter(
+            "pipeline_report_batches_total",
+            help="Report batches released to the caller.",
+        )
+        self._merges_counter = self.stats.counter(
+            "pipeline_merge_views_total",
+            help="Merged global views collected from shard snapshots.",
+        )
+        self._stat_views_counter = self.stats.counter(
+            "pipeline_stats_views_total",
+            help="Telemetry views collected from worker registries.",
+        )
+        self.stats.gauge_fn(
+            "pipeline_reported_keys",
+            lambda: len(self._reported),
+            help="Distinct keys reported across all shards so far.",
+        )
+        self.stats.gauge_fn(
+            "pipeline_workers_alive",
+            lambda: sum(1 for w in self.workers if w.is_alive()),
+            help="Shard worker processes currently alive.",
+        )
+        self.last_stats: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -320,8 +394,23 @@ class ParallelPipeline:
             worker.start()
             self._in_queues.append(in_queue)
             self.workers.append(worker)
+            self.stats.gauge_fn(
+                "pipeline_queue_depth",
+                (lambda s=shard_id: self._queue_depth(s)),
+                help="Chunks waiting in this shard's input queue.",
+                labels={"shard": str(shard_id)},
+            )
         self._started = True
         return self
+
+    def _queue_depth(self, shard_id: int) -> int:
+        """Best-effort input-queue depth (0 where qsize is unsupported)."""
+        if shard_id >= len(self._in_queues):
+            return 0
+        try:
+            return self._in_queues[shard_id].qsize()
+        except (NotImplementedError, OSError, ValueError):
+            return 0
 
     def __enter__(self) -> "ParallelPipeline":
         return self.start()
@@ -358,6 +447,8 @@ class ParallelPipeline:
                     shard_id, ("chunk", chunk_id, sub_keys, sub_values)
                 )
             self.items_fed += int(chunk_keys.shape[0])
+            self._chunks_counter.inc()
+            self._items_counter.inc(int(chunk_keys.shape[0]))
             if self.merge_every and (chunk_id + 1) % self.merge_every == 0:
                 self._collect_merged_view()
 
@@ -392,6 +483,10 @@ class ParallelPipeline:
                 worker.join(timeout=self.stall_timeout)
             per_items = [self._done[s][0] for s in range(self.num_shards)]
             per_reports = [self._done[s][1] for s in range(self.num_shards)]
+            per_stats = aggregate = None
+            if self.collect_stats:
+                per_stats = [self._done[s][2] for s in range(self.num_shards)]
+                aggregate = self._aggregate_worker_stats(per_stats)
             result = PipelineResult(
                 reported_keys=set(self._reported),
                 items=self.items_fed,
@@ -403,6 +498,8 @@ class ParallelPipeline:
                 per_shard_reports=per_reports,
                 batches=list(self._batches),
                 merged=merged if merged is not None else self.last_merged,
+                stats=aggregate,
+                per_shard_stats=per_stats,
             )
             self._finished = True
             return result
@@ -502,9 +599,12 @@ class ParallelPipeline:
             elif kind == "snapshot":
                 _, sync_id, shard_id, snapshot = message
                 self._snapshots.setdefault(sync_id, []).append(snapshot)
+            elif kind == "stats":
+                _, sync_id, shard_id, stats_snap = message
+                self._stat_views.setdefault(sync_id, {})[shard_id] = stats_snap
             elif kind == "done":
-                _, shard_id, items, reports = message
-                self._done[shard_id] = (items, reports)
+                _, shard_id, items, reports, stats_snap = message
+                self._done[shard_id] = (items, reports, stats_snap)
             elif kind == "error":
                 _, shard_id, tb_text = message
                 self._fail(
@@ -541,6 +641,7 @@ class ParallelPipeline:
 
     def _emit(self, batch: ReportBatch) -> None:
         self._batches.append(batch)
+        self._batches_counter.inc()
         if self._on_reports is not None:
             self._on_reports(batch)
 
@@ -564,6 +665,7 @@ class ParallelPipeline:
                         )
                     )
         snapshots = self._snapshots.pop(sync_id)
+        self._merges_counter.inc()
         merged = QuantileFilter(
             self.criteria,
             num_buckets=self._config["num_buckets"],
@@ -581,6 +683,54 @@ class ParallelPipeline:
         if self._on_merge is not None:
             self._on_merge(merged, self.items_fed)
         return merged
+
+    def collect_stats_view(self) -> Dict[str, float]:
+        """Pull a live telemetry view from every worker registry.
+
+        Like :meth:`_collect_merged_view`, the request rides each
+        worker's input queue, so every per-shard snapshot is a
+        consistent between-chunks cut.  Returns the aggregate snapshot
+        (worker samples combined per their aggregation rules, overlaid
+        with the master's ``pipeline_*`` samples); also kept as
+        :attr:`last_stats`.  Requires ``collect_stats=True``.
+        """
+        if not self.collect_stats:
+            raise PipelineError(
+                "pipeline was built without collect_stats=True; worker "
+                "registries are not recording"
+            )
+        if not self._started:
+            raise PipelineError("pipeline is not running")
+        sync_id = self._sync_id
+        self._sync_id += 1
+        for shard_id in range(self.num_shards):
+            self._put(shard_id, ("stats", sync_id))
+        deadline = time.monotonic() + self.stall_timeout
+        while len(self._stat_views.get(sync_id, {})) < self.num_shards:
+            if self._drain(block=True):
+                deadline = time.monotonic() + self.stall_timeout
+            else:
+                self._check_workers()
+                if time.monotonic() > deadline:
+                    self._fail(
+                        PipelineStallError(
+                            f"stats sync {sync_id} incomplete after "
+                            f"{self.stall_timeout}s"
+                        )
+                    )
+        views = self._stat_views.pop(sync_id)
+        self._stat_views_counter.inc()
+        return self._aggregate_worker_stats(
+            [views[s] for s in range(self.num_shards)]
+        )
+
+    def _aggregate_worker_stats(
+        self, per_shard: List[Dict[str, float]]
+    ) -> Dict[str, float]:
+        aggregate = aggregate_snapshots(per_shard)
+        aggregate.update(self.stats.snapshot())
+        self.last_stats = aggregate
+        return aggregate
 
     def _check_workers(self) -> None:
         """Raise (after cleanup) when any unfinished worker is dead."""

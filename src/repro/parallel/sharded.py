@@ -400,6 +400,11 @@ def batch_filter_to_scalar(batch: BatchQuantileFilter) -> QuantileFilter:
     scalar.reported_keys = set(batch.reported_keys)
     scalar.items_processed = batch.items_processed
     scalar.report_count = batch.report_count
+    scalar.candidate_hits = batch.candidate_hits
+    scalar.vague_inserts = batch.vague_inserts
+    scalar.swaps = batch.swaps
+    scalar.candidate_reports = batch.candidate_reports
+    scalar.vague_reports = batch.vague_reports
     return scalar
 
 

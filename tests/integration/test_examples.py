@@ -38,6 +38,14 @@ class TestFastExamples:
         assert "nightclub districts flagged spiky:    True" in output
         assert "residential sensors quiet:            True" in output
 
+    def test_observed_monitoring(self, capsys):
+        load_example("observed_monitoring").main()
+        output = capsys.readouterr().out
+        assert "aggregate equals shard sum: True" in output
+        assert "items conserved end to end: True" in output
+        assert "# TYPE qf_items_total counter" in output
+        assert "qf_items_total 80000" in output
+
     def test_cpu_utilization_scaled_down(self, capsys):
         module = load_example("cpu_utilization")
         module.TICKS = 1_200

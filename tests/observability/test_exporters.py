@@ -1,0 +1,100 @@
+"""Exporter formats: Prometheus text exposition and JSON lines."""
+
+import io
+import json
+
+from repro.observability.exporters import (
+    JsonLinesEmitter,
+    registry_to_prometheus,
+    render_prometheus,
+    render_snapshot_text,
+)
+from repro.observability.registry import MetricSpec, StatsRegistry
+
+
+SPECS = {
+    "demo_items_total": MetricSpec(
+        "demo_items_total", "counter", help="items processed"),
+    "demo_occupancy": MetricSpec(
+        "demo_occupancy", "gauge", help="slot fill", agg="mean"),
+}
+
+
+class TestPrometheus:
+    def test_help_and_type_once_per_family(self):
+        snap = {
+            'demo_items_total{shard="0"}': 1.0,
+            'demo_items_total{shard="1"}': 2.0,
+            "demo_occupancy": 0.5,
+        }
+        text = render_prometheus(snap, specs=SPECS)
+        lines = text.splitlines()
+        assert lines.count("# HELP demo_items_total items processed") == 1
+        assert lines.count("# TYPE demo_items_total counter") == 1
+        assert "# TYPE demo_occupancy gauge" in lines
+        # Samples of one family sit together, sorted.
+        assert 'demo_items_total{shard="0"} 1' in lines
+        assert 'demo_items_total{shard="1"} 2' in lines
+        assert lines.index('demo_items_total{shard="0"} 1') + 1 == (
+            lines.index('demo_items_total{shard="1"} 2'))
+
+    def test_integral_values_render_without_decimal_point(self):
+        text = render_prometheus({"demo_items_total": 12.0}, specs=SPECS)
+        assert text.splitlines()[-1] == "demo_items_total 12"
+
+    def test_fractional_values_keep_precision(self):
+        text = render_prometheus({"demo_occupancy": 0.53125}, specs=SPECS)
+        assert text.splitlines()[-1] == "demo_occupancy 0.53125"
+
+    def test_unknown_family_renders_as_untyped_gauge(self):
+        text = render_prometheus({"zz_mystery": 1.0}, specs={})
+        lines = text.splitlines()
+        assert lines[0] == "# HELP zz_mystery"
+        assert lines[1] == "# TYPE zz_mystery gauge"
+
+    def test_registry_convenience_uses_registry_specs(self):
+        reg = StatsRegistry()
+        reg.counter("exp2_items_total", help="seen").inc(3)
+        text = registry_to_prometheus(reg)
+        assert "# HELP exp2_items_total seen" in text
+        assert "# TYPE exp2_items_total counter" in text
+        assert text.splitlines()[-1] == "exp2_items_total 3"
+
+    def test_empty_snapshot_is_empty_string(self):
+        assert render_prometheus({}, specs=SPECS) == ""
+
+
+class TestJsonLines:
+    def test_one_valid_json_object_per_emit(self):
+        out = io.StringIO()
+        emitter = JsonLinesEmitter(out)
+        emitter.emit({"a_total": 1.0})
+        emitter.emit({"a_total": 2.0}, phase="final")
+        lines = out.getvalue().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0]) == {"a_total": 1.0}
+        assert json.loads(lines[1]) == {"phase": "final", "a_total": 2.0}
+
+    def test_extra_keys_precede_samples(self):
+        out = io.StringIO()
+        line = JsonLinesEmitter(out).emit({"a_total": 1.0}, run="r1")
+        assert list(json.loads(line)) == ["run", "a_total"]
+
+    def test_snapshot_values_survive_round_trip(self):
+        out = io.StringIO()
+        snap = {"occ": 0.123456789, "n_total": 5.0}
+        JsonLinesEmitter(out).emit(snap)
+        assert json.loads(out.getvalue()) == snap
+
+
+class TestSnapshotText:
+    def test_aligned_and_sorted(self):
+        text = render_snapshot_text({"bb_long_name": 2.0, "a": 1.5})
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert lines[1].startswith("bb_long_name")
+        # Both value columns start at the same offset.
+        assert lines[0].index("1.5") == lines[1].index("2")
+
+    def test_empty_snapshot_placeholder(self):
+        assert render_snapshot_text({}) == "(no samples)"

@@ -1,0 +1,148 @@
+"""observe_filter over every filter flavour, plus the package doctests."""
+
+import doctest
+
+import numpy as np
+import pytest
+
+import repro.observability
+import repro.observability.exporters
+import repro.observability.instrument
+import repro.observability.registry
+from repro import (
+    BatchQuantileFilter,
+    Criteria,
+    QuantileFilter,
+    WindowedQuantileFilter,
+)
+from repro.common.errors import ParameterError
+from repro.observability import observe_filter
+from repro.observability.instrument import FILTER_METRIC_HELP
+from repro.observability.registry import SPEC_INDEX, StatsRegistry
+
+CRIT = Criteria(delta=0.5, threshold=10.0, epsilon=2.0)
+
+
+def test_every_filter_family_has_a_registered_spec():
+    for name in FILTER_METRIC_HELP:
+        spec = SPEC_INDEX[name]
+        expected_kind = "counter" if name.endswith("_total") else "gauge"
+        assert spec.kind == expected_kind
+        assert spec.help == FILTER_METRIC_HELP[name]
+
+
+class TestScalarFilter:
+    def make(self):
+        return QuantileFilter(CRIT, num_buckets=8, vague_width=16)
+
+    def test_full_schema_before_any_traffic(self):
+        stats = observe_filter(self.make())
+        snap = stats.snapshot()
+        assert snap["qf_items_total"] == 0.0
+        assert snap['qf_reports_total{source="candidate"}'] == 0.0
+        assert snap['qf_reports_total{source="vague"}'] == 0.0
+        assert snap["qf_candidate_occupancy"] == 0.0
+        assert snap["qf_estimated_bytes"] > 0.0
+
+    def test_counters_track_real_traffic(self):
+        qf = self.make()
+        stats = observe_filter(qf)
+        reports = 0
+        for i in range(200):
+            if qf.insert(f"key-{i % 4}", 50.0) is not None:
+                reports += 1
+        snap = stats.snapshot()
+        assert snap["qf_items_total"] == 200.0
+        assert (snap['qf_reports_total{source="candidate"}']
+                + snap['qf_reports_total{source="vague"}']) == reports
+        assert reports >= 1
+        assert snap["qf_reported_keys"] == len(qf.reported_keys)
+        assert snap["qf_candidate_entries"] == qf.candidate.entry_count()
+        assert 0.0 < snap["qf_candidate_hit_rate"] <= 1.0
+
+    def test_reset_and_merge_counters(self):
+        a, b = self.make(), self.make()
+        stats = observe_filter(a)
+        for i in range(50):
+            a.insert(f"k{i}", 5.0)
+            b.insert(f"k{i}", 5.0)
+        a.merge(b)
+        a.reset()
+        snap = stats.snapshot()
+        assert snap["qf_merges_total"] == 1.0
+        assert snap["qf_resets_total"] == 1.0
+
+    def test_observing_twice_returns_same_registry(self):
+        qf = self.make()
+        assert observe_filter(qf) is observe_filter(qf)
+
+    def test_shared_registry_requires_distinct_labels(self):
+        reg = StatsRegistry()
+        observe_filter(self.make(), registry=reg, labels={"shard": "0"})
+        with pytest.raises(ParameterError):
+            observe_filter(self.make(), registry=reg, labels={"shard": "0"})
+        # A distinct label set coexists fine.
+        observe_filter(self.make(), registry=reg, labels={"shard": "1"})
+        snap = reg.snapshot()
+        assert 'qf_items_total{shard="0"}' in snap
+        assert 'qf_items_total{shard="1"}' in snap
+
+
+class TestBatchFilter:
+    def test_tallies_flip_on_and_match_traffic(self):
+        bf = BatchQuantileFilter(CRIT, num_buckets=64, vague_width=64)
+        assert bf.stats_tallies is False
+        stats = observe_filter(bf)
+        assert bf.stats_tallies is True
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 16, size=5_000).astype(np.int64)
+        values = np.full(5_000, 50.0)
+        bf.process(keys, values)
+        snap = stats.snapshot()
+        assert snap["qf_items_total"] == 5_000.0
+        assert snap["qf_candidate_hits_total"] > 0.0
+        assert snap['qf_reports_total{source="candidate"}'] >= 1.0
+        assert snap["qf_candidate_entries"] == bf.entry_count()
+        assert snap["qf_candidate_occupancy"] == pytest.approx(bf.occupancy())
+        assert snap["qf_vague_saturation"] == 0.0
+
+    def test_disabled_tallies_stay_zero(self):
+        bf = BatchQuantileFilter(CRIT, num_buckets=64, vague_width=64)
+        rng = np.random.default_rng(7)
+        bf.process(rng.integers(0, 16, size=1_000).astype(np.int64),
+                   np.full(1_000, 50.0))
+        assert bf.candidate_hits == 0
+        assert bf.vague_inserts == 0
+        assert bf.swaps == 0
+
+
+class TestWindowedFilter:
+    def test_window_metrics(self):
+        wf = WindowedQuantileFilter(CRIT, memory_bytes=4096, window_items=50)
+        stats = observe_filter(wf)
+        for _ in range(120):
+            wf.insert("key-a", 50.0)
+        snap = stats.snapshot()
+        assert snap["qf_items_total"] == 120.0
+        assert snap["qf_window_resets_total"] >= 2.0
+        assert 0.0 <= snap["qf_window_fill"] <= 1.0
+        assert snap["qf_reports_total"] == wf.report_count
+
+
+def test_observability_doctests_all_pass():
+    # Tier-1 runs from tests/; CI additionally runs
+    # `pytest --doctest-modules src/repro/observability`.  Folding the
+    # doctests in here keeps both gates equivalent.
+    import repro.observability.cli
+
+    for mod in (
+        repro.observability,
+        repro.observability.registry,
+        repro.observability.exporters,
+        repro.observability.instrument,
+        repro.observability.cli,
+    ):
+        result = doctest.testmod(mod)
+        assert result.failed == 0, (
+            f"{mod.__name__}: {result.failed} doctest failures")
+        assert result.attempted > 0, f"{mod.__name__}: no doctests collected"

@@ -1,0 +1,159 @@
+"""Counter/gauge semantics and snapshot aggregation rules."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.observability.registry import (
+    Counter,
+    Gauge,
+    MetricSpec,
+    StatsRegistry,
+    aggregate_snapshots,
+    base_name,
+    sample_name,
+)
+
+
+class TestNames:
+    def test_sample_name_without_labels_is_base_name(self):
+        assert sample_name("qf_items_total") == "qf_items_total"
+        assert sample_name("qf_items_total", {}) == "qf_items_total"
+
+    def test_labels_render_sorted_prometheus_style(self):
+        full = sample_name("qf_reports_total",
+                           {"source": "vague", "shard": "3"})
+        assert full == 'qf_reports_total{shard="3",source="vague"}'
+
+    def test_base_name_round_trips(self):
+        full = sample_name("qf_reports_total", {"source": "candidate"})
+        assert base_name(full) == "qf_reports_total"
+        assert base_name("plain") == "plain"
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("events_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("events_total")
+        with pytest.raises(ParameterError):
+            c.inc(-1)
+        assert c.value == 0.0
+
+    def test_callback_backed_counter_pulls_and_rejects_inc(self):
+        state = {"n": 7}
+        c = Counter("events_total", fn=lambda: state["n"])
+        assert c.value == 7.0
+        state["n"] = 9
+        assert c.value == 9.0
+        with pytest.raises(ParameterError):
+            c.inc()
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("depth")
+        g.set(4)
+        g.set(2)
+        assert g.value == 2.0
+
+    def test_callback_backed_gauge_pulls_and_rejects_set(self):
+        g = Gauge("depth", fn=lambda: 1.25)
+        assert g.value == 1.25
+        with pytest.raises(ParameterError):
+            g.set(0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = StatsRegistry()
+        a = reg.counter("x_total")
+        b = reg.counter("x_total")
+        assert a is b
+        a.inc()
+        assert reg.snapshot()["x_total"] == 1.0
+
+    def test_same_family_different_labels_are_distinct_samples(self):
+        reg = StatsRegistry()
+        reg.counter("r_total", labels={"source": "candidate"}).inc(2)
+        reg.counter("r_total", labels={"source": "vague"}).inc(5)
+        snap = reg.snapshot()
+        assert snap['r_total{source="candidate"}'] == 2.0
+        assert snap['r_total{source="vague"}'] == 5.0
+        assert len(reg) == 2
+
+    def test_kind_conflict_on_sample_raises(self):
+        reg = StatsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ParameterError):
+            reg.gauge("x_total")
+
+    def test_kind_conflict_on_family_raises(self):
+        reg = StatsRegistry()
+        reg.counter("mixed", labels={"a": "1"})
+        with pytest.raises(ParameterError):
+            reg.gauge("mixed", labels={"a": "2"})
+
+    def test_unknown_agg_rejected(self):
+        reg = StatsRegistry()
+        with pytest.raises(ParameterError):
+            reg.gauge("g", agg="median")
+
+    def test_contains_and_names(self):
+        reg = StatsRegistry()
+        reg.gauge("b")
+        reg.counter("a_total")
+        assert "a_total" in reg
+        assert "missing" not in reg
+        assert reg.names() == ["a_total", "b"]
+
+    def test_specs_capture_help_and_agg(self):
+        reg = StatsRegistry()
+        reg.gauge_fn("occ", lambda: 0.5, help="occupancy", agg="mean")
+        spec = reg.specs()["occ"]
+        assert spec == MetricSpec(name="occ", kind="gauge",
+                                  help="occupancy", agg="mean")
+
+
+class TestAggregateSnapshots:
+    SPECS = {
+        "c_total": MetricSpec("c_total", "counter"),
+        "occ": MetricSpec("occ", "gauge", agg="mean"),
+        "peak": MetricSpec("peak", "gauge", agg="max"),
+    }
+
+    def test_sum_mean_max_rules(self):
+        shards = [
+            {"c_total": 3.0, "occ": 0.5, "peak": 2.0},
+            {"c_total": 4.0, "occ": 0.3, "peak": 9.0},
+        ]
+        agg = aggregate_snapshots(shards, specs=self.SPECS)
+        assert agg["c_total"] == 7.0
+        assert agg["occ"] == pytest.approx(0.4)
+        assert agg["peak"] == 9.0
+
+    def test_mean_averages_only_over_carriers(self):
+        shards = [{"occ": 0.6}, {"occ": 0.2}, {"c_total": 1.0}]
+        agg = aggregate_snapshots(shards, specs=self.SPECS)
+        assert agg["occ"] == pytest.approx(0.4)
+
+    def test_unknown_samples_default_to_sum(self):
+        agg = aggregate_snapshots([{"mystery": 1.0}, {"mystery": 2.0}],
+                                  specs={})
+        assert agg["mystery"] == 3.0
+
+    def test_labelled_samples_use_family_spec(self):
+        shards = [
+            {'c_total{shard="0"}': 2.0, 'occ{shard="0"}': 0.8},
+            {'c_total{shard="0"}': 3.0, 'occ{shard="0"}': 0.4},
+        ]
+        agg = aggregate_snapshots(shards, specs=self.SPECS)
+        assert agg['c_total{shard="0"}'] == 5.0
+        assert agg['occ{shard="0"}'] == pytest.approx(0.6)
+
+    def test_empty_input(self):
+        assert aggregate_snapshots([], specs=self.SPECS) == {}
