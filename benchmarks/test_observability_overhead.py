@@ -1,0 +1,128 @@
+"""Tracing overhead: the disabled instrumentation must cost nothing.
+
+PR 3 added event-hook call sites to the scalar filter's report path
+(candidate election, replacement, emission) plus optional provenance
+capture.  All of them hide behind one ``is not None`` / bool predicate
+per site, so with tracing and provenance off the insert loop must run
+at the untraced baseline's speed — this bench holds that to the ≤3%
+budget from the issue and records the numbers in
+``BENCH_observability.json`` at the repo root.
+
+Methodology: the same stream is inserted under three configurations —
+
+* ``baseline``   — filter built with the plain constructor (the
+  untraced default: ``trace_hook=None``, no provenance);
+* ``disabled``   — every observability kwarg passed explicitly off
+  (identical code path; measures that the predicates stay in noise);
+* ``traced``     — sampling tracer attached (``sample_every=64``) and
+  provenance on, for the informational cost of full instrumentation.
+
+Rounds interleave configurations and the per-config *minimum* wall
+time is compared — the standard noise-robust estimator for "how fast
+can this code path go".
+"""
+
+import gc
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.core.criteria import Criteria
+from repro.core.quantile_filter import QuantileFilter
+from repro.observability.tracing import Tracer, attach_filter_tracing
+
+ROUNDS = 7
+OVERHEAD_BUDGET_PCT = 3.0
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_observability.json"
+
+CRIT = Criteria(delta=0.9, threshold=100.0, epsilon=5.0)
+GEOMETRY = dict(num_buckets=256, bucket_size=4, vague_width=512,
+                counter_kind="float", seed=9)
+
+
+def make_stream(n, seed=17):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 500, size=n).tolist()
+    values = np.where(
+        rng.random(n) < 0.1, 500.0, rng.uniform(0.0, 100.0, n)
+    ).tolist()
+    return keys, values
+
+
+def _build(config):
+    if config == "baseline":
+        return QuantileFilter(CRIT, **GEOMETRY)
+    if config == "disabled":
+        return QuantileFilter(
+            CRIT, collect_provenance=False, trace_hook=None, **GEOMETRY
+        )
+    filt = QuantileFilter(CRIT, collect_provenance=True, **GEOMETRY)
+    attach_filter_tracing(filt, Tracer(), sample_every=64)
+    return filt
+
+
+def _time_insert_loop(config, keys, values):
+    filt = _build(config)
+    insert = filt.insert
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        for key, value in zip(keys, values):
+            insert(key, value)
+        elapsed = time.perf_counter() - start
+    finally:
+        gc.enable()
+    assert filt.items_processed == len(keys)
+    return elapsed, filt
+
+
+def test_disabled_tracing_overhead_within_budget(bench_scale):
+    keys, values = make_stream(max(bench_scale, 50_000))
+    timings = {"baseline": [], "disabled": [], "traced": []}
+    reported = {}
+    for config in timings:  # warm-up every code path once
+        _time_insert_loop(config, keys, values)
+    order = list(timings)
+    for round_no in range(ROUNDS):
+        # Rotate the order so no config systematically inherits a
+        # warmer (or dirtier) process state from its predecessor.
+        for config in order[round_no % 3:] + order[:round_no % 3]:
+            elapsed, filt = _time_insert_loop(config, keys, values)
+            timings[config].append(elapsed)
+            reported[config] = filt.report_count
+
+    # Instrumentation must never change detection behaviour.
+    assert reported["disabled"] == reported["baseline"]
+    assert reported["traced"] == reported["baseline"]
+
+    best = {config: min(times) for config, times in timings.items()}
+    items = len(keys)
+    mops = {config: items / seconds / 1e6 for config, seconds in best.items()}
+
+    def overhead_pct(config):
+        return (best[config] / best["baseline"] - 1.0) * 100.0
+
+    result = {
+        "bench": "observability-overhead",
+        "items": items,
+        "rounds": ROUNDS,
+        "budget_pct": OVERHEAD_BUDGET_PCT,
+        "baseline_mops": round(mops["baseline"], 4),
+        "disabled_mops": round(mops["disabled"], 4),
+        "traced_mops": round(mops["traced"], 4),
+        "disabled_overhead_pct": round(overhead_pct("disabled"), 3),
+        "traced_overhead_pct": round(overhead_pct("traced"), 3),
+        "best_seconds": {k: round(v, 6) for k, v in best.items()},
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+
+    assert overhead_pct("disabled") <= OVERHEAD_BUDGET_PCT, (
+        f"tracing-disabled insert loop is "
+        f"{overhead_pct('disabled'):.2f}% slower than the untraced "
+        f"baseline (budget {OVERHEAD_BUDGET_PCT}%); see {RESULT_PATH}"
+    )

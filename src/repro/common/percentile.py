@@ -1,0 +1,97 @@
+"""One percentile implementation shared by metrics and observability.
+
+Two callers need percentiles and historically grew their own numpy
+paths: :mod:`repro.metrics.latency` (exact per-key latency samples) and
+the mergeable log-bucket histograms in
+:mod:`repro.observability.histogram` (bucket counts, no raw samples).
+Both now route through this module so the interpolation rule is defined
+in exactly one place:
+
+* :func:`percentile` — exact samples, linear interpolation between
+  order statistics (numpy's default ``"linear"`` method).
+* :func:`percentile_from_buckets` — a binned distribution, linear
+  interpolation *within* the bucket containing the target rank.  On a
+  histogram built from the same samples this converges to
+  :func:`percentile` as buckets narrow.
+
+>>> percentile([1.0, 2.0, 3.0, 4.0], 50)
+2.5
+>>> percentile_from_buckets([1.0, 2.0, 4.0], [2, 2, 0], 50)
+1.5
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.errors import ParameterError
+
+
+def _check_q(q: float) -> float:
+    if not 0.0 <= q <= 100.0:
+        raise ParameterError(f"percentile q must be in [0, 100], got {q}")
+    return float(q)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of exact samples (0 for an empty set).
+
+    ``q`` is on the [0, 100] scale; interpolation is linear between
+    closest ranks (numpy's default).
+    """
+    _check_q(q)
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    return float(np.percentile(arr, q))
+
+
+def percentile_from_buckets(
+    upper_bounds: Sequence[float],
+    counts: Sequence[int],
+    q: float,
+    lowest_bound: float = 0.0,
+) -> float:
+    """The ``q``-th percentile of a binned distribution.
+
+    ``upper_bounds[i]`` is the inclusive upper edge of bucket ``i`` and
+    ``counts[i]`` the number of samples that landed in it; bucket 0
+    spans ``(lowest_bound, upper_bounds[0]]``.  The target rank is
+    located on the cumulative distribution and interpolated linearly
+    inside its bucket.  A final ``inf`` bound is allowed (the overflow
+    bucket); ranks landing there return its lower edge, the only honest
+    answer a bounded histogram can give.  Returns 0 when empty.
+    """
+    _check_q(q)
+    if len(upper_bounds) != len(counts):
+        raise ParameterError(
+            f"bounds and counts length mismatch: "
+            f"{len(upper_bounds)} vs {len(counts)}"
+        )
+    total = int(sum(counts))
+    if total == 0:
+        return 0.0
+    target = q / 100.0 * total
+    cumulative = 0
+    lower = float(lowest_bound)
+    for bound, count in zip(upper_bounds, counts):
+        upper = float(bound)
+        if count:
+            if cumulative + count >= target:
+                if upper == np.inf:
+                    return lower
+                fraction = (target - cumulative) / count
+                # target == cumulative (q below this bucket's first
+                # sample) still reads the bucket's lower edge.
+                return lower + max(0.0, fraction) * (upper - lower)
+            cumulative += count
+        lower = upper
+    # Floating-point slack: the target fell past the last occupied
+    # bucket; return its upper edge (lower edge when unbounded).
+    last_idx = max(i for i, c in enumerate(counts) if c)
+    upper = float(upper_bounds[last_idx])
+    if upper != np.inf:
+        return upper
+    return float(upper_bounds[last_idx - 1]) if last_idx else float(lowest_bound)

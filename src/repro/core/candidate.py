@@ -124,6 +124,10 @@ class CandidatePart:
         self._fps[...] = 0
         self._qws[...] = 0.0
 
+    def bucket_occupancy(self, bucket: int) -> int:
+        """Occupied slots in one bucket (report-provenance context)."""
+        return int(np.count_nonzero(self._fps[bucket]))
+
     def occupancy(self) -> float:
         """Fraction of slots currently holding an entry."""
         return float(np.count_nonzero(self._fps)) / self._fps.size

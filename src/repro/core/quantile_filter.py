@@ -27,6 +27,7 @@ from typing import Callable, Dict, Hashable, Optional, Set
 from repro.common.errors import ParameterError
 from repro.common.hashing import FingerprintHasher, canonical_key, mix64
 from repro.common.memory import MemoryModel, split_budget
+from repro.observability.provenance import ReportProvenance
 from repro.core.candidate import CandidatePart
 from repro.core.criteria import Criteria
 from repro.core.strategies import ReplacementStrategy, make_strategy
@@ -52,12 +53,18 @@ class Report:
         ``"candidate"`` or ``"vague"`` — which part detected it.
     item_index:
         0-based position in the stream of the triggering item.
+    provenance:
+        Filter-state audit context captured at emission
+        (:class:`~repro.observability.provenance.ReportProvenance`);
+        ``None`` unless the filter was built with
+        ``collect_provenance=True``.
     """
 
     key: Hashable
     qweight: float
     source: str
     item_index: int
+    provenance: Optional[ReportProvenance] = None
 
 
 class QuantileFilter:
@@ -94,6 +101,17 @@ class QuantileFilter:
         :attr:`reported_keys` (the accuracy metric needs it).
     on_report:
         Optional callback invoked with every :class:`Report`.
+    collect_provenance:
+        Attach a :class:`~repro.observability.provenance.
+        ReportProvenance` audit record to every emitted report.  Costs
+        one bucket scan per *report* (never per item).
+    trace_hook:
+        Optional callable ``(kind, key, bucket, qweight, item_index)``
+        invoked on structural events — candidate election
+        (``"candidate_elect"``), vague→candidate replacement
+        (``"candidate_swap"``) and report emission (``"report"``).
+        ``None`` (default) costs one predicate per event site; see
+        :func:`repro.observability.tracing.attach_filter_tracing`.
     """
 
     def __init__(
@@ -113,6 +131,8 @@ class QuantileFilter:
         seed: int = 0,
         track_reports: bool = True,
         on_report: Optional[Callable[[Report], None]] = None,
+        collect_provenance: bool = False,
+        trace_hook: Optional[Callable] = None,
     ):
         self.criteria = criteria
         if memory_bytes is not None:
@@ -168,6 +188,10 @@ class QuantileFilter:
         self.vague_reports = 0
         self.resets = 0
         self.merges = 0
+        self.items_at_last_reset = 0
+        self.collect_provenance = collect_provenance
+        #: No-op-by-default structural event hook (tracing attaches here).
+        self.trace_hook = trace_hook
 
     # ------------------------------------------------------------------
     # addressing helpers
@@ -218,16 +242,23 @@ class QuantileFilter:
             new_qw = self.candidate.add_qweight(bucket, slot, weight)
             if new_qw >= report_threshold:
                 self.candidate.reset_qweight(bucket, slot)
-                return self._emit(key, new_qw, "candidate", item_index)
+                return self._emit(
+                    key, new_qw, "candidate", item_index, fp, bucket, crit
+                )
             return None
 
         # Case 2: room in the bucket -> become a candidate immediately.
         free = self.candidate.free_slot(bucket)
         if free is not None:
+            if self.trace_hook is not None:
+                self.trace_hook("candidate_elect", key, bucket, weight,
+                                item_index)
             if weight >= report_threshold:
                 # A single item can qualify when epsilon = 0.
                 self.candidate.set_entry(bucket, free, fp, 0.0)
-                return self._emit(key, weight, "candidate", item_index)
+                return self._emit(
+                    key, weight, "candidate", item_index, fp, bucket, crit
+                )
             self.candidate.set_entry(bucket, free, fp, weight)
             return None
 
@@ -238,12 +269,17 @@ class QuantileFilter:
         report: Optional[Report] = None
         if estimate >= report_threshold:
             self.vague.delete(vkey, estimate)
-            report = self._emit(key, estimate, "vague", item_index)
+            report = self._emit(
+                key, estimate, "vague", item_index, fp, bucket, crit
+            )
             estimate = 0.0
 
         min_slot, min_qw = self.candidate.min_entry(bucket)
         if self.strategy.should_replace(estimate, min_qw):
             self.swaps += 1
+            if self.trace_hook is not None:
+                self.trace_hook("candidate_swap", key, bucket, estimate,
+                                item_index)
             evicted_fp, evicted_qw = self.candidate.evict(bucket, min_slot)
             # The displaced key's Qweight moves into the vague part ...
             self.vague.update(vague_key(evicted_fp, bucket), evicted_qw)
@@ -253,9 +289,33 @@ class QuantileFilter:
             self.candidate.set_entry(bucket, min_slot, fp, estimate)
         return report
 
-    def _emit(self, key, qweight, source, item_index) -> Report:
-        report = Report(key=key, qweight=qweight, source=source, item_index=item_index)
+    def _emit(
+        self, key, qweight, source, item_index, fp=0, bucket=0, crit=None
+    ) -> Report:
+        provenance = None
+        if self.collect_provenance:
+            provenance = ReportProvenance(
+                part=source,
+                bucket=bucket,
+                fingerprint=fp,
+                qweight=qweight,
+                threshold=(
+                    crit.report_threshold if crit is not None
+                    else self.criteria.report_threshold
+                ),
+                bucket_occupancy=self.candidate.bucket_occupancy(bucket),
+                replacements=self.swaps,
+                items_since_reset=self.items_processed
+                - self.items_at_last_reset,
+                resets=self.resets,
+            )
+        report = Report(
+            key=key, qweight=qweight, source=source, item_index=item_index,
+            provenance=provenance,
+        )
         self.report_count += 1
+        if self.trace_hook is not None:
+            self.trace_hook("report", key, bucket, qweight, item_index)
         if source == "candidate":
             self.candidate_reports += 1
         else:
@@ -303,6 +363,7 @@ class QuantileFilter:
         self.candidate.clear()
         self.vague.clear()
         self.resets += 1
+        self.items_at_last_reset = self.items_processed
 
     # ------------------------------------------------------------------
     # per-key criteria (Sec. III-C)

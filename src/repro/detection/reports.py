@@ -16,16 +16,24 @@ Both attach to any detector via its ``on_report`` callback::
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional
+from typing import Deque, Dict, Hashable, List, Optional
 
 from repro.common.errors import ParameterError
 from repro.core.quantile_filter import Report
+from repro.observability.provenance import ReportProvenance
 
 
 @dataclass
 class KeyReportSummary:
-    """Aggregated report history of one key."""
+    """Aggregated report history of one key.
+
+    ``history`` keeps the most recent per-report detail — bounded by the
+    owning log's ``max_reports_per_key`` ring buffer; ``truncated``
+    counts the older entries that were pushed out (the scalar
+    aggregates above it never truncate).
+    """
 
     key: Hashable
     count: int = 0
@@ -33,6 +41,9 @@ class KeyReportSummary:
     last_item_index: int = -1
     last_qweight: float = 0.0
     sources: Dict[str, int] = field(default_factory=dict)
+    history: Deque[Report] = field(default_factory=deque)
+    truncated: int = 0
+    last_provenance: Optional[ReportProvenance] = None
 
     def mean_gap(self) -> Optional[float]:
         """Average items between this key's reports (None if < 2)."""
@@ -42,24 +53,54 @@ class KeyReportSummary:
 
 
 class ReportLog:
-    """Accumulate raw reports into per-key summaries."""
+    """Accumulate raw reports into per-key summaries.
 
-    def __init__(self):
+    Parameters
+    ----------
+    max_reports_per_key:
+        Ring-buffer bound on each key's retained per-report history.
+        A hot key reports every ``epsilon`` items forever, so an
+        unbounded list is a slow memory leak in a long-running
+        monitor; the default keeps the 64 most recent reports per key
+        and counts what it dropped (``summary.truncated`` /
+        :attr:`total_truncated`).  Pass ``None`` for the unbounded
+        behaviour.
+    """
+
+    def __init__(self, max_reports_per_key: Optional[int] = 64):
+        if max_reports_per_key is not None and max_reports_per_key < 1:
+            raise ParameterError(
+                f"max_reports_per_key must be >= 1 or None, "
+                f"got {max_reports_per_key}"
+            )
+        self.max_reports_per_key = max_reports_per_key
         self._summaries: Dict[Hashable, KeyReportSummary] = {}
         self.total_reports = 0
+        self.total_truncated = 0
 
     def record(self, report: Report) -> None:
         """Ingest one report (wire this to ``on_report``)."""
         summary = self._summaries.get(report.key)
         if summary is None:
             summary = KeyReportSummary(
-                key=report.key, first_item_index=report.item_index
+                key=report.key,
+                first_item_index=report.item_index,
+                history=deque(maxlen=self.max_reports_per_key),
             )
             self._summaries[report.key] = summary
         summary.count += 1
         summary.last_item_index = report.item_index
         summary.last_qweight = report.qweight
         summary.sources[report.source] = summary.sources.get(report.source, 0) + 1
+        if (
+            summary.history.maxlen is not None
+            and len(summary.history) == summary.history.maxlen
+        ):
+            summary.truncated += 1
+            self.total_truncated += 1
+        summary.history.append(report)
+        if report.provenance is not None:
+            summary.last_provenance = report.provenance
         self.total_reports += 1
 
     def summary(self, key: Hashable) -> Optional[KeyReportSummary]:
@@ -84,6 +125,7 @@ class ReportLog:
         """Drop all aggregated history."""
         self._summaries.clear()
         self.total_reports = 0
+        self.total_truncated = 0
 
 
 class AlertPolicy:

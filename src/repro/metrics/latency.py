@@ -21,6 +21,7 @@ from typing import Dict, Hashable, List
 
 import numpy as np
 
+from repro.common.percentile import percentile as shared_percentile
 from repro.core.criteria import Criteria
 from repro.detection.base import Detector
 from repro.detection.ground_truth import GroundTruthDetector
@@ -57,13 +58,15 @@ class LatencyResult:
 
     @property
     def median_latency(self) -> float:
-        values = self._values()
-        return float(np.median(values)) if values.size else 0.0
+        return self.percentile(50)
 
     def percentile(self, q: float) -> float:
-        """Latency percentile over detected keys (q in [0, 100])."""
-        values = self._values()
-        return float(np.percentile(values, q)) if values.size else 0.0
+        """Latency percentile over detected keys (q in [0, 100]).
+
+        Shares its interpolation rule with the observability
+        histograms via :mod:`repro.common.percentile`.
+        """
+        return shared_percentile(self._values(), q)
 
     def as_dict(self) -> dict:
         """Flat summary row for experiment tables."""

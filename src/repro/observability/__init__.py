@@ -1,21 +1,47 @@
-"""Runtime observability: registries, instrumentation and exporters.
+"""Runtime observability: registries, tracing, provenance, exporters.
 
-The subsystem has three layers, all zero-dependency:
+The subsystem has two tiers, all zero-dependency:
+
+**Metrics** (always-on, pull-model, snapshot-friendly):
 
 * :mod:`~repro.observability.registry` — cheap monotonic
   :class:`Counter` / :class:`Gauge` metrics collected in a
   :class:`StatsRegistry`, with pull-model (callback) variants so
   instrumentation can read existing state at snapshot time instead of
   touching the insert hot path.
+* :mod:`~repro.observability.histogram` — fixed log-bucket mergeable
+  latency histograms (:class:`LogHistogram` / registry
+  :meth:`~repro.observability.registry.StatsRegistry.histogram`).
+  Snapshots explode into Prometheus-convention cumulative
+  ``_bucket``/``_count``/``_sum`` counters, so cross-shard aggregation
+  is an exact histogram merge under the existing sum rule.
 * :mod:`~repro.observability.instrument` — :func:`observe_filter`
   attaches a registry to a ``QuantileFilter`` /
   ``BatchQuantileFilter`` / ``WindowedQuantileFilter``;
   ``ParallelPipeline(collect_stats=True)`` does the same per worker and
   aggregates shard registries master-side.
 * :mod:`~repro.observability.exporters` — ``snapshot()`` dicts,
-  :class:`JsonLinesEmitter`, and Prometheus text rendering
-  (:func:`render_prometheus`), plus the ``repro stats`` / ``repro
-  watch`` CLI (:mod:`~repro.observability.cli`).
+  :class:`JsonLinesEmitter`, Prometheus text rendering
+  (:func:`render_prometheus`) and histogram percentile summaries
+  (:func:`render_histogram_summaries`).
+
+**Tracing & provenance** (opt-in, for debugging and audit):
+
+* :mod:`~repro.observability.tracing` — ring-buffer-bounded
+  :class:`Tracer` emitting Chrome trace-event JSON (load at
+  https://ui.perfetto.dev); ``ParallelPipeline(collect_trace=True)``
+  records the :data:`PIPELINE_SPANS` stages plus sampled per-item
+  filter events (:func:`attach_filter_tracing`).
+* :mod:`~repro.observability.provenance` — :class:`ReportProvenance`
+  captures filter state at report emission
+  (``collect_provenance=True``); :func:`provenance_record` renders
+  JSON-ready audit records.
+* :mod:`~repro.observability.logs` — :func:`configure_json_logging` /
+  :class:`JsonLogFormatter` for structured pipeline lifecycle logs.
+
+The ``repro`` CLI (:mod:`~repro.observability.cli`) exposes all of it:
+``repro stats`` / ``repro watch`` for metrics, ``repro trace`` for a
+fully instrumented run.
 
 >>> from repro.observability import StatsRegistry, render_prometheus
 >>> reg = StatsRegistry()
@@ -25,8 +51,9 @@ The subsystem has three layers, all zero-dependency:
 # TYPE obs_demo_total counter
 obs_demo_total 2
 
-See ``docs/observability.md`` for the full metric reference and the
-operational healthy/degraded reading of each signal.
+See ``docs/observability.md`` for the full metric reference, the
+operational healthy/degraded reading of each signal, and the tracing &
+provenance guide.
 """
 
 from repro.observability.registry import (
@@ -35,14 +62,38 @@ from repro.observability.registry import (
     MetricSpec,
     StatsRegistry,
     aggregate_snapshots,
+    escape_label_value,
 )
 from repro.observability.exporters import (
     JsonLinesEmitter,
+    escape_help,
     registry_to_prometheus,
+    render_histogram_summaries,
     render_prometheus,
     render_snapshot_text,
 )
-from repro.observability.instrument import FILTER_METRIC_HELP, observe_filter
+from repro.observability.histogram import (
+    Histogram,
+    LogHistogram,
+    buckets_from_snapshot,
+    histogram_families,
+    log_bounds,
+    percentiles_from_snapshot,
+)
+from repro.observability.instrument import (
+    FILTER_METRIC_HELP,
+    HISTOGRAM_METRIC_HELP,
+    observe_filter,
+)
+from repro.observability.logs import JsonLogFormatter, configure_json_logging
+from repro.observability.provenance import ReportProvenance, provenance_record
+from repro.observability.tracing import (
+    FILTER_EVENTS,
+    PIPELINE_SPANS,
+    FilterTraceHook,
+    Tracer,
+    attach_filter_tracing,
+)
 
 __all__ = [
     "Counter",
@@ -50,10 +101,29 @@ __all__ = [
     "MetricSpec",
     "StatsRegistry",
     "aggregate_snapshots",
+    "escape_label_value",
     "JsonLinesEmitter",
+    "escape_help",
     "registry_to_prometheus",
+    "render_histogram_summaries",
     "render_prometheus",
     "render_snapshot_text",
+    "Histogram",
+    "LogHistogram",
+    "buckets_from_snapshot",
+    "histogram_families",
+    "log_bounds",
+    "percentiles_from_snapshot",
     "FILTER_METRIC_HELP",
+    "HISTOGRAM_METRIC_HELP",
     "observe_filter",
+    "JsonLogFormatter",
+    "configure_json_logging",
+    "ReportProvenance",
+    "provenance_record",
+    "FILTER_EVENTS",
+    "PIPELINE_SPANS",
+    "FilterTraceHook",
+    "Tracer",
+    "attach_filter_tracing",
 ]

@@ -1,6 +1,6 @@
-"""The ``repro`` operations CLI: ``repro stats`` and ``repro watch``.
+"""The ``repro`` operations CLI: ``repro stats``, ``watch`` and ``trace``.
 
-Both subcommands drive a live :class:`~repro.parallel.pipeline.
+All subcommands drive a live :class:`~repro.parallel.pipeline.
 ParallelPipeline` (workers, bounded queues, per-worker registries) over
 a registered dataset and export its telemetry:
 
@@ -9,11 +9,18 @@ a registered dataset and export its telemetry:
 * ``repro watch`` — print a periodic snapshot every ``--every`` chunks
   while the stream is flowing (JSON lines by default, one object per
   tick — the format to pipe into a file and tail).
+* ``repro trace`` — run a fully instrumented pipeline (tracing +
+  report provenance + stats) and write ``<out>.trace.json`` (Chrome
+  trace-event JSON, load it at https://ui.perfetto.dev) plus
+  ``<out>.provenance.json`` (one record per report, with the filter
+  state captured at emission).  Lifecycle logs go to stderr as JSON
+  lines; latency-histogram summaries print at the end.
 
 Examples::
 
     repro stats --dataset cloud --shards 4
     repro watch --every 8 --format json > stats.jsonl
+    repro trace --scale 20000 --out /tmp/run1
     python -m repro stats          # equivalent entry point
 
 The parser is plain argparse:
@@ -22,16 +29,21 @@ The parser is plain argparse:
 3
 >>> build_parser().parse_args(["watch"]).format
 'json'
+>>> build_parser().parse_args(["trace", "--out", "/tmp/t"]).out
+'/tmp/t'
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from typing import Dict, Optional
 
 from repro.observability.exporters import (
     JsonLinesEmitter,
+    render_histogram_summaries,
     render_prometheus,
     render_snapshot_text,
 )
@@ -56,7 +68,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a pipeline and print periodic telemetry snapshots "
         "while the stream flows",
     )
-    for sub_parser, default_format in ((stats, "prom"), (watch, "json")):
+    trace = sub.add_parser(
+        "trace",
+        help="run a fully instrumented pipeline and write a Chrome "
+        "trace (Perfetto-loadable) plus a report-provenance dump",
+    )
+    for sub_parser, default_format in (
+        (stats, "prom"), (watch, "json"), (trace, "text"),
+    ):
         sub_parser.add_argument(
             "--dataset", default="internet",
             help="registered dataset name (internet/cloud/zipf-*)",
@@ -85,6 +104,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--every", type=int, default=4,
         help="chunks between telemetry snapshots (default 4)",
     )
+    trace.add_argument(
+        "--out", default="repro_trace",
+        help="output path prefix; writes <out>.trace.json and "
+        "<out>.provenance.json (default repro_trace)",
+    )
+    trace.add_argument(
+        "--sample-every", type=int, default=64,
+        help="record every Nth per-item filter event as a trace "
+        "instant (default 64; 1 = record all)",
+    )
     return parser
 
 
@@ -103,7 +132,7 @@ class _NullStream:
         pass
 
 
-def _build_pipeline(args: argparse.Namespace):
+def _build_pipeline(args: argparse.Namespace, **overrides):
     # Imported lazily so `repro stats --help` stays instant.
     from repro.experiments.config import build_trace, default_criteria_for
     from repro.parallel.pipeline import ParallelPipeline
@@ -117,6 +146,7 @@ def _build_pipeline(args: argparse.Namespace):
         chunk_items=args.chunk_items,
         seed=args.seed,
         collect_stats=True,
+        **overrides,
     )
     return pipeline, trace
 
@@ -157,11 +187,72 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.sample_every < 1:
+        print(
+            f"--sample-every must be >= 1, got {args.sample_every}",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.observability.logs import configure_json_logging
+
+    configure_json_logging(stream=sys.stderr, level=logging.INFO)
+    # The scalar engine carries Report objects (and thus provenance)
+    # end to end; collect_merged forces a final pipeline_merge span so
+    # the trace shows every documented stage.
+    pipeline, trace = _build_pipeline(
+        args,
+        engine="scalar",
+        collect_trace=True,
+        collect_provenance=True,
+        collect_merged=True,
+        trace_sample_every=args.sample_every,
+    )
+    result = pipeline.run(trace.keys, trace.values)
+
+    trace_path = f"{args.out}.trace.json"
+    pipeline.tracer.write(
+        trace_path,
+        dataset=args.dataset, items=result.items, shards=result.num_shards,
+    )
+    prov_path = f"{args.out}.provenance.json"
+    records = result.report_records or []
+    with open(prov_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "dataset": args.dataset,
+                "items": result.items,
+                "shards": result.num_shards,
+                "reports": records,
+            },
+            handle, indent=2,
+        )
+
+    summaries = render_histogram_summaries(result.stats or {})
+    if summaries:
+        print(summaries)
+    print(
+        f"# run: {result.items} items, {result.num_shards} shards, "
+        f"{result.seconds:.2f}s ({result.mops:.2f} MOPS), "
+        f"{len(result.reported_keys)} reported keys",
+        file=sys.stderr,
+    )
+    print(
+        f"# wrote {trace_path} ({len(result.trace_events or [])} events, "
+        f"{pipeline.tracer.dropped} dropped) and {prov_path} "
+        f"({len(records)} report records)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return _cmd_watch(args)
 
 

@@ -32,6 +32,7 @@ tail from a long-running monitor:
 from __future__ import annotations
 
 import json
+import math
 from typing import Dict, List, Mapping, Optional, TextIO
 
 from repro.observability.registry import (
@@ -40,6 +41,9 @@ from repro.observability.registry import (
     StatsRegistry,
     base_name,
 )
+
+#: Sample-name suffixes a histogram family explodes into.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_count", "_sum")
 
 
 def _format_value(value: float) -> str:
@@ -50,6 +54,47 @@ def _format_value(value: float) -> str:
     return repr(as_float)
 
 
+def escape_help(text: str) -> str:
+    """Escape ``# HELP`` text per the exposition format (``\\`` and LF)."""
+    return str(text).replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _histogram_owner(
+    family: str, specs: Mapping[str, MetricSpec]
+) -> Optional[str]:
+    """The histogram family ``family`` belongs to, if any.
+
+    ``worker_insert_seconds_bucket`` -> ``worker_insert_seconds`` when
+    that name is registered as a histogram; None otherwise.
+    """
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if family.endswith(suffix):
+            owner = family[: -len(suffix)]
+            spec = specs.get(owner) or SPEC_INDEX.get(owner)
+            if spec is not None and spec.kind == "histogram":
+                return owner
+    return None
+
+
+def _le_value(sample: str) -> float:
+    """Numeric ``le`` bound of a ``_bucket`` sample (inf when absent)."""
+    at = sample.find('le="')
+    if at < 0:
+        return math.inf
+    end = sample.find('"', at + 4)
+    text = sample[at + 4:end]
+    return math.inf if text == "+Inf" else float(text)
+
+
+def _bucket_sort_key(sample: str):
+    # Buckets ascend by le; _count then _sum follow (suffix ordering
+    # within one histogram family).
+    family = base_name(sample)
+    if family.endswith("_bucket"):
+        return (0, _le_value(sample), sample)
+    return (1 if family.endswith("_count") else 2, 0.0, sample)
+
+
 def render_prometheus(
     snapshot: Mapping[str, float],
     specs: Optional[Mapping[str, MetricSpec]] = None,
@@ -57,24 +102,58 @@ def render_prometheus(
     """Render a snapshot in the Prometheus text exposition format.
 
     Samples are grouped by metric family (sorted by name) with one
-    ``# HELP`` / ``# TYPE`` header per family.  ``specs`` defaults to
-    the process-wide :data:`~repro.observability.registry.SPEC_INDEX`;
-    families absent from both are rendered as untyped gauges.
+    ``# HELP`` / ``# TYPE`` header per family.  Histogram sub-samples
+    (``_bucket``/``_count``/``_sum``) regroup under their histogram's
+    family with buckets in ascending ``le`` order.  ``specs`` defaults
+    to the process-wide :data:`~repro.observability.registry.
+    SPEC_INDEX`; families absent from both are rendered as untyped
+    gauges.
     """
     if specs is None:
         specs = SPEC_INDEX
     families: Dict[str, List[str]] = {}
+    histograms: set = set()
     for sample in snapshot:
-        families.setdefault(base_name(sample), []).append(sample)
+        family = base_name(sample)
+        owner = _histogram_owner(family, specs)
+        if owner is not None:
+            family = owner
+            histograms.add(owner)
+        families.setdefault(family, []).append(sample)
     lines: List[str] = []
     for family in sorted(families):
         spec = specs.get(family) or SPEC_INDEX.get(family)
-        help_text = spec.help if spec is not None else ""
+        help_text = escape_help(spec.help) if spec is not None else ""
         kind = spec.kind if spec is not None else "gauge"
         lines.append(f"# HELP {family} {help_text}".rstrip())
         lines.append(f"# TYPE {family} {kind}")
-        for sample in sorted(families[family]):
+        sort_key = _bucket_sort_key if family in histograms else None
+        for sample in sorted(families[family], key=sort_key):
             lines.append(f"{sample} {_format_value(snapshot[sample])}")
+    return "\n".join(lines)
+
+
+def render_histogram_summaries(snapshot: Mapping[str, float]) -> str:
+    """One ``family count=… p50=… p99=… p999=…`` line per histogram.
+
+    Percentiles are reconstructed from the snapshot's cumulative
+    ``_bucket`` samples, so this works on aggregated (cross-shard)
+    snapshots too.  Returns ``""`` when the snapshot carries no
+    histogram samples.
+    """
+    from repro.observability.histogram import (
+        histogram_families,
+        percentiles_from_snapshot,
+    )
+
+    lines = []
+    for family in histogram_families(snapshot):
+        count = snapshot.get(f"{family}_count", 0.0)
+        percentiles = percentiles_from_snapshot(snapshot, family)
+        rendered = " ".join(
+            f"{key}={percentiles[key]:.6g}" for key in sorted(percentiles)
+        )
+        lines.append(f"{family} count={_format_value(count)} {rendered}")
     return "\n".join(lines)
 
 

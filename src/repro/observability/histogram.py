@@ -1,0 +1,313 @@
+"""Fixed log-bucket mergeable latency histograms.
+
+Means hide tail behaviour; streaming viability is decided by update-time
+*distributions* (Ivkin et al., arXiv:1907.00236).  :class:`LogHistogram`
+keeps a fixed geometric ladder of bucket upper bounds, so two histograms
+built with the same geometry merge by adding bucket counts — exactly the
+property that lets per-shard latency histograms aggregate master-side
+like the existing counters do:
+
+>>> a, b = LogHistogram(), LogHistogram()
+>>> for v in (0.001, 0.002, 0.04):
+...     a.record(v)
+>>> b.record(0.002)
+>>> merged = a.merged(b)
+>>> merged.count
+4
+
+Percentiles come from the shared implementation in
+:mod:`repro.common.percentile` (linear interpolation within the bucket
+holding the target rank):
+
+>>> h = LogHistogram()
+>>> for _ in range(100):
+...     h.record(0.001)
+>>> 0.0005 < h.percentile(99) <= 0.002
+True
+
+Registry integration follows the Prometheus histogram convention: one
+:class:`Histogram` metric explodes into ``<name>_bucket{le="..."}``
+cumulative counters plus ``<name>_count`` and ``<name>_sum`` samples,
+all of which aggregate across shards by summing — no new aggregation
+rules needed.  :func:`percentiles_from_snapshot` reconstructs
+p50/p99/p999 from any such snapshot, including one summed across
+shards.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import ParameterError
+from repro.common.percentile import percentile_from_buckets
+
+#: Default geometry: 1 microsecond to ~100 seconds in 5 buckets per
+#: decade (growth ~1.58x), 41 buckets — fits latencies from a single
+#: batch insert to a stalled queue wait.
+DEFAULT_MIN = 1e-6
+DEFAULT_MAX = 100.0
+DEFAULT_BUCKETS_PER_DECADE = 5
+
+#: The percentiles the exporters and CLI summarise by default.
+SUMMARY_PERCENTILES = (50.0, 99.0, 99.9)
+
+
+def log_bounds(
+    min_value: float = DEFAULT_MIN,
+    max_value: float = DEFAULT_MAX,
+    buckets_per_decade: int = DEFAULT_BUCKETS_PER_DECADE,
+) -> Tuple[float, ...]:
+    """The geometric ladder of bucket upper bounds, ending in ``inf``.
+
+    Bounds are derived from the three parameters deterministically, so
+    histograms configured alike — even in different processes — share
+    bucket edges and therefore merge exactly.
+    """
+    if min_value <= 0:
+        raise ParameterError(f"min_value must be > 0, got {min_value}")
+    if max_value <= min_value:
+        raise ParameterError(
+            f"max_value must exceed min_value, got {max_value} <= {min_value}"
+        )
+    if buckets_per_decade < 1:
+        raise ParameterError(
+            f"buckets_per_decade must be >= 1, got {buckets_per_decade}"
+        )
+    decades = math.log10(max_value / min_value)
+    steps = max(1, math.ceil(decades * buckets_per_decade - 1e-9))
+    ratio = 10.0 ** (1.0 / buckets_per_decade)
+    bounds = [min_value * ratio ** i for i in range(steps + 1)]
+    bounds.append(math.inf)
+    return tuple(bounds)
+
+
+class LogHistogram:
+    """A mergeable histogram over fixed log-spaced buckets.
+
+    Values at or below ``min_value`` land in the first bucket; values
+    above ``max_value`` land in the unbounded overflow bucket.  Only
+    ``record`` is hot-path adjacent (one ``log``, one index); everything
+    else is snapshot-time.
+    """
+
+    __slots__ = ("min_value", "max_value", "buckets_per_decade",
+                 "bounds", "counts", "total", "_log_min", "_log_ratio")
+
+    def __init__(
+        self,
+        min_value: float = DEFAULT_MIN,
+        max_value: float = DEFAULT_MAX,
+        buckets_per_decade: int = DEFAULT_BUCKETS_PER_DECADE,
+    ):
+        self.min_value = float(min_value)
+        self.max_value = float(max_value)
+        self.buckets_per_decade = int(buckets_per_decade)
+        self.bounds = log_bounds(min_value, max_value, buckets_per_decade)
+        self.counts = [0] * len(self.bounds)
+        self.total = 0.0
+        self._log_min = math.log10(self.min_value)
+        self._log_ratio = 1.0 / self.buckets_per_decade
+
+    # ------------------------------------------------------------------
+    # recording and merging
+    # ------------------------------------------------------------------
+    def record(self, value: float) -> None:
+        """Add one observation (negative values clamp to bucket 0)."""
+        if value > self.min_value:
+            index = int(
+                math.ceil(
+                    (math.log10(value) - self._log_min) / self._log_ratio
+                    - 1e-9
+                )
+            )
+            if index >= len(self.bounds):
+                index = len(self.bounds) - 1
+        else:
+            index = 0
+        self.counts[index] += 1
+        self.total += value
+
+    def record_many(self, values: Iterable[float]) -> None:
+        """Record a batch of observations."""
+        for value in values:
+            self.record(value)
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold ``other`` into this histogram (same geometry required)."""
+        if self.bounds != other.bounds:
+            raise ParameterError(
+                "cannot merge histograms with different bucket geometry: "
+                f"{len(self.bounds)} bounds starting {self.bounds[0]!r} vs "
+                f"{len(other.bounds)} starting {other.bounds[0]!r}"
+            )
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.total += other.total
+
+    def merged(self, other: "LogHistogram") -> "LogHistogram":
+        """A new histogram equal to ``self`` merged with ``other``."""
+        out = LogHistogram(
+            self.min_value, self.max_value, self.buckets_per_decade
+        )
+        out.merge(self)
+        out.merge(other)
+        return out
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of recorded observations."""
+        return sum(self.counts)
+
+    @property
+    def mean(self) -> float:
+        n = self.count
+        return self.total / n if n else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (q in [0, 100]), interpolated."""
+        return percentile_from_buckets(self.bounds, self.counts, q)
+
+    def summary(self) -> Dict[str, float]:
+        """``{"count", "mean", "p50", "p99", "p999"}`` in one dict."""
+        out = {"count": float(self.count), "mean": self.mean}
+        for q in SUMMARY_PERCENTILES:
+            out[_percentile_key(q)] = self.percentile(q)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LogHistogram(count={self.count}, p50={self.percentile(50):.3g}, "
+            f"p99={self.percentile(99):.3g})"
+        )
+
+
+def _percentile_key(q: float) -> str:
+    text = f"{q:g}".replace(".", "")
+    return f"p{text}"
+
+
+def _le_text(bound: float) -> str:
+    """Prometheus ``le`` label text for a bucket upper bound."""
+    return "+Inf" if bound == math.inf else repr(float(bound))
+
+
+class Histogram:
+    """Registry-facing wrapper: one histogram, many snapshot samples.
+
+    Produced by :meth:`repro.observability.registry.StatsRegistry.
+    histogram`.  ``samples()`` renders the Prometheus histogram
+    convention — cumulative ``_bucket{le=...}`` counters plus
+    ``_count`` / ``_sum`` — so a snapshot dict carries the whole
+    distribution and per-shard snapshots aggregate by plain summing.
+    """
+
+    __slots__ = ("name", "data", "_labels")
+
+    def __init__(
+        self,
+        name: str,
+        data: Optional[LogHistogram] = None,
+        labels: Optional[Mapping[str, str]] = None,
+    ):
+        self.name = name
+        self.data = data if data is not None else LogHistogram()
+        self._labels = dict(labels or {})
+
+    def record(self, value: float) -> None:
+        """Add one observation to the underlying histogram."""
+        self.data.record(value)
+
+    def samples(self) -> Dict[str, float]:
+        """This histogram's contribution to a registry snapshot."""
+        from repro.observability.registry import sample_name
+
+        out: Dict[str, float] = {}
+        cumulative = 0
+        for bound, count in zip(self.data.bounds, self.data.counts):
+            cumulative += count
+            labels = dict(self._labels)
+            labels["le"] = _le_text(bound)
+            out[sample_name(f"{self.name}_bucket", labels)] = float(cumulative)
+        base_labels = self._labels or None
+        out[sample_name(f"{self.name}_count", base_labels)] = float(
+            self.data.count
+        )
+        out[sample_name(f"{self.name}_sum", base_labels)] = self.data.total
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, {self.data!r})"
+
+
+def histogram_families(snapshot: Mapping[str, float]) -> List[str]:
+    """Histogram family names reconstructable from a snapshot dict."""
+    families = set()
+    for sample in snapshot:
+        from repro.observability.registry import base_name
+
+        base = base_name(sample)
+        if base.endswith("_bucket") and 'le="' in sample:
+            families.add(base[: -len("_bucket")])
+    return sorted(families)
+
+
+def buckets_from_snapshot(
+    snapshot: Mapping[str, float], name: str
+) -> Tuple[List[float], List[int]]:
+    """Recover ``(upper_bounds, per-bucket counts)`` for one family.
+
+    Works on any snapshot carrying ``<name>_bucket{le="..."}`` samples —
+    a live registry's, or one summed across shards (cumulative counters
+    stay cumulative under addition).
+    """
+    prefix = f"{name}_bucket{{"
+    edges: List[Tuple[float, float]] = []
+    for sample, value in snapshot.items():
+        if not sample.startswith(prefix):
+            continue
+        le_at = sample.find('le="')
+        if le_at < 0:
+            continue
+        le_end = sample.find('"', le_at + 4)
+        le_text = sample[le_at + 4:le_end]
+        bound = math.inf if le_text == "+Inf" else float(le_text)
+        edges.append((bound, float(value)))
+    if not edges:
+        raise ParameterError(
+            f"snapshot has no histogram samples for family {name!r}"
+        )
+    edges.sort()
+    bounds = [bound for bound, _ in edges]
+    cumulative = [count for _, count in edges]
+    counts = [
+        int(round(c - (cumulative[i - 1] if i else 0.0)))
+        for i, c in enumerate(cumulative)
+    ]
+    return bounds, counts
+
+
+def percentiles_from_snapshot(
+    snapshot: Mapping[str, float],
+    name: str,
+    qs: Sequence[float] = SUMMARY_PERCENTILES,
+) -> Dict[str, float]:
+    """p50/p99/... recovered from a (possibly aggregated) snapshot.
+
+    >>> from repro.observability.registry import StatsRegistry
+    >>> reg = StatsRegistry()
+    >>> h = reg.histogram("demo_latency_seconds", help="demo")
+    >>> for _ in range(10):
+    ...     h.record(0.001)
+    >>> sorted(percentiles_from_snapshot(reg.snapshot(),
+    ...                                  "demo_latency_seconds"))
+    ['p50', 'p99', 'p999']
+    """
+    bounds, counts = buckets_from_snapshot(snapshot, name)
+    return {
+        _percentile_key(q): percentile_from_buckets(bounds, counts, q)
+        for q in qs
+    }

@@ -78,6 +78,20 @@ FILTER_METRIC_HELP = {
     "qf_window_fill": "Progress through the current clearing period.",
 }
 
+#: Latency-histogram families registered by the pipeline and its
+#: workers.  Their exploded ``_bucket``/``_count``/``_sum`` samples are
+#: plain summing counters, so cross-shard aggregation needs no new
+#: rules — but exporters need the family kind to render ``# TYPE ...
+#: histogram``, and snapshots cross process boundaries as bare dicts,
+#: so the specs are registered at import time like the filter metrics.
+HISTOGRAM_METRIC_HELP = {
+    "worker_insert_seconds":
+        "Per-chunk shard insert latency (batch insert time).",
+    "pipeline_report_queue_delay_seconds":
+        "Delay between a worker posting a report batch and the master "
+        "draining it.",
+}
+
 #: Gauge families that average (rather than sum) across shards.
 _MEAN_GAUGES = {
     "qf_candidate_occupancy",
@@ -100,6 +114,11 @@ for _name, _help in FILTER_METRIC_HELP.items():
     SPEC_INDEX.setdefault(
         _name,
         MetricSpec(name=_name, kind=_kind, help=_help, agg=_agg_for(_name)),
+    )
+for _name, _help in HISTOGRAM_METRIC_HELP.items():
+    SPEC_INDEX.setdefault(
+        _name,
+        MetricSpec(name=_name, kind="histogram", help=_help, agg="sum"),
     )
 del _name, _help, _kind
 

@@ -1,0 +1,86 @@
+"""Structured (JSON lines) logging on top of stdlib ``logging``.
+
+The pipeline master logs lifecycle events — start, merge views, worker
+failures, finish — through an ordinary ``logging.Logger``
+(``"repro.pipeline"``), so they obey whatever handler configuration the
+host application already has.  :class:`JsonLogFormatter` renders each
+record as one self-contained JSON object per line (the same shape as
+:class:`~repro.observability.exporters.JsonLinesEmitter` output, so one
+``jq`` pipeline reads both), and :func:`configure_json_logging` is the
+one-liner that installs it.
+
+>>> import io, logging
+>>> stream = io.StringIO()
+>>> logger = configure_json_logging(stream=stream, name="repro.doctest")
+>>> logger.info("pipeline started", extra={"event": "start", "shards": 4})
+>>> record = json.loads(stream.getvalue())
+>>> record["event"], record["shards"], record["message"]
+('start', 4, 'pipeline started')
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Optional, TextIO
+
+#: logging.LogRecord attributes that are plumbing, not payload.
+_STANDARD_ATTRS = frozenset(
+    vars(
+        logging.LogRecord("x", logging.INFO, "x", 0, "", (), None)
+    )
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Format each log record as one JSON object per line.
+
+    The object carries ``level``, ``logger``, ``message`` and
+    ``created`` (epoch seconds), plus every ``extra=`` field the call
+    site attached — the structured payload.  Exceptions render into an
+    ``exc_info`` string field.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+            "created": record.created,
+        }
+        for key, value in vars(record).items():
+            if key in _STANDARD_ATTRS or key.startswith("_"):
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload)
+
+
+def configure_json_logging(
+    stream: Optional[TextIO] = None,
+    name: str = "repro",
+    level: int = logging.INFO,
+) -> logging.Logger:
+    """Attach a JSON-lines handler to ``name``'s logger and return it.
+
+    Idempotent per (logger, stream-class): an existing handler with a
+    :class:`JsonLogFormatter` on the same stream is reused rather than
+    duplicated, so calling this from a CLI entry point twice does not
+    double every line.
+    """
+    logger = logging.getLogger(name)
+    logger.setLevel(level)
+    for handler in logger.handlers:
+        if isinstance(handler.formatter, JsonLogFormatter) and (
+            getattr(handler, "stream", None) is stream or stream is None
+        ):
+            return logger
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLogFormatter())
+    logger.addHandler(handler)
+    return logger

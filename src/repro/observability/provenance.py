@@ -1,0 +1,104 @@
+"""Report provenance: *why* was this key reported, auditable after the fact.
+
+A bare :class:`~repro.core.quantile_filter.Report` says a key crossed
+its threshold; operators auditing an alert also want to know where the
+key lived (exact candidate counter or noisy vague estimate), how
+contended its bucket was, and how fresh the structure's state was.
+:class:`ReportProvenance` captures that at emission time — the filter
+fills it inside ``_emit`` behind a single ``collect_provenance``
+predicate, so the insert hot path is untouched and even the report path
+only pays when auditing is on.
+
+>>> from repro import Criteria, QuantileFilter
+>>> qf = QuantileFilter(Criteria(delta=0.5, threshold=10.0, epsilon=2.0),
+...                     num_buckets=8, vague_width=16,
+...                     collect_provenance=True)
+>>> report = None
+>>> for _ in range(50):
+...     report = qf.insert("key-a", 50.0) or report
+>>> report.provenance.part
+'candidate'
+>>> report.provenance.items_since_reset <= 50
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Hashable
+
+
+@dataclass(frozen=True)
+class ReportProvenance:
+    """Filter-state context captured when a report was emitted.
+
+    Attributes
+    ----------
+    part:
+        ``"candidate"`` or ``"vague"`` — where the key's Qweight lived
+        when it crossed the threshold (same as ``Report.source``,
+        duplicated so a dumped provenance record stands alone).
+    bucket:
+        The candidate bucket the key hashes to.
+    fingerprint:
+        The key's fingerprint in that bucket (correlates reports with
+        :meth:`~repro.core.quantile_filter.QuantileFilter.top_candidates`).
+    qweight:
+        The Qweight estimate at threshold crossing.
+    threshold:
+        The report threshold in force for this key at emission
+        (per-key criteria make this vary between reports).
+    bucket_occupancy:
+        Occupied slots in the key's bucket at emission — a full bucket
+        means the vague part (and its collision noise) was in play.
+    replacements:
+        Filter-wide vague→candidate replacement count at emission
+        (``swaps``); a fast-rising value flags eviction churn around
+        the report.
+    items_since_reset:
+        Items processed since the last structure ``reset()`` — young
+        structures report on less evidence.
+    resets:
+        How many resets the filter had performed at emission.
+    """
+
+    part: str
+    bucket: int
+    fingerprint: int
+    qweight: float
+    threshold: float
+    bucket_occupancy: int
+    replacements: int
+    items_since_reset: int
+    resets: int
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (JSON-ready) for provenance dumps."""
+        return asdict(self)
+
+
+def provenance_record(report) -> dict:
+    """One JSON-ready dict for a report and its provenance.
+
+    Reports without provenance (filter built with
+    ``collect_provenance=False``) get ``"provenance": None`` rather
+    than raising, so mixed logs stay dumpable.
+    """
+    record = {
+        "key": _json_key(report.key),
+        "qweight": report.qweight,
+        "source": report.source,
+        "item_index": report.item_index,
+        "provenance": (
+            report.provenance.as_dict()
+            if report.provenance is not None
+            else None
+        ),
+    }
+    return record
+
+
+def _json_key(key: Hashable):
+    if isinstance(key, (str, int, float, bool)) or key is None:
+        return key
+    return repr(key)

@@ -52,7 +52,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional
 from repro.common.errors import ParameterError
 
 #: Recognised metric kinds.
-KINDS = ("counter", "gauge")
+KINDS = ("counter", "gauge", "histogram")
 
 #: Recognised cross-registry aggregation rules.
 AGGREGATIONS = ("sum", "mean", "max")
@@ -87,10 +87,27 @@ class MetricSpec:
     agg: str = "sum"
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format.
+
+    Backslash, double-quote and line-feed are the three characters the
+    spec requires escaping inside a quoted label value
+    (``tests/observability/test_exporters.py`` pins the behaviour).
+    """
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
 def _render_labels(labels: Optional[Mapping[str, str]]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    inner = ",".join(
+        f'{k}="{escape_label_value(labels[k])}"' for k in sorted(labels)
+    )
     return "{" + inner + "}"
 
 
@@ -260,6 +277,48 @@ class StatsRegistry:
             name, labels, kind="gauge", help=help, agg=agg, fn=fn
         )
 
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        **geometry,
+    ):
+        """Get or create a mergeable log-bucket histogram.
+
+        Returns a :class:`~repro.observability.histogram.Histogram`;
+        ``geometry`` kwargs (``min_value`` / ``max_value`` /
+        ``buckets_per_decade``) configure its bucket ladder.  In
+        snapshots the histogram explodes into cumulative
+        ``<name>_bucket{le=...}`` samples plus ``<name>_count`` /
+        ``<name>_sum``, all of which aggregate across shards by
+        summing.
+        """
+        from repro.observability.histogram import Histogram, LogHistogram
+
+        full = sample_name(name, labels)
+        existing = self._metrics.get(full)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise ParameterError(
+                    f"metric {full!r} already registered as a "
+                    f"{type(existing).__name__.lower()}, not a histogram"
+                )
+            return existing
+        spec = self._specs.get(name)
+        if spec is not None and spec.kind != "histogram":
+            raise ParameterError(
+                f"metric family {name!r} is a {spec.kind}; cannot add a "
+                f"histogram sample to it"
+            )
+        if spec is None:
+            spec = MetricSpec(name=name, kind="histogram", help=help, agg="sum")
+            self._specs[name] = spec
+            SPEC_INDEX.setdefault(name, spec)
+        metric = Histogram(name, LogHistogram(**geometry), labels=labels)
+        self._metrics[full] = metric
+        return metric
+
     def _get_or_create(self, name, labels, *, kind, help, agg, fn):
         if kind not in KINDS:
             raise ParameterError(f"unknown metric kind {kind!r}; choose from {KINDS}")
@@ -297,8 +356,20 @@ class StatsRegistry:
     # reading
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, float]:
-        """Every sample's current value, as one plain dict."""
-        return {full: metric.value for full, metric in self._metrics.items()}
+        """Every sample's current value, as one plain dict.
+
+        Histograms contribute their full Prometheus-style sample
+        family (``_bucket``/``_count``/``_sum``) so the snapshot stays
+        a flat, process-boundary-safe ``{name: float}`` dict.
+        """
+        out: Dict[str, float] = {}
+        for full, metric in self._metrics.items():
+            samples = getattr(metric, "samples", None)
+            if samples is not None:
+                out.update(samples())
+            else:
+                out[full] = metric.value
+        return out
 
     def specs(self) -> Dict[str, MetricSpec]:
         """Base-name -> :class:`MetricSpec` for everything registered."""

@@ -33,6 +33,18 @@ Per-shard snapshots ride the worker queues — on demand
 own ``pipeline_*`` counters (chunks/items fed, batches released, queue
 depths, worker liveness).  See ``docs/observability.md``.
 
+Tracing & provenance: ``collect_trace=True`` attaches a
+:class:`~repro.observability.tracing.Tracer` to the master (feed /
+merge / collect spans) and one to every worker (queue-wait and insert
+spans, plus sampled filter-core instants on the scalar engine); worker
+events ride the ``done`` messages and fold into one Chrome-trace
+timeline in ``PipelineResult.trace_events``.  ``collect_provenance=
+True`` (scalar engine only) makes every worker report carry a
+:class:`~repro.observability.provenance.ReportProvenance` audit record,
+returned JSON-ready in ``PipelineResult.report_records``.  Lifecycle
+events log structurally through the ``repro.pipeline`` stdlib logger
+(see :func:`repro.observability.logs.configure_json_logging`).
+
 Failure model: every blocking queue operation is bounded by timeouts
 and interleaved with worker liveness checks.  A worker that dies
 (crash, OOM-kill) surfaces as :class:`WorkerCrashError`; a worker that
@@ -44,6 +56,8 @@ all cases the pipeline terminates remaining workers — it never hangs
 
 from __future__ import annotations
 
+import copy
+import logging
 import multiprocessing
 import queue as queue_module
 import time
@@ -58,8 +72,14 @@ from repro.core.criteria import Criteria
 from repro.core.quantile_filter import QuantileFilter
 from repro.core.vectorized import BatchQuantileFilter
 from repro.observability.instrument import observe_filter
+from repro.observability.provenance import provenance_record
 from repro.observability.registry import StatsRegistry, aggregate_snapshots
+from repro.observability.tracing import Tracer, attach_filter_tracing
 from repro.parallel.sharded import ENGINES, ShardRouter, batch_filter_to_scalar
+
+#: Lifecycle logger (silent unless the host configures a handler, e.g.
+#: repro.observability.logs.configure_json_logging for JSON lines).
+LOGGER = logging.getLogger("repro.pipeline")
 
 #: Default items per pipeline chunk.
 DEFAULT_CHUNK_ITEMS = 16_384
@@ -110,6 +130,12 @@ class PipelineResult:
     stats: Optional[Dict[str, float]] = None
     #: One snapshot dict per shard, in shard order (collect_stats only).
     per_shard_stats: Optional[List[Dict[str, float]]] = None
+    #: Chrome trace events (master + workers, one timeline).  None
+    #: unless the pipeline ran with ``collect_trace=True``.
+    trace_events: Optional[List[dict]] = None
+    #: JSON-ready report/provenance records in per-shard arrival order.
+    #: None unless the pipeline ran with ``collect_provenance=True``.
+    report_records: Optional[List[dict]] = None
 
     @property
     def mops(self) -> float:
@@ -119,7 +145,7 @@ class PipelineResult:
         return self.items / self.seconds / 1e6
 
 
-def _build_worker_filter(config: dict):
+def _build_worker_filter(config: dict, on_report=None):
     common = dict(
         num_buckets=config["num_buckets"],
         vague_width=config["vague_width"],
@@ -131,43 +157,104 @@ def _build_worker_filter(config: dict):
     )
     if config["engine"] == "batch":
         return BatchQuantileFilter(config["criteria"], **common)
-    return QuantileFilter(config["criteria"], counter_kind="float", **common)
+    return QuantileFilter(
+        config["criteria"],
+        counter_kind="float",
+        collect_provenance=bool(config.get("provenance")),
+        on_report=on_report,
+        **common,
+    )
 
 
 def _worker_main(shard_id: int, config: dict, in_queue, out_queue) -> None:
     """Worker loop: build the shard filter, consume chunks until stop."""
     try:
-        filt = _build_worker_filter(config)
         engine = config["engine"]
-        registry = chunk_counter = None
+        report_records: Optional[List[dict]] = (
+            [] if config.get("provenance") else None
+        )
+        on_report = (
+            report_records.append if report_records is not None else None
+        )
+        if on_report is not None:
+            raw_append = on_report
+
+            def on_report(report, _append=raw_append):  # noqa: F811
+                _append(provenance_record(report))
+
+        filt = _build_worker_filter(config, on_report=on_report)
+        tracer = None
+        if config.get("trace"):
+            tracer = Tracer(capacity=config.get("trace_capacity", 65_536))
+            if engine == "scalar":
+                attach_filter_tracing(
+                    filt, tracer,
+                    sample_every=config.get("trace_sample_every", 64),
+                )
+        registry = chunk_counter = insert_hist = None
         if config.get("stats"):
             registry = observe_filter(filt)
             chunk_counter = registry.counter(
                 "worker_chunks_total",
                 help="Chunks this shard worker has consumed.",
             )
+            insert_hist = registry.histogram(
+                "worker_insert_seconds",
+                help="Per-chunk shard insert latency (batch insert time).",
+            )
         known: Set = set()
         while True:
-            message = in_queue.get()
+            if tracer is not None:
+                wait_start = time.perf_counter()
+                message = in_queue.get()
+                tracer.add_span(
+                    "shard_queue_wait", wait_start, time.perf_counter(),
+                    args={"shard": shard_id},
+                )
+            else:
+                message = in_queue.get()
             kind = message[0]
             if kind == "chunk":
                 _, chunk_id, keys, values = message
                 if keys.shape[0]:
+                    insert_start = time.perf_counter()
                     if engine == "batch":
                         filt.process(keys, values)
                     else:
                         for key, value in zip(keys.tolist(), values.tolist()):
                             filt.insert(key, value)
+                    insert_end = time.perf_counter()
+                    if insert_hist is not None:
+                        insert_hist.record(insert_end - insert_start)
+                    if tracer is not None:
+                        tracer.add_span(
+                            "shard_insert", insert_start, insert_end,
+                            args={
+                                "shard": shard_id,
+                                "chunk": chunk_id,
+                                "items": int(keys.shape[0]),
+                            },
+                        )
                 if chunk_counter is not None:
                     chunk_counter.inc()
                 fresh = filt.reported_keys - known
                 known |= fresh
-                out_queue.put(("reports", chunk_id, shard_id, list(fresh)))
+                out_queue.put(
+                    ("reports", chunk_id, shard_id, list(fresh),
+                     time.perf_counter())
+                )
             elif kind == "snapshot":
                 _, sync_id = message
-                snapshot = (
-                    batch_filter_to_scalar(filt) if engine == "batch" else filt
-                )
+                if engine == "batch":
+                    snapshot = batch_filter_to_scalar(filt)
+                else:
+                    # Ship a sanitized copy: hooks, callbacks and the
+                    # stats registry hold closures that cannot pickle.
+                    snapshot = copy.copy(filt)
+                    snapshot.trace_hook = None
+                    snapshot._on_report = None
+                    if hasattr(snapshot, "_stats_registry"):
+                        snapshot._stats_registry = None
                 out_queue.put(("snapshot", sync_id, shard_id, snapshot))
             elif kind == "stats":
                 _, sync_id = message
@@ -177,9 +264,13 @@ def _worker_main(shard_id: int, config: dict, in_queue, out_queue) -> None:
                 final_stats = (
                     registry.snapshot() if registry is not None else None
                 )
+                trace_events = (
+                    tracer.chrome_events() if tracer is not None else None
+                )
                 out_queue.put(
                     ("done", shard_id, filt.items_processed,
-                     filt.report_count, final_stats)
+                     filt.report_count, final_stats, trace_events,
+                     report_records)
                 )
                 return
             else:  # pragma: no cover - defensive
@@ -241,6 +332,10 @@ class ParallelPipeline:
         merge_every: Optional[int] = None,
         collect_merged: bool = False,
         collect_stats: bool = False,
+        collect_trace: bool = False,
+        collect_provenance: bool = False,
+        tracer: Optional[Tracer] = None,
+        trace_sample_every: int = 64,
         on_reports: Optional[Callable[[ReportBatch], None]] = None,
         on_merge: Optional[Callable[[QuantileFilter, int], None]] = None,
         start_method: Optional[str] = None,
@@ -261,6 +356,15 @@ class ParallelPipeline:
             )
         if merge_every is not None and merge_every < 1:
             raise ParameterError(f"merge_every must be >= 1, got {merge_every}")
+        if trace_sample_every < 1:
+            raise ParameterError(
+                f"trace_sample_every must be >= 1, got {trace_sample_every}"
+            )
+        if collect_provenance and engine != "scalar":
+            raise ParameterError(
+                "collect_provenance needs engine='scalar': the batch "
+                "engine tracks reported keys, not Report objects"
+            )
         self.criteria = criteria
         self.num_shards = num_shards
         self.engine = engine
@@ -271,6 +375,13 @@ class ParallelPipeline:
         self.merge_every = merge_every
         self.collect_merged = collect_merged
         self.collect_stats = collect_stats
+        self.collect_trace = collect_trace or tracer is not None
+        self.collect_provenance = collect_provenance
+        #: Master tracer; worker spans fold into it at finish().
+        self.tracer: Optional[Tracer] = (
+            tracer if tracer is not None
+            else (Tracer() if self.collect_trace else None)
+        )
         self._on_reports = on_reports
         self._on_merge = on_merge
 
@@ -308,6 +419,9 @@ class ParallelPipeline:
             strategy=strategy,
             seed=seed,
             stats=collect_stats,
+            trace=self.collect_trace,
+            trace_sample_every=trace_sample_every,
+            provenance=collect_provenance,
         )
         self.router = ShardRouter(num_shards, resolved_buckets, seed=seed)
 
@@ -334,7 +448,8 @@ class ParallelPipeline:
         self._pending: Dict[int, List[ReportBatch]] = {}
         self._acks: Dict[int, int] = {}
         self._next_release = 0
-        self._done: Dict[int, Tuple[int, int, Optional[dict]]] = {}
+        # shard -> (items, reports, stats, trace_events, report_records)
+        self._done: Dict[int, Tuple] = {}
         self._snapshots: Dict[int, List] = {}
         self._stat_views: Dict[int, Dict[int, dict]] = {}
 
@@ -371,6 +486,14 @@ class ParallelPipeline:
             lambda: sum(1 for w in self.workers if w.is_alive()),
             help="Shard worker processes currently alive.",
         )
+        # Report-batch queue delay: stamped by the worker at put() time,
+        # measured when the master drains the batch.  Mergeable log
+        # buckets, so `repro stats` can print a cross-run p99.
+        self._queue_delay_hist = self.stats.histogram(
+            "pipeline_report_queue_delay_seconds",
+            help="Delay between a worker posting a report batch and the "
+            "master draining it.",
+        )
         self.last_stats: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
@@ -401,6 +524,18 @@ class ParallelPipeline:
                 labels={"shard": str(shard_id)},
             )
         self._started = True
+        LOGGER.info(
+            "pipeline started",
+            extra={
+                "event": "start",
+                "shards": self.num_shards,
+                "engine": self.engine,
+                "mode": self.mode,
+                "chunk_items": self.chunk_items,
+                "trace": self.collect_trace,
+                "provenance": self.collect_provenance,
+            },
+        )
         return self
 
     def _queue_depth(self, shard_id: int) -> int:
@@ -434,6 +569,8 @@ class ParallelPipeline:
                 f"keys and values length mismatch: {keys.shape[0]} vs "
                 f"{values.shape[0]}"
             )
+        feed_start = time.perf_counter() if self.tracer is not None else 0.0
+        first_chunk = self._chunk_id
         for start in range(0, keys.shape[0], self.chunk_items):
             chunk_keys = keys[start:start + self.chunk_items]
             chunk_values = values[start:start + self.chunk_items]
@@ -451,6 +588,14 @@ class ParallelPipeline:
             self._items_counter.inc(int(chunk_keys.shape[0]))
             if self.merge_every and (chunk_id + 1) % self.merge_every == 0:
                 self._collect_merged_view()
+        if self.tracer is not None:
+            self.tracer.add_span(
+                "pipeline_feed", feed_start, time.perf_counter(),
+                args={
+                    "items": int(keys.shape[0]),
+                    "chunks": self._chunk_id - first_chunk,
+                },
+            )
 
     def finish(self) -> PipelineResult:
         """Stop the workers, drain all results, and join cleanly."""
@@ -465,6 +610,9 @@ class ParallelPipeline:
                 merged = self._collect_merged_view()
             for shard_id in range(self.num_shards):
                 self._put(shard_id, ("stop",))
+            collect_start = (
+                time.perf_counter() if self.tracer is not None else 0.0
+            )
             deadline = time.monotonic() + self.stall_timeout
             while len(self._done) < self.num_shards:
                 if not self._drain(block=True):
@@ -481,12 +629,27 @@ class ParallelPipeline:
             self._release_ready(flush=True)
             for worker in self.workers:
                 worker.join(timeout=self.stall_timeout)
+            if self.tracer is not None:
+                self.tracer.add_span(
+                    "pipeline_collect", collect_start, time.perf_counter(),
+                    args={"shards": self.num_shards},
+                )
             per_items = [self._done[s][0] for s in range(self.num_shards)]
             per_reports = [self._done[s][1] for s in range(self.num_shards)]
             per_stats = aggregate = None
             if self.collect_stats:
                 per_stats = [self._done[s][2] for s in range(self.num_shards)]
                 aggregate = self._aggregate_worker_stats(per_stats)
+            trace_events = None
+            if self.tracer is not None:
+                for shard_id in range(self.num_shards):
+                    self.tracer.extend(self._done[shard_id][3] or [])
+                trace_events = self.tracer.chrome_events()
+            report_records = None
+            if self.collect_provenance:
+                report_records = []
+                for shard_id in range(self.num_shards):
+                    report_records.extend(self._done[shard_id][4] or [])
             result = PipelineResult(
                 reported_keys=set(self._reported),
                 items=self.items_fed,
@@ -500,8 +663,27 @@ class ParallelPipeline:
                 merged=merged if merged is not None else self.last_merged,
                 stats=aggregate,
                 per_shard_stats=per_stats,
+                trace_events=trace_events,
+                report_records=report_records,
             )
             self._finished = True
+            LOGGER.info(
+                "pipeline finished",
+                extra={
+                    "event": "finish",
+                    "items": result.items,
+                    "chunks": result.chunks,
+                    "reported_keys": len(result.reported_keys),
+                    "seconds": round(result.seconds, 6),
+                    "trace_events": (
+                        len(trace_events) if trace_events is not None else 0
+                    ),
+                    "report_records": (
+                        len(report_records)
+                        if report_records is not None else 0
+                    ),
+                },
+            )
             return result
         finally:
             self.close()
@@ -589,7 +771,10 @@ class ParallelPipeline:
             block = False  # only block for the first message
             kind = message[0]
             if kind == "reports":
-                _, chunk_id, shard_id, keys = message
+                _, chunk_id, shard_id, keys, posted_at = message
+                self._queue_delay_hist.record(
+                    max(0.0, time.perf_counter() - posted_at)
+                )
                 self._reported.update(keys)
                 self._pending.setdefault(chunk_id, []).append(
                     ReportBatch(chunk_id=chunk_id, shard_id=shard_id, keys=keys)
@@ -603,10 +788,17 @@ class ParallelPipeline:
                 _, sync_id, shard_id, stats_snap = message
                 self._stat_views.setdefault(sync_id, {})[shard_id] = stats_snap
             elif kind == "done":
-                _, shard_id, items, reports, stats_snap = message
-                self._done[shard_id] = (items, reports, stats_snap)
+                (_, shard_id, items, reports, stats_snap, trace_events,
+                 report_records) = message
+                self._done[shard_id] = (
+                    items, reports, stats_snap, trace_events, report_records
+                )
             elif kind == "error":
                 _, shard_id, tb_text = message
+                LOGGER.error(
+                    "worker raised",
+                    extra={"event": "worker_error", "shard": shard_id},
+                )
                 self._fail(
                     WorkerFailedError(
                         f"shard {shard_id} worker raised:\n{tb_text}"
@@ -647,6 +839,7 @@ class ParallelPipeline:
 
     def _collect_merged_view(self) -> QuantileFilter:
         """Request shard snapshots and merge them into one global filter."""
+        merge_start = time.perf_counter() if self.tracer is not None else 0.0
         sync_id = self._sync_id
         self._sync_id += 1
         for shard_id in range(self.num_shards):
@@ -680,6 +873,19 @@ class ParallelPipeline:
         for snapshot in snapshots:
             merged.merge(snapshot)
         self.last_merged = merged
+        if self.tracer is not None:
+            self.tracer.add_span(
+                "pipeline_merge", merge_start, time.perf_counter(),
+                args={"sync": sync_id, "items_fed": self.items_fed},
+            )
+        LOGGER.info(
+            "merged global view collected",
+            extra={
+                "event": "merge_view",
+                "sync": sync_id,
+                "items_fed": self.items_fed,
+            },
+        )
         if self._on_merge is not None:
             self._on_merge(merged, self.items_fed)
         return merged
@@ -750,5 +956,12 @@ class ParallelPipeline:
             )
 
     def _fail(self, error: PipelineError) -> None:
+        LOGGER.error(
+            "pipeline failing",
+            extra={
+                "event": "fail",
+                "error_type": type(error).__name__,
+            },
+        )
         self.close()
         raise error

@@ -6,6 +6,7 @@ from repro.common.errors import ParameterError
 from repro.core.criteria import Criteria
 from repro.core.quantile_filter import QuantileFilter, Report
 from repro.detection.reports import AlertPolicy, KeyReportSummary, ReportLog
+from repro.observability.provenance import ReportProvenance
 
 
 def make_report(key="k", qweight=50.0, source="candidate", index=0) -> Report:
@@ -57,6 +58,65 @@ class TestReportLog:
         log.record(make_report())
         log.clear()
         assert len(log) == 0 and log.total_reports == 0
+
+    def test_clear_resets_truncation_counter(self):
+        log = ReportLog(max_reports_per_key=1)
+        log.record(make_report(index=0))
+        log.record(make_report(index=1))
+        assert log.total_truncated == 1
+        log.clear()
+        assert log.total_truncated == 0
+
+    def test_history_bounded_by_max_reports_per_key(self):
+        log = ReportLog(max_reports_per_key=3)
+        for index in range(10):
+            log.record(make_report(index=index))
+        summary = log.summary("k")
+        # Aggregates never truncate; only the per-report ring does.
+        assert summary.count == 10
+        assert [r.item_index for r in summary.history] == [7, 8, 9]
+        assert summary.truncated == 7
+        assert log.total_truncated == 7
+
+    def test_truncation_counted_per_key(self):
+        log = ReportLog(max_reports_per_key=2)
+        for index in range(5):
+            log.record(make_report(key="busy", index=index))
+        log.record(make_report(key="quiet", index=9))
+        assert log.summary("busy").truncated == 3
+        assert log.summary("quiet").truncated == 0
+        assert log.total_truncated == 3
+
+    def test_unbounded_history_when_none(self):
+        log = ReportLog(max_reports_per_key=None)
+        for index in range(100):
+            log.record(make_report(index=index))
+        summary = log.summary("k")
+        assert len(summary.history) == 100
+        assert summary.truncated == 0
+        assert log.total_truncated == 0
+
+    def test_invalid_max_reports_per_key(self):
+        with pytest.raises(ParameterError):
+            ReportLog(max_reports_per_key=0)
+
+    def test_last_provenance_folded_in(self):
+        prov = ReportProvenance(
+            part="candidate", bucket=3, fingerprint=77, qweight=50.0,
+            threshold=10.0, bucket_occupancy=1, replacements=0,
+            items_since_reset=20, resets=0,
+        )
+        log = ReportLog()
+        log.record(make_report(index=0))
+        assert log.summary("k").last_provenance is None
+        log.record(
+            Report(key="k", qweight=50.0, source="candidate",
+                   item_index=1, provenance=prov)
+        )
+        assert log.summary("k").last_provenance is prov
+        # A later provenance-free report keeps the last known context.
+        log.record(make_report(index=2))
+        assert log.summary("k").last_provenance is prov
 
     def test_wired_to_filter(self):
         crit = Criteria(delta=0.5, threshold=10.0, epsilon=2.0)

@@ -5,11 +5,18 @@ import json
 
 from repro.observability.exporters import (
     JsonLinesEmitter,
+    escape_help,
     registry_to_prometheus,
+    render_histogram_summaries,
     render_prometheus,
     render_snapshot_text,
 )
-from repro.observability.registry import MetricSpec, StatsRegistry
+from repro.observability.registry import (
+    MetricSpec,
+    StatsRegistry,
+    escape_label_value,
+    sample_name,
+)
 
 
 SPECS = {
@@ -62,6 +69,84 @@ class TestPrometheus:
 
     def test_empty_snapshot_is_empty_string(self):
         assert render_prometheus({}, specs=SPECS) == ""
+
+
+class TestLabelEscaping:
+    """The exposition format escapes ``\\``, ``"`` and newline in label
+    values (and ``\\`` + newline in HELP text) — regression-pinned here
+    because a raw quote silently corrupts the whole scrape."""
+
+    def test_backslash_escaped(self):
+        assert escape_label_value("C:\\tmp") == "C:\\\\tmp"
+
+    def test_double_quote_escaped(self):
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+
+    def test_newline_escaped(self):
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_combined_and_ordering(self):
+        # Backslash first, or the later escapes get double-escaped.
+        assert escape_label_value('\\"\n') == '\\\\\\"\\n'
+
+    def test_plain_values_untouched(self):
+        assert escape_label_value("shard-0_a.b") == "shard-0_a.b"
+
+    def test_non_string_coerced(self):
+        assert escape_label_value(3) == "3"
+
+    def test_sample_name_applies_escaping(self):
+        name = sample_name("m_total", {"path": 'a\\b"c'})
+        assert name == 'm_total{path="a\\\\b\\"c"}'
+
+    def test_registry_round_trip_renders_escaped(self):
+        reg = StatsRegistry()
+        reg.counter(
+            "esc_total", help="with\nnewline and \\slash",
+            labels={"key": 'tricky "value"\\'},
+        ).inc()
+        text = registry_to_prometheus(reg)
+        assert '# HELP esc_total with\\nnewline and \\\\slash' in text
+        assert 'esc_total{key="tricky \\"value\\"\\\\"} 1' in text
+        # The rendered exposition stays one-line-per-sample.
+        assert len(text.splitlines()) == 3
+
+    def test_escape_help_leaves_quotes_alone(self):
+        # HELP text escapes backslash and newline but NOT quotes.
+        assert escape_help('a "quoted" b') == 'a "quoted" b'
+        assert escape_help("a\nb\\c") == "a\\nb\\\\c"
+
+
+class TestHistogramRendering:
+    def test_histogram_family_grouped_and_typed(self):
+        reg = StatsRegistry()
+        h = reg.histogram("hx_seconds", help="demo latency")
+        h.record(0.001)
+        text = registry_to_prometheus(reg)
+        lines = text.splitlines()
+        assert "# TYPE hx_seconds histogram" in lines
+        assert "# HELP hx_seconds demo latency" in lines
+        # Exactly one header pair despite many sub-samples.
+        assert sum(line.startswith("# TYPE") for line in lines) == 1
+        # Buckets ascend by le; count and sum come after them.
+        bucket_lines = [l for l in lines if "_bucket{" in l]
+        assert len(bucket_lines) > 10
+        assert lines.index(bucket_lines[-1]) < lines.index(
+            next(l for l in lines if l.startswith("hx_seconds_count"))
+        )
+        assert '{le="+Inf"}' in bucket_lines[-1]
+
+    def test_render_histogram_summaries(self):
+        reg = StatsRegistry()
+        h = reg.histogram("hy_seconds")
+        for _ in range(100):
+            h.record(0.004)
+        text = render_histogram_summaries(reg.snapshot())
+        assert text.startswith("hy_seconds count=100 ")
+        assert "p50=" in text and "p99=" in text and "p999=" in text
+
+    def test_render_histogram_summaries_empty(self):
+        assert render_histogram_summaries({"a_total": 1.0}) == ""
 
 
 class TestJsonLines:

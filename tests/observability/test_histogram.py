@@ -1,0 +1,255 @@
+"""Tests for repro.observability.histogram.
+
+The hypothesis property at the bottom mirrors
+``tests/parallel/test_shard_equivalence.py``: splitting a stream of
+observations across histograms and merging must equal one histogram
+over the union — the invariant that makes per-shard latency histograms
+aggregate exactly master-side.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ParameterError
+from repro.common.percentile import percentile, percentile_from_buckets
+from repro.observability.histogram import (
+    Histogram,
+    LogHistogram,
+    buckets_from_snapshot,
+    histogram_families,
+    log_bounds,
+    percentiles_from_snapshot,
+)
+from repro.observability.registry import StatsRegistry, aggregate_snapshots
+
+
+class TestLogBounds:
+    def test_deterministic_and_ends_in_inf(self):
+        assert log_bounds() == log_bounds()
+        assert log_bounds()[-1] == math.inf
+
+    def test_ladder_is_geometric(self):
+        bounds = log_bounds(1e-3, 1.0, buckets_per_decade=2)
+        finite = bounds[:-1]
+        ratios = [b / a for a, b in zip(finite, finite[1:])]
+        assert all(r == pytest.approx(10 ** 0.5) for r in ratios)
+
+    def test_covers_min_to_max(self):
+        bounds = log_bounds(1e-6, 100.0)
+        assert bounds[0] == pytest.approx(1e-6)
+        assert bounds[-2] >= 100.0 * 0.999
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            log_bounds(min_value=0.0)
+        with pytest.raises(ParameterError):
+            log_bounds(min_value=1.0, max_value=0.5)
+        with pytest.raises(ParameterError):
+            log_bounds(buckets_per_decade=0)
+
+
+class TestLogHistogram:
+    def test_count_sum_mean(self):
+        h = LogHistogram()
+        h.record_many([0.001, 0.002, 0.003])
+        assert h.count == 3
+        assert h.total == pytest.approx(0.006)
+        assert h.mean == pytest.approx(0.002)
+
+    def test_empty_histogram(self):
+        h = LogHistogram()
+        assert h.count == 0 and h.mean == 0.0
+        assert h.percentile(99) == 0.0
+
+    def test_each_value_lands_in_its_bound_bucket(self):
+        h = LogHistogram()
+        for value in (1e-7, 1e-6, 3e-4, 0.02, 1.5, 99.0, 1e4):
+            before = list(h.counts)
+            h.record(value)
+            (index,) = [
+                i for i, (a, b) in enumerate(zip(before, h.counts)) if a != b
+            ]
+            upper = h.bounds[index]
+            lower = h.bounds[index - 1] if index else 0.0
+            assert lower < max(value, h.min_value) <= upper or (
+                upper == math.inf and value > h.max_value
+            )
+
+    def test_negative_and_tiny_values_clamp_to_first_bucket(self):
+        h = LogHistogram()
+        h.record(-5.0)
+        h.record(0.0)
+        assert h.counts[0] == 2
+
+    def test_overflow_lands_in_inf_bucket(self):
+        h = LogHistogram(max_value=1.0)
+        h.record(50.0)
+        assert h.counts[-1] == 1
+
+    def test_merge_requires_same_geometry(self):
+        with pytest.raises(ParameterError):
+            LogHistogram().merge(LogHistogram(buckets_per_decade=3))
+
+    def test_merge_adds_counts_and_totals(self):
+        a, b = LogHistogram(), LogHistogram()
+        a.record(0.001)
+        b.record(0.1)
+        a.merge(b)
+        assert a.count == 2
+        assert a.total == pytest.approx(0.101)
+
+    def test_percentile_monotone(self):
+        h = LogHistogram()
+        h.record_many([0.001 * (i + 1) for i in range(200)])
+        values = [h.percentile(q) for q in (10, 50, 90, 99, 99.9)]
+        assert values == sorted(values)
+
+    def test_percentile_brackets_uniform_data(self):
+        h = LogHistogram()
+        for _ in range(1000):
+            h.record(0.01)
+        # All mass in one bucket: every percentile within that bucket.
+        p50 = h.percentile(50)
+        lower = max(b for b in h.bounds if b < p50 or b == h.bounds[0])
+        assert 0.01 / 10 < p50 <= 0.01 * 10
+
+    def test_summary_keys(self):
+        h = LogHistogram()
+        h.record(0.001)
+        assert sorted(h.summary()) == ["count", "mean", "p50", "p99", "p999"]
+
+
+class TestRegistryIntegration:
+    def test_histogram_explodes_into_prometheus_convention(self):
+        reg = StatsRegistry()
+        h = reg.histogram("t_lat_seconds", help="latency")
+        h.record(0.001)
+        h.record(10.0)
+        snap = reg.snapshot()
+        assert snap["t_lat_seconds_count"] == 2.0
+        assert snap["t_lat_seconds_sum"] == pytest.approx(10.001)
+        assert snap['t_lat_seconds_bucket{le="+Inf"}'] == 2.0
+        # Bucket samples are cumulative.
+        buckets = [
+            v for k, v in snap.items() if k.startswith("t_lat_seconds_bucket")
+        ]
+        assert buckets == sorted(buckets)
+
+    def test_get_or_create_and_kind_conflicts(self):
+        reg = StatsRegistry()
+        h = reg.histogram("t_h")
+        assert reg.histogram("t_h") is h
+        with pytest.raises(ParameterError):
+            reg.counter("t_h")
+
+    def test_cross_shard_aggregation_is_exact_merge(self):
+        values = [0.001 * (i + 1) for i in range(100)]
+        shard_a, shard_b = StatsRegistry(), StatsRegistry()
+        whole = LogHistogram()
+        shard_a_h = shard_a.histogram("t_agg_seconds")
+        shard_b_h = shard_b.histogram("t_agg_seconds")
+        for i, value in enumerate(values):
+            (shard_a_h if i % 2 else shard_b_h).record(value)
+            whole.record(value)
+        combined = aggregate_snapshots(
+            [shard_a.snapshot(), shard_b.snapshot()]
+        )
+        bounds, counts = buckets_from_snapshot(combined, "t_agg_seconds")
+        assert list(bounds) == list(whole.bounds)
+        assert counts == whole.counts
+        recovered = percentiles_from_snapshot(combined, "t_agg_seconds")
+        for q, key in ((50.0, "p50"), (99.0, "p99"), (99.9, "p999")):
+            assert recovered[key] == pytest.approx(whole.percentile(q))
+
+    def test_histogram_families_discovery(self):
+        reg = StatsRegistry()
+        reg.histogram("t_fam_seconds").record(0.001)
+        reg.counter("t_plain_total").inc()
+        snap = reg.snapshot()
+        assert histogram_families(snap) == ["t_fam_seconds"]
+
+    def test_buckets_from_snapshot_missing_family(self):
+        with pytest.raises(ParameterError):
+            buckets_from_snapshot({}, "nope")
+
+
+class TestSharedPercentileMath:
+    def test_exact_percentile_empty_and_validation(self):
+        assert percentile([], 50) == 0.0
+        with pytest.raises(ParameterError):
+            percentile([1.0], 101)
+        with pytest.raises(ParameterError):
+            percentile_from_buckets((1.0, math.inf), [1, 0], -1)
+
+    def test_bucket_percentile_interpolates_within_bucket(self):
+        # 10 observations in (1, 2]: p0 edge=1, p100 edge=2.
+        bounds = (1.0, 2.0, math.inf)
+        counts = [0, 10, 0]
+        assert percentile_from_buckets(bounds, counts, 0) == pytest.approx(1.0)
+        assert percentile_from_buckets(bounds, counts, 100) == pytest.approx(
+            2.0
+        )
+        mid = percentile_from_buckets(bounds, counts, 50)
+        assert 1.0 < mid < 2.0
+
+    def test_bucket_percentile_never_returns_inf(self):
+        bounds = (1.0, math.inf)
+        counts = [0, 5]
+        assert math.isfinite(percentile_from_buckets(bounds, counts, 99))
+
+
+# ----------------------------------------------------------------------
+# Property: hist(A ∪ B) == merge(hist(A), hist(B))
+# ----------------------------------------------------------------------
+
+latencies = st.lists(
+    st.floats(
+        min_value=1e-9, max_value=1e4,
+        allow_nan=False, allow_infinity=False,
+    ),
+    max_size=200,
+)
+geometries = st.sampled_from([
+    dict(),
+    dict(min_value=1e-4, max_value=10.0, buckets_per_decade=3),
+    dict(min_value=1e-6, max_value=100.0, buckets_per_decade=10),
+])
+
+
+@given(sample_a=latencies, sample_b=latencies, geometry=geometries)
+@settings(max_examples=100, deadline=None)
+def test_union_equals_merge(sample_a, sample_b, geometry):
+    hist_a = LogHistogram(**geometry)
+    hist_b = LogHistogram(**geometry)
+    union = LogHistogram(**geometry)
+    hist_a.record_many(sample_a)
+    hist_b.record_many(sample_b)
+    union.record_many(sample_a + sample_b)
+
+    merged = hist_a.merged(hist_b)
+    assert merged.counts == union.counts
+    assert merged.total == pytest.approx(union.total)
+    for q in (50.0, 99.0, 99.9):
+        assert merged.percentile(q) == pytest.approx(union.percentile(q))
+
+
+@given(sample_a=latencies, sample_b=latencies)
+@settings(max_examples=50, deadline=None)
+def test_union_equals_merge_through_snapshots(sample_a, sample_b):
+    """Same property through the registry/snapshot/aggregate path —
+    the exact route per-shard histograms take in the pipeline."""
+    reg_a, reg_b = StatsRegistry(), StatsRegistry()
+    union = LogHistogram()
+    hist_a = reg_a.histogram("t_prop_seconds")
+    hist_b = reg_b.histogram("t_prop_seconds")
+    hist_a.data.record_many(sample_a)
+    hist_b.data.record_many(sample_b)
+    union.record_many(sample_a + sample_b)
+
+    combined = aggregate_snapshots([reg_a.snapshot(), reg_b.snapshot()])
+    _, counts = buckets_from_snapshot(combined, "t_prop_seconds")
+    assert counts == union.counts
+    assert combined["t_prop_seconds_sum"] == pytest.approx(union.total)

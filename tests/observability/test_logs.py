@@ -1,0 +1,88 @@
+"""Tests for repro.observability.logs."""
+
+import io
+import json
+import logging
+
+from repro.observability.logs import JsonLogFormatter, configure_json_logging
+
+
+def make_logger(name):
+    stream = io.StringIO()
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLogFormatter())
+    logger = logging.getLogger(name)
+    logger.handlers = [handler]
+    logger.setLevel(logging.INFO)
+    logger.propagate = False
+    return logger, stream
+
+
+class TestJsonLogFormatter:
+    def test_one_json_object_per_record(self):
+        logger, stream = make_logger("t_json_basic")
+        logger.info("pipeline started")
+        logger.warning("queue slow")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["message"] == "pipeline started"
+        assert first["level"] == "INFO"
+        assert first["logger"] == "t_json_basic"
+        assert isinstance(first["created"], float)
+        assert json.loads(lines[1])["level"] == "WARNING"
+
+    def test_extra_fields_become_payload(self):
+        logger, stream = make_logger("t_json_extra")
+        logger.info(
+            "pipeline finished", extra={"event": "finish", "items": 20000}
+        )
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "finish"
+        assert record["items"] == 20000
+
+    def test_unserialisable_extras_fall_back_to_repr(self):
+        logger, stream = make_logger("t_json_repr")
+        logger.info("odd", extra={"payload": {1, 2}})
+        record = json.loads(stream.getvalue())
+        assert record["payload"] == repr({1, 2})
+
+    def test_exceptions_included_as_text(self):
+        logger, stream = make_logger("t_json_exc")
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            logger.exception("worker died")
+        record = json.loads(stream.getvalue())
+        assert "boom" in record["exc_info"]
+
+    def test_percent_formatting_still_applies(self):
+        logger, stream = make_logger("t_json_fmt")
+        logger.info("processed %d items", 42)
+        assert json.loads(stream.getvalue())["message"] == "processed 42 items"
+
+
+class TestConfigureJsonLogging:
+    def test_installs_json_handler_once(self):
+        stream = io.StringIO()
+        logger = configure_json_logging(stream=stream, name="t_cfg_once")
+        again = configure_json_logging(stream=stream, name="t_cfg_once")
+        assert logger is again
+        assert (
+            sum(
+                isinstance(h.formatter, JsonLogFormatter)
+                for h in logger.handlers
+            )
+            == 1
+        )
+        logger.info("hello")
+        assert json.loads(stream.getvalue())["message"] == "hello"
+
+    def test_pipeline_logger_inherits(self):
+        stream = io.StringIO()
+        configure_json_logging(stream=stream, name="t_cfg_parent")
+        child = logging.getLogger("t_cfg_parent.pipeline")
+        child.info("from child", extra={"event": "start"})
+        record = json.loads(stream.getvalue())
+        assert record["logger"] == "t_cfg_parent.pipeline"
+        assert record["event"] == "start"

@@ -1,0 +1,137 @@
+"""Tests for repro.observability.provenance.
+
+The integration tests assert the acceptance property: every report
+emitted by a ``collect_provenance=True`` filter carries a provenance
+record consistent with the filter's own state at emission.
+"""
+
+import json
+
+import pytest
+
+from repro.core.criteria import Criteria
+from repro.core.quantile_filter import QuantileFilter
+from repro.observability.provenance import ReportProvenance, provenance_record
+
+CRIT = Criteria(delta=0.5, threshold=10.0, epsilon=2.0)
+
+
+def make_provenance(**overrides):
+    base = dict(
+        part="candidate", bucket=3, fingerprint=77, qweight=50.0,
+        threshold=10.0, bucket_occupancy=2, replacements=1,
+        items_since_reset=20, resets=0,
+    )
+    base.update(overrides)
+    return ReportProvenance(**base)
+
+
+class TestReportProvenance:
+    def test_frozen(self):
+        prov = make_provenance()
+        with pytest.raises(AttributeError):
+            prov.bucket = 9
+
+    def test_as_dict_round_trips_through_json(self):
+        prov = make_provenance()
+        assert json.loads(json.dumps(prov.as_dict())) == prov.as_dict()
+        assert prov.as_dict()["part"] == "candidate"
+
+
+class TestProvenanceRecord:
+    def test_record_without_provenance_is_dumpable(self):
+        qf = QuantileFilter(CRIT, num_buckets=8, vague_width=16)
+        report = None
+        for _ in range(30):
+            report = qf.insert("k", 50.0) or report
+        assert report is not None and report.provenance is None
+        record = provenance_record(report)
+        assert record["provenance"] is None
+        json.dumps(record)
+
+    def test_non_primitive_keys_become_repr(self):
+        qf = QuantileFilter(
+            CRIT, num_buckets=8, vague_width=16, collect_provenance=True
+        )
+        report = None
+        for _ in range(30):
+            report = qf.insert(("src", 8080), 50.0) or report
+        record = provenance_record(report)
+        assert record["key"] == repr(("src", 8080))
+        json.dumps(record)
+
+
+class TestFilterIntegration:
+    def test_provenance_matches_filter_state(self):
+        qf = QuantileFilter(
+            CRIT, num_buckets=8, vague_width=32, counter_kind="float",
+            collect_provenance=True, seed=1,
+        )
+        reports = []
+        qf._on_report = reports.append
+        for i in range(200):
+            qf.insert(i % 5, 40.0)
+        assert reports
+        for report in reports:
+            prov = report.provenance
+            assert prov is not None
+            assert prov.part == report.source
+            assert prov.qweight == report.qweight
+            assert prov.threshold == CRIT.report_threshold
+            assert 0 <= prov.bucket < qf.candidate.num_buckets
+            assert 1 <= prov.bucket_occupancy <= qf.candidate.bucket_size
+            assert prov.items_since_reset <= qf.items_processed
+            assert prov.resets == 0
+
+    def test_off_by_default(self):
+        qf = QuantileFilter(CRIT, num_buckets=8, vague_width=16)
+        report = None
+        for _ in range(30):
+            report = qf.insert("k", 50.0) or report
+        assert report.provenance is None
+
+    def test_items_since_reset_restarts_after_reset(self):
+        qf = QuantileFilter(
+            CRIT, num_buckets=8, vague_width=16, collect_provenance=True
+        )
+        for _ in range(50):
+            qf.insert("k", 50.0)
+        qf.reset()
+        report = None
+        for _ in range(30):
+            report = qf.insert("k", 50.0) or report
+        assert report is not None
+        assert report.provenance.items_since_reset <= 30
+        assert report.provenance.resets == 1
+
+    def test_vague_reports_carry_vague_part(self):
+        # One bucket of one slot: the second key must live in the vague
+        # part, so its report's provenance says so.
+        qf = QuantileFilter(
+            CRIT, num_buckets=1, bucket_size=1, vague_width=64,
+            counter_kind="float", collect_provenance=True, seed=0,
+        )
+        reports = []
+        qf._on_report = reports.append
+        for _ in range(60):
+            qf.insert("a", 50.0)
+            qf.insert("b", 50.0)
+        vague = [r for r in reports if r.source == "vague"]
+        assert vague
+        for report in vague:
+            assert report.provenance.part == "vague"
+            assert report.provenance.bucket_occupancy == 1
+
+    def test_provenance_does_not_change_detection(self):
+        kwargs = dict(
+            num_buckets=4, bucket_size=2, vague_width=32,
+            counter_kind="float", seed=7,
+        )
+        plain = QuantileFilter(CRIT, **kwargs)
+        audited = QuantileFilter(CRIT, collect_provenance=True, **kwargs)
+        for i in range(500):
+            key, value = i % 23, 40.0 + (i % 5) * 10.0
+            plain.insert(key, value)
+            audited.insert(key, value)
+        assert audited.reported_keys == plain.reported_keys
+        assert audited.report_count == plain.report_count
