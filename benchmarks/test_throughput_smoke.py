@@ -1,0 +1,192 @@
+"""Throughput smoke: the hot path must stay fast, run to run.
+
+Measures items/s on the fig8 internet workload for the four engine
+configurations this package ships —
+
+* ``scalar``           — reference :class:`QuantileFilter` insert loop,
+* ``batch_legacy``     — batch engine with the vectorised tier off
+  (``vectorize=False``: the per-item chunk loop),
+* ``batch``            — batch engine with the vectorised fast tier,
+* ``pipeline_pickle`` / ``pipeline_shm`` — 4-shard process pipeline
+  under both chunk transports —
+
+and records them in ``BENCH_throughput.json`` at the repo root.
+
+Gating: absolute items/s numbers track the host, so CI would flake on
+them; the *ratios* (vectorised speedup over the per-item loop, shm
+speedup over pickle) are what the optimizations own and are
+machine-portable.  The test fails when a ratio regresses more than
+``REGRESSION_PCT`` below the committed baseline
+(``benchmarks/baselines/throughput_baseline.json``) or drops through
+its hard floor.  Per-config minimum over interleaved rounds is the
+noise-robust estimator, as in the observability bench.
+"""
+
+import gc
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.core.quantile_filter import QuantileFilter
+from repro.core.vectorized import BatchQuantileFilter
+from repro.experiments.config import PAPER, build_trace, default_criteria_for
+from repro.parallel.pipeline import ParallelPipeline
+
+ROUNDS = 3
+REGRESSION_PCT = 15.0
+#: Hard floors, below which the PR-4 optimizations are considered
+#: broken regardless of what the committed baseline says.
+MIN_BATCH_SPEEDUP = 1.7
+MIN_SHM_SPEEDUP = 1.2
+#: Per-filter / per-shard byte budget (a fig8 memory point).
+MEMORY_BYTES = 1 << 18
+NUM_SHARDS = 4
+PIPELINE_CHUNK_ITEMS = 16_384
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = ROOT / "BENCH_throughput.json"
+BASELINE_PATH = Path(__file__).parent / "baselines" / "throughput_baseline.json"
+
+
+def _paper_dims():
+    return dict(
+        bucket_size=PAPER.bucket_size,
+        depth=PAPER.depth,
+        candidate_fraction=PAPER.candidate_fraction,
+        fp_bits=PAPER.fp_bits,
+        seed=0,
+    )
+
+
+def _time_once(run):
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        run()
+        return time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
+def test_throughput_smoke():
+    criteria = default_criteria_for("internet")
+    scale = max(BENCH_SCALE, 100_000)
+    trace = build_trace("internet", scale=scale, seed=0)
+    pipeline_trace = build_trace("internet", scale=4 * scale, seed=0)
+    dims = _paper_dims()
+
+    def run_scalar():
+        filt = QuantileFilter(
+            criteria, MEMORY_BYTES, counter_kind="float", **dims
+        )
+        filt.insert_many(trace.keys, trace.values)
+        return filt
+
+    def run_batch(vectorize):
+        filt = BatchQuantileFilter(
+            criteria, MEMORY_BYTES, vectorize=vectorize, **dims
+        )
+        filt.process(trace.keys, trace.values)
+        return filt
+
+    # ParallelPipeline resolves the candidate/vague split through its
+    # template filter, whose default candidate_fraction is the paper's.
+    pipeline_dims = {
+        k: v for k, v in dims.items() if k != "candidate_fraction"
+    }
+
+    def run_pipeline(transport):
+        pipe = ParallelPipeline(
+            criteria, NUM_SHARDS, engine="batch", transport=transport,
+            memory_bytes=MEMORY_BYTES, chunk_items=PIPELINE_CHUNK_ITEMS,
+            **pipeline_dims,
+        )
+        return pipe.run(pipeline_trace.keys, pipeline_trace.values)
+
+    single = {
+        "scalar": lambda: run_scalar(),
+        "batch_legacy": lambda: run_batch(False),
+        "batch": lambda: run_batch(True),
+    }
+    best = {name: float("inf") for name in single}
+    reports = {}
+    for name, run in single.items():  # warm every code path once
+        reports[name] = run()
+    for _ in range(ROUNDS):
+        for name, run in single.items():
+            best[name] = min(best[name], _time_once(run))
+
+    # The optimization must not move detection output.
+    assert (
+        reports["batch"].reported_keys
+        == reports["batch_legacy"].reported_keys
+    )
+    assert (
+        reports["batch"].reported_keys == reports["scalar"].reported_keys
+    )
+
+    pipeline_best = {}
+    pipeline_reports = {}
+    for transport in ("pickle", "shm"):
+        seconds = float("inf")
+        for _ in range(ROUNDS):
+            result = run_pipeline(transport)
+            seconds = min(seconds, result.seconds)
+            pipeline_reports[transport] = result.reported_keys
+        pipeline_best[transport] = seconds
+    assert pipeline_reports["shm"] == pipeline_reports["pickle"]
+
+    items_per_s = {
+        "scalar": scale / best["scalar"],
+        "batch_legacy": scale / best["batch_legacy"],
+        "batch": scale / best["batch"],
+        "pipeline_pickle": 4 * scale / pipeline_best["pickle"],
+        "pipeline_shm": 4 * scale / pipeline_best["shm"],
+    }
+    ratios = {
+        "batch_speedup_vs_legacy": (
+            items_per_s["batch"] / items_per_s["batch_legacy"]
+        ),
+        "batch_speedup_vs_scalar": (
+            items_per_s["batch"] / items_per_s["scalar"]
+        ),
+        "shm_speedup_vs_pickle": (
+            items_per_s["pipeline_shm"] / items_per_s["pipeline_pickle"]
+        ),
+    }
+
+    result = {
+        "bench": "throughput-smoke",
+        "workload": "fig8-internet",
+        "items": scale,
+        "pipeline_items": 4 * scale,
+        "memory_bytes": MEMORY_BYTES,
+        "num_shards": NUM_SHARDS,
+        "rounds": ROUNDS,
+        "items_per_s": {k: round(v, 1) for k, v in items_per_s.items()},
+        "ratios": {k: round(v, 4) for k, v in ratios.items()},
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+
+    assert ratios["batch_speedup_vs_legacy"] >= MIN_BATCH_SPEEDUP, (
+        f"vectorised fast tier only {ratios['batch_speedup_vs_legacy']:.2f}x "
+        f"over the per-item chunk loop (floor {MIN_BATCH_SPEEDUP}x)"
+    )
+    assert ratios["shm_speedup_vs_pickle"] >= MIN_SHM_SPEEDUP, (
+        f"shm transport only {ratios['shm_speedup_vs_pickle']:.2f}x over "
+        f"pickle (floor {MIN_SHM_SPEEDUP}x)"
+    )
+
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        for name, value in ratios.items():
+            reference = baseline["ratios"][name]
+            floor = reference * (1.0 - REGRESSION_PCT / 100.0)
+            assert value >= floor, (
+                f"{name} regressed: {value:.3f} vs committed baseline "
+                f"{reference:.3f} (>{REGRESSION_PCT}% drop); if the "
+                f"change is intentional, refresh {BASELINE_PATH}"
+            )

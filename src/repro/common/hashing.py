@@ -30,6 +30,11 @@ from repro.common.errors import ParameterError
 
 _MASK64 = (1 << 64) - 1
 
+#: Shared numpy scalar constants — pre-cast once at import so the batch
+#: hot paths never re-box Python ints into ``np.uint64`` per call.
+_ONE_U64 = np.uint64(1)
+_ZERO_U64 = np.uint64(0)
+
 # splitmix64 constants (Steele, Lea & Flood, "Fast splittable PRNGs")
 _SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
 _SPLITMIX_M1 = 0xBF58476D1CE4E5B9
@@ -121,7 +126,7 @@ class HashFamily:
     reuse the integer for all rows.
     """
 
-    __slots__ = ("depth", "width", "_seeds", "_seeds_np")
+    __slots__ = ("depth", "width", "_seeds", "_seeds_np", "_width_u64")
 
     def __init__(self, depth: int, width: int, seed: int = 0):
         if depth < 1:
@@ -137,6 +142,7 @@ class HashFamily:
             seeds.append(state)
         self._seeds = seeds
         self._seeds_np = np.asarray(seeds, dtype=np.uint64)
+        self._width_u64 = np.uint64(width)
 
     def index(self, row: int, key_int: int) -> int:
         """Column index of ``key_int`` in ``row``."""
@@ -150,7 +156,7 @@ class HashFamily:
         """Vectorised :meth:`indices`: ``(depth, n)`` array of columns."""
         keys = keys.astype(np.uint64, copy=False)
         mixed = _mix64_array(keys[None, :] ^ self._seeds_np[:, None])
-        return (mixed % np.uint64(self.width)).astype(np.int64)
+        return (mixed % self._width_u64).astype(np.int64)
 
 
 class SignHashFamily:
@@ -189,7 +195,7 @@ class SignHashFamily:
         """Vectorised :meth:`signs`: ``(depth, n)`` array of +1/-1."""
         keys = keys.astype(np.uint64, copy=False)
         bits = _mix64_array(keys[None, :] ^ self._seeds_np[:, None])
-        return np.where(bits & np.uint64(1), 1, -1).astype(np.int64)
+        return np.where(bits & _ONE_U64, 1, -1).astype(np.int64)
 
 
 class FingerprintHasher:
@@ -202,7 +208,7 @@ class FingerprintHasher:
     quotes <0.01 % for 16 bits).
     """
 
-    __slots__ = ("bits", "_seed", "_mask")
+    __slots__ = ("bits", "_seed", "_mask", "_seed_u64", "_mask_u64")
 
     def __init__(self, bits: int = 16, seed: int = 0):
         if not 1 <= bits <= 64:
@@ -210,6 +216,8 @@ class FingerprintHasher:
         self.bits = bits
         self._seed = mix64(seed ^ 0x3C3C3C3C3C3C3C3C)
         self._mask = (1 << bits) - 1
+        self._seed_u64 = np.uint64(self._seed)
+        self._mask_u64 = np.uint64(self._mask)
 
     def fingerprint(self, key_int: int) -> int:
         """Non-zero ``bits``-wide fingerprint of ``key_int``."""
@@ -219,5 +227,5 @@ class FingerprintHasher:
     def fingerprints_batch(self, keys: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`fingerprint` over a ``uint64`` key array."""
         keys = keys.astype(np.uint64, copy=False)
-        fps = _mix64_array(keys ^ np.uint64(self._seed)) & np.uint64(self._mask)
-        return np.where(fps == 0, np.uint64(1), fps)
+        fps = _mix64_array(keys ^ self._seed_u64) & self._mask_u64
+        return np.where(fps == 0, _ONE_U64, fps)

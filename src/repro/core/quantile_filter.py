@@ -289,6 +289,27 @@ class QuantileFilter:
             self.candidate.set_entry(bucket, min_slot, fp, estimate)
         return report
 
+    def insert_many(self, keys, values) -> list:
+        """Insert a batch of items; returns the emitted reports in order.
+
+        Semantically identical to calling :meth:`insert` per item.  The
+        loop lives inside the filter so bulk feeders (pipeline shard
+        workers, benchmark drivers) hand over whole arrays: numpy
+        inputs are unboxed to plain Python scalars once via ``tolist``
+        instead of once per item, and the per-item call dispatches
+        through one bound method.
+        """
+        if hasattr(keys, "tolist"):
+            keys = keys.tolist()
+        if hasattr(values, "tolist"):
+            values = values.tolist()
+        insert = self.insert
+        return [
+            report
+            for report in map(insert, keys, values)
+            if report is not None
+        ]
+
     def _emit(
         self, key, qweight, source, item_index, fp=0, bucket=0, crit=None
     ) -> Report:

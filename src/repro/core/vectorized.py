@@ -1,23 +1,43 @@
 """Numpy-accelerated batch engine for QuantileFilter.
 
 The scalar :class:`~repro.core.quantile_filter.QuantileFilter` spends
-most of its Python time computing hashes.  This engine processes the
-stream in chunks: fingerprints, candidate buckets, item weights, vague
-column indices and sign bits are all computed **vectorised per chunk**,
-then a tight Python loop applies Algorithm 2's branching with plain list
-indexing (no per-item numpy or method-call overhead).
+most of its Python time computing hashes and walking Algorithm 2's
+branches one item at a time.  This engine processes the stream in
+chunks and splits every chunk into two tiers:
+
+* **Vectorised tier** — fingerprints, candidate buckets and item
+  weights are computed for the whole chunk at once; items that resolve
+  as *pure candidate hits* (their fingerprint already occupies a slot,
+  and accumulating the chunk's weights cannot cross the report
+  threshold) are folded into the per-slot Qweight array with
+  bucket-segmented numpy sums.  This is the steady-state majority of a
+  heavy-hitter stream.
+* **Scalar tier** — items whose bucket sees a report crossing, a
+  vacancy fill, a replacement decision or a vague-part touch within
+  the chunk fall back to the exact per-item branch of Algorithm 2
+  (the pre-vectorisation hot loop), applied in stream order.
+
+The split is *exact*, not approximate: a bucket is handed to the
+scalar tier from the first item that misses its candidate slots, and a
+slot whose segment might cross the report threshold is replayed
+item-by-item, so the engine reports the same keys item-for-item as the
+scalar filter configured with ``counter_kind="float"`` and the same
+seed (``tests/core/test_vectorized.py`` and
+``tests/properties/test_property_batch_equivalence.py`` check exactly
+that).  Numpy accumulation uses sequential ``cumsum``/ordered adds so
+even the floating-point state stays bit-identical.
 
 Semantics match the scalar filter configured with ``counter_kind=
 "float"`` and the same seed: identical hash families are constructed
 from identical seed derivations, so the two implementations report the
-same keys item-for-item (the equivalence test in
-``tests/core/test_vectorized.py`` checks exactly that).  The throughput
-experiments (Fig. 8/10) use this engine.
+same keys item-for-item.  The throughput experiments (Fig. 8/10) use
+this engine; ``vectorize=False`` pins the legacy all-scalar chunk loop
+(kept as the benchmark baseline and as a debugging aid).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
@@ -26,6 +46,7 @@ from repro.common.hashing import (
     FingerprintHasher,
     HashFamily,
     SignHashFamily,
+    _mix64_array,
     canonical_keys,
     mix64,
 )
@@ -36,6 +57,21 @@ from repro.core.quantile_filter import DEFAULT_CANDIDATE_FRACTION
 from repro.core.strategies import make_strategy
 from repro.core.vague import vague_key
 from repro.quantiles.base import RANK_EPS
+
+#: Shift combining (bucket, fingerprint) into one vague-part key; must
+#: match :func:`repro.core.vague.vague_key`.
+_VKEY_SHIFT = np.uint64(20)
+
+#: Default items per internal processing chunk.  Smaller than the old
+#: 64 Ki default on purpose: the vectorised tier classifies buckets
+#: against chunk-start state, so shorter chunks quarantine new-key
+#: arrivals faster and keep the steady-state fast path hot.
+DEFAULT_CHUNK_SIZE = 8_192
+
+#: First chunk length of the geometric ramp used by :meth:`process` —
+#: cold-start chunks are mostly candidate misses (scalar tier), so the
+#: ramp keeps them short until the buckets are populated.
+_RAMP_FIRST_CHUNK = 512
 
 
 class BatchQuantileFilter:
@@ -48,6 +84,11 @@ class BatchQuantileFilter:
     Parameters mirror :class:`~repro.core.quantile_filter.QuantileFilter`
     where applicable; counters are plain Python floats (no saturation),
     matching the scalar filter's ``counter_kind="float"`` mode.
+
+    ``vectorize=False`` disables the bucket-segmented fast tier and runs
+    every item through the scalar branch — the pre-optimisation
+    behaviour, kept for benchmarking and for bisecting equivalence
+    failures.
     """
 
     def __init__(
@@ -63,12 +104,14 @@ class BatchQuantileFilter:
         fp_bits: int = 16,
         strategy: str = "comparative",
         seed: int = 0,
-        chunk_size: int = 65536,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        vectorize: bool = True,
     ):
         if chunk_size < 1:
             raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
         self.criteria = criteria
         self.chunk_size = chunk_size
+        self.vectorize = vectorize
 
         self.bucket_size = bucket_size
         self.depth = depth
@@ -99,16 +142,25 @@ class BatchQuantileFilter:
         self._signs = SignHashFamily(depth, seed=seed + 1)
         self._fp_hasher = FingerprintHasher(bits=fp_bits, seed=seed + 7)
         self._bucket_seed = np.uint64(mix64(seed ^ 0x1234_5678_9ABC_DEF0))
+        self._num_buckets_u64 = np.uint64(self.num_buckets)
         self.strategy = make_strategy(strategy, seed=seed + 13)
 
-        # Candidate part as nested Python lists (fast scalar access).
-        self._cand_fps: List[List[int]] = [
-            [0] * bucket_size for _ in range(self.num_buckets)
-        ]
-        self._cand_qws: List[List[float]] = [
-            [0.0] * bucket_size for _ in range(self.num_buckets)
-        ]
-        # Vague part counters, one flat list per row.
+        # Candidate part as dense numpy planes: the vectorised tier
+        # gathers whole buckets per chunk; the scalar tier extracts the
+        # few touched buckets into Python lists and writes them back.
+        self._cand_fps = np.zeros(
+            (self.num_buckets, bucket_size), dtype=np.uint64
+        )
+        self._cand_qws = np.zeros(
+            (self.num_buckets, bucket_size), dtype=np.float64
+        )
+        # Per-slot scratch for the fast tier's crossing screen; zeroed
+        # after every use so allocation happens once, not per chunk.
+        self._scratch_pos = np.zeros(
+            self.num_buckets * bucket_size, dtype=np.float64
+        )
+        # Vague part counters, one flat list per row (scalar-tier-only
+        # state: the vectorised tier never touches the vague part).
         self._rows: List[List[float]] = [
             [0.0] * self.width for _ in range(depth)
         ]
@@ -138,59 +190,193 @@ class BatchQuantileFilter:
             raise ParameterError(
                 f"keys and values length mismatch: {n} vs {values.shape[0]}"
             )
-        for start in range(0, n, self.chunk_size):
+        # Ramp the chunk size up geometrically from a small first chunk:
+        # at cold start every key misses the candidate part, sending the
+        # whole first chunk to the scalar tier, so short early chunks
+        # populate the buckets cheaply before full-width chunks arrive.
+        # Chunk boundaries never change semantics (each chunk is exact),
+        # only how much work lands in which tier.
+        start = 0
+        size = min(_RAMP_FIRST_CHUNK, self.chunk_size) if self.vectorize else self.chunk_size
+        while start < n:
             self._process_chunk(
-                keys[start:start + self.chunk_size],
-                values[start:start + self.chunk_size],
+                keys[start:start + size], values[start:start + size]
             )
+            start += size
+            size = min(size * 2, self.chunk_size)
         return self.reported_keys
+
+    @property
+    def _report_threshold_eff(self) -> float:
+        # Same boundary tolerance as the scalar filter and the oracle.
+        crit = self.criteria
+        return crit.report_threshold - RANK_EPS * (1 + crit.report_threshold)
 
     # ------------------------------------------------------------------
     # chunk machinery
     # ------------------------------------------------------------------
     def _process_chunk(self, keys: np.ndarray, values: np.ndarray) -> None:
         crit = self.criteria
+        n = int(keys.shape[0])
         canon = canonical_keys(keys)
         fps = self._fp_hasher.fingerprints_batch(canon)
-        from repro.common.hashing import _mix64_array  # vectorised mixer
-
         buckets = (
-            _mix64_array(canon ^ self._bucket_seed) % np.uint64(self.num_buckets)
+            _mix64_array(canon ^ self._bucket_seed) % self._num_buckets_u64
         ).astype(np.int64)
         weights = np.where(
             values > crit.threshold, crit.positive_weight, -1.0
         )
-        # Vague addressing depends only on (fp, bucket); precompute for
-        # the whole chunk even though only bucket-full items use it.
+
+        if not self.vectorize:
+            self._scalar_pass(keys, fps, buckets, weights, np.arange(n))
+            self.items_processed += n
+            return
+
+        # Classify against chunk-start candidate state.  A "hit" is a
+        # fingerprint already resident in its bucket; the first miss in
+        # a bucket can mutate that bucket's slots (vacancy fill or
+        # replacement), so only the hit-prefix of each bucket — items
+        # strictly before the bucket's first miss — is provably pure.
+        bucket_rows = self._cand_fps[buckets]
+        hit = bucket_rows == fps[:, None]
+        hit_any = hit.any(axis=1)
+        miss_idx = np.flatnonzero(~hit_any)
+        if miss_idx.size:
+            first_miss = np.full(self.num_buckets, n, dtype=np.int64)
+            np.minimum.at(first_miss, buckets[miss_idx], miss_idx)
+            fast_mask = hit_any & (np.arange(n) < first_miss[buckets])
+        else:
+            fast_mask = hit_any
+        fast_idx = np.flatnonzero(fast_mask)
+
+        # The two tiers commute: fast items touch only candidate slots
+        # of buckets whose chunk prefix is hit-pure, and the scalar tier
+        # begins exactly where those prefixes end, so committing the
+        # whole vectorised tier first preserves stream-order semantics.
+        if fast_idx.size:
+            self._fast_candidate_pass(keys, buckets, weights, hit, fast_idx)
+        if fast_idx.size != n:
+            self._scalar_pass(
+                keys, fps, buckets, weights, np.flatnonzero(~fast_mask)
+            )
+        self.items_processed += n
+
+    def _fast_candidate_pass(
+        self,
+        keys: np.ndarray,
+        buckets: np.ndarray,
+        weights: np.ndarray,
+        hit: np.ndarray,
+        fast_idx: np.ndarray,
+    ) -> None:
+        """Grouped per-slot Qweight accumulation for pure candidate hits.
+
+        A slot is *clean* when its starting Qweight plus the sum of the
+        chunk's positive weights provably stays below the report
+        threshold (with a safety margin dominating float summation
+        error) — then no prefix of the slot's updates can cross, and
+        the whole segment commits through one ordered ``np.add.at``.
+        ``ufunc.at`` is unbuffered and applies the adds in index order,
+        i.e. stream order, so the committed Qweights are bit-identical
+        to the scalar filter's left-to-right additions.  Slots that
+        might cross (hot keys about to report) are replayed
+        item-by-item in stream order — slot-local state, so replay
+        order relative to other slots is irrelevant.
+        """
+        report_threshold = self._report_threshold_eff
+        qws_flat = self._cand_qws.reshape(-1)
+        reported = self.reported_keys
+
+        slots = np.argmax(hit[fast_idx], axis=1)
+        gslot = buckets[fast_idx] * self.bucket_size + slots
+        fast_weights = weights[fast_idx]
+
+        # Conservative crossing screen: per-slot positive-weight mass.
+        scratch = self._scratch_pos
+        np.add.at(scratch, gslot, np.maximum(fast_weights, 0.0))
+        bound = qws_flat[gslot] + scratch[gslot]
+        scratch[gslot] = 0.0
+        risky = bound >= report_threshold - 1e-7 * (np.abs(bound) + 1.0)
+
+        if not risky.any():
+            np.add.at(qws_flat, gslot, fast_weights)
+        else:
+            clean = ~risky
+            np.add.at(qws_flat, gslot[clean], fast_weights[clean])
+            # Replay risky slots exactly, grouped by slot, preserving
+            # stream order within each slot (stable sort).
+            risky_pos = np.flatnonzero(risky)
+            order = risky_pos[np.argsort(gslot[risky_pos], kind="stable")]
+            replay_slots = gslot[order].tolist()
+            replay_weights = fast_weights[order].tolist()
+            replay_keys = keys[fast_idx[order]].tolist()
+            current_slot = -1
+            qweight = 0.0
+            for pos in range(len(replay_slots)):
+                slot = replay_slots[pos]
+                if slot != current_slot:
+                    if current_slot >= 0:
+                        qws_flat[current_slot] = qweight
+                    current_slot = slot
+                    qweight = qws_flat[slot]
+                new_qw = qweight + replay_weights[pos]
+                if new_qw >= report_threshold:
+                    qweight = 0.0
+                    reported.add(replay_keys[pos])
+                    self.report_count += 1
+                    self.candidate_reports += 1
+                else:
+                    qweight = new_qw
+            if current_slot >= 0:
+                qws_flat[current_slot] = qweight
+
+        if self.stats_tallies:
+            self.candidate_hits += int(fast_idx.size)
+
+    def _scalar_pass(
+        self,
+        keys: np.ndarray,
+        fps: np.ndarray,
+        buckets: np.ndarray,
+        weights: np.ndarray,
+        idx: np.ndarray,
+    ) -> None:
+        """Algorithm 2's exact per-item branch over the ``idx`` subset.
+
+        This is the pre-vectorisation hot loop: it handles report
+        crossings, vacancy fills, replacement decisions and every
+        vague-part touch.  Touched buckets are staged into Python lists
+        (fast scalar indexing) and written back afterwards; vague
+        addressing is computed vectorised for just the subset.
+        """
+        if idx.size == 0:
+            return
+        report_threshold = self._report_threshold_eff
+        key_list = keys[idx].tolist()
+        fp_list = fps[idx].tolist()
+        bucket_list = buckets[idx].tolist()
+        weight_list = weights[idx].tolist()
+        # Vague addressing depends only on (fp, bucket); computed for
+        # the scalar subset only — the vectorised tier never needs it.
         vkeys = _mix64_array(
-            (buckets.astype(np.uint64) << np.uint64(20)) ^ fps
+            (buckets[idx].astype(np.uint64) << _VKEY_SHIFT) ^ fps[idx]
         )
         cols = self._hashes.indices_batch(vkeys)
         signs = self._signs.signs_batch(vkeys)
-
-        # Convert to plain lists: Python-level indexing in the hot loop
-        # is substantially faster than per-item numpy scalar access.
-        fp_list = fps.tolist()
-        bucket_list = buckets.tolist()
-        weight_list = weights.tolist()
-        key_list = keys.tolist()
         col_rows = [cols[r].tolist() for r in range(self.depth)]
         sign_rows = [signs[r].tolist() for r in range(self.depth)]
 
-        self._hot_loop(
-            key_list, fp_list, bucket_list, weight_list, col_rows, sign_rows
+        # Stage touched buckets as plain lists for the loop below — one
+        # fancy-indexed gather + tolist per plane, not one per bucket.
+        touched = np.unique(buckets[idx])
+        touched_list = touched.tolist()
+        cand_fps: Dict[int, List[int]] = dict(
+            zip(touched_list, self._cand_fps[touched].tolist())
+        )
+        cand_qws: Dict[int, List[float]] = dict(
+            zip(touched_list, self._cand_qws[touched].tolist())
         )
 
-    def _hot_loop(
-        self, key_list, fp_list, bucket_list, weight_list, col_rows, sign_rows
-    ) -> None:
-        crit = self.criteria
-        # Same boundary tolerance as the scalar filter and the oracle.
-        report_threshold = crit.report_threshold - RANK_EPS * (
-            1 + crit.report_threshold
-        )
-        cand_fps = self._cand_fps
-        cand_qws = self._cand_qws
         rows = self._rows
         depth = self.depth
         bucket_size = self.bucket_size
@@ -285,7 +471,13 @@ class BatchQuantileFilter:
                 bucket_fps[min_slot] = fp
                 bucket_qws[min_slot] = estimate
 
-        self.items_processed += len(key_list)
+        self._cand_fps[touched] = np.asarray(
+            [cand_fps[b] for b in touched_list], dtype=np.uint64
+        )
+        self._cand_qws[touched] = np.asarray(
+            [cand_qws[b] for b in touched_list], dtype=np.float64
+        )
+
         if track:
             self.candidate_hits += n_hits
             self.vague_inserts += n_vague
@@ -296,9 +488,7 @@ class BatchQuantileFilter:
     # ------------------------------------------------------------------
     def entry_count(self) -> int:
         """Occupied candidate slots (snapshot-time scan, not hot-path)."""
-        return sum(
-            1 for bucket in self._cand_fps for fp in bucket if fp != 0
-        )
+        return int(np.count_nonzero(self._cand_fps))
 
     def occupancy(self) -> float:
         """Fraction of candidate slots currently holding an entry."""

@@ -8,6 +8,15 @@ sharded.ShardRouter` — the same bucket-affine partition the in-process
 paths report identical key sets), and collects newly-reported keys
 through a **bounded** result queue.
 
+Chunk transport is selectable: ``transport="pickle"`` (default)
+pickles each ndarray slice into the worker queue; ``transport="shm"``
+writes slices into a per-worker :mod:`multiprocessing.shared_memory`
+slot ring (:class:`~repro.parallel.transport.ShmSlotRing`) and sends
+only ``(slot_id, length, chunk_id)`` descriptors — zero-copy on the
+worker side, with credit-based slot return riding the report acks.
+Both transports deliver byte-identical chunk contents, so reported
+keys do not depend on the choice.
+
 Consistency model (also documented in ``docs/operations.md``):
 
 * Within a shard, reports follow stream order — each worker consumes
@@ -76,6 +85,7 @@ from repro.observability.provenance import provenance_record
 from repro.observability.registry import StatsRegistry, aggregate_snapshots
 from repro.observability.tracing import Tracer, attach_filter_tracing
 from repro.parallel.sharded import ENGINES, ShardRouter, batch_filter_to_scalar
+from repro.parallel.transport import ShmSlotRing
 
 #: Lifecycle logger (silent unless the host configures a handler, e.g.
 #: repro.observability.logs.configure_json_logging for JSON lines).
@@ -83,6 +93,14 @@ LOGGER = logging.getLogger("repro.pipeline")
 
 #: Default items per pipeline chunk.
 DEFAULT_CHUNK_ITEMS = 16_384
+
+#: Supported chunk transports (see the module docstring and
+#: ``docs/performance.md``).
+TRANSPORTS = ("pickle", "shm")
+
+#: Placeholder array for empty shm chunk slices (never read beyond its
+#: zero length, so one instance serves both keys and values).
+_EMPTY_CHUNK = np.empty(0, dtype=np.int64)
 
 
 class PipelineError(ReproError):
@@ -166,10 +184,20 @@ def _build_worker_filter(config: dict, on_report=None):
     )
 
 
-def _worker_main(shard_id: int, config: dict, in_queue, out_queue) -> None:
+def _worker_main(
+    shard_id: int, config: dict, in_queue, out_queue, shm_info=None
+) -> None:
     """Worker loop: build the shard filter, consume chunks until stop."""
+    ring = None
     try:
         engine = config["engine"]
+        if shm_info is not None:
+            ring = ShmSlotRing.attach(
+                shm_info["name"],
+                shm_info["num_slots"],
+                shm_info["slot_items"],
+                untrack=shm_info["untrack"],
+            )
         report_records: Optional[List[dict]] = (
             [] if config.get("provenance") else None
         )
@@ -214,15 +242,25 @@ def _worker_main(shard_id: int, config: dict, in_queue, out_queue) -> None:
             else:
                 message = in_queue.get()
             kind = message[0]
-            if kind == "chunk":
-                _, chunk_id, keys, values = message
+            if kind == "chunk" or kind == "chunk_shm":
+                slot_id = -1
+                if kind == "chunk_shm":
+                    # Descriptor-only message: the chunk data sits in
+                    # this worker's shared-memory slot; slot_id == -1
+                    # marks an empty slice (no slot consumed).
+                    _, chunk_id, slot_id, length = message
+                    if slot_id >= 0:
+                        keys, values = ring.read(slot_id, length)
+                    else:
+                        keys = values = _EMPTY_CHUNK
+                else:
+                    _, chunk_id, keys, values = message
                 if keys.shape[0]:
                     insert_start = time.perf_counter()
                     if engine == "batch":
                         filt.process(keys, values)
                     else:
-                        for key, value in zip(keys.tolist(), values.tolist()):
-                            filt.insert(key, value)
+                        filt.insert_many(keys, values)
                     insert_end = time.perf_counter()
                     if insert_hist is not None:
                         insert_hist.record(insert_end - insert_start)
@@ -239,9 +277,11 @@ def _worker_main(shard_id: int, config: dict, in_queue, out_queue) -> None:
                     chunk_counter.inc()
                 fresh = filt.reported_keys - known
                 known |= fresh
+                # The ack carries the slot credit back to the master:
+                # once this message is posted the slot may be reused.
                 out_queue.put(
                     ("reports", chunk_id, shard_id, list(fresh),
-                     time.perf_counter())
+                     time.perf_counter(), slot_id)
                 )
             elif kind == "snapshot":
                 _, sync_id = message
@@ -277,6 +317,9 @@ def _worker_main(shard_id: int, config: dict, in_queue, out_queue) -> None:
                 raise ParameterError(f"unknown worker message {kind!r}")
     except Exception:
         out_queue.put(("error", shard_id, traceback.format_exc()))
+    finally:
+        if ring is not None:
+            ring.close()
 
 
 class ParallelPipeline:
@@ -295,8 +338,15 @@ class ParallelPipeline:
     ----------
     mode:
         ``"unordered"`` (default) or ``"ordered"`` report delivery.
+    transport:
+        ``"pickle"`` (default) ships each chunk slice through the
+        worker queue as pickled ndarrays; ``"shm"`` copies slices into
+        a per-worker shared-memory slot ring and sends only
+        ``(slot_id, length, chunk_id)`` descriptors, with slot credits
+        returned on the report acks (see ``docs/performance.md``).
+        Reported keys are identical either way.
     chunk_items:
-        Items per chunk fed to the workers.
+        Items per chunk fed to the workers (also the shm slot size).
     queue_capacity:
         Bound (in chunks) of each worker's input queue; the shared
         result queue is bounded proportionally.  Backpressure, not
@@ -326,6 +376,7 @@ class ParallelPipeline:
         strategy: str = "comparative",
         seed: int = 0,
         mode: str = "unordered",
+        transport: str = "pickle",
         chunk_items: int = DEFAULT_CHUNK_ITEMS,
         queue_capacity: int = 4,
         stall_timeout: float = 30.0,
@@ -348,6 +399,10 @@ class ParallelPipeline:
             raise ParameterError(
                 f"mode must be 'unordered' or 'ordered', got {mode!r}"
             )
+        if transport not in TRANSPORTS:
+            raise ParameterError(
+                f"transport must be one of {TRANSPORTS}, got {transport!r}"
+            )
         if chunk_items < 1:
             raise ParameterError(f"chunk_items must be >= 1, got {chunk_items}")
         if queue_capacity < 1:
@@ -369,6 +424,7 @@ class ParallelPipeline:
         self.num_shards = num_shards
         self.engine = engine
         self.mode = mode
+        self.transport = transport
         self.chunk_items = chunk_items
         self.queue_capacity = queue_capacity
         self.stall_timeout = stall_timeout
@@ -436,6 +492,10 @@ class ParallelPipeline:
         self.workers: List = []
         self._in_queues: List = []
         self._out_queue = None
+        # Shared-memory transport state (transport="shm" only): one
+        # slot ring per shard plus the master-side free-slot credits.
+        self._rings: Optional[List[ShmSlotRing]] = None
+        self._free_slots: List[List[int]] = []
         self._started = False
         self._finished = False
         self._chunk_id = 0
@@ -506,11 +566,40 @@ class ParallelPipeline:
         self._out_queue = self._ctx.Queue(
             maxsize=max(8, 2 * self.num_shards * self.queue_capacity)
         )
+        if self.transport == "shm":
+            # queue_capacity chunks may sit in the input queue plus one
+            # in flight in the worker and one being written by the
+            # master — hence capacity + 2 slots can never wrap onto a
+            # slot a worker still reads.
+            num_slots = self.queue_capacity + 2
+            self._rings = [
+                ShmSlotRing.create(num_slots, self.chunk_items)
+                for _ in range(self.num_shards)
+            ]
+            self._free_slots = [
+                list(range(num_slots)) for _ in range(self.num_shards)
+            ]
         for shard_id in range(self.num_shards):
             in_queue = self._ctx.Queue(maxsize=self.queue_capacity)
+            shm_info = None
+            if self._rings is not None:
+                ring = self._rings[shard_id]
+                shm_info = dict(
+                    name=ring.name,
+                    num_slots=ring.num_slots,
+                    slot_items=ring.slot_items,
+                    # multiprocessing children (fork AND spawn — the
+                    # tracker fd rides the spawn preparation data)
+                    # share the master's resource tracker; untracking
+                    # would erase the master's claim on the block.
+                    untrack=False,
+                )
             worker = self._ctx.Process(
                 target=_worker_main,
-                args=(shard_id, self._config, in_queue, self._out_queue),
+                args=(
+                    shard_id, self._config, in_queue, self._out_queue,
+                    shm_info,
+                ),
                 daemon=True,
                 name=f"qf-shard-{shard_id}",
             )
@@ -531,6 +620,7 @@ class ParallelPipeline:
                 "shards": self.num_shards,
                 "engine": self.engine,
                 "mode": self.mode,
+                "transport": self.transport,
                 "chunk_items": self.chunk_items,
                 "trace": self.collect_trace,
                 "provenance": self.collect_provenance,
@@ -580,9 +670,21 @@ class ParallelPipeline:
             # Every shard gets a (possibly empty) slice of every chunk:
             # uniform acks keep ordered-mode accounting trivial.
             for shard_id, (sub_keys, sub_values) in enumerate(slices):
-                self._put(
-                    shard_id, ("chunk", chunk_id, sub_keys, sub_values)
-                )
+                if self._rings is not None:
+                    length = int(sub_keys.shape[0])
+                    slot_id = -1
+                    if length:
+                        slot_id = self._acquire_slot(shard_id)
+                        self._rings[shard_id].write(
+                            slot_id, sub_keys, sub_values
+                        )
+                    self._put(
+                        shard_id, ("chunk_shm", chunk_id, slot_id, length)
+                    )
+                else:
+                    self._put(
+                        shard_id, ("chunk", chunk_id, sub_keys, sub_values)
+                    )
             self.items_fed += int(chunk_keys.shape[0])
             self._chunks_counter.inc()
             self._items_counter.inc(int(chunk_keys.shape[0]))
@@ -725,6 +827,14 @@ class ParallelPipeline:
         if self._out_queue is not None:
             self._out_queue.cancel_join_thread()
             self._out_queue.close()
+        if self._rings is not None:
+            # Workers are gone (terminated/joined above): unmap and
+            # destroy the shared blocks — the master owns both steps.
+            for ring in self._rings:
+                ring.close()
+                ring.unlink()
+            self._rings = None
+            self._free_slots = []
         self._in_queues = []
         self._out_queue = None
         self._started = False
@@ -756,6 +866,29 @@ class ParallelPipeline:
                         )
                     )
 
+    def _acquire_slot(self, shard_id: int) -> int:
+        """Pop a free shm slot for ``shard_id``, draining acks while dry.
+
+        Mirrors :meth:`_put`'s anti-deadlock shape: slot credits come
+        back on the result queue, so blocking here without draining
+        would deadlock against a worker blocked on that same queue.
+        """
+        free = self._free_slots[shard_id]
+        deadline = time.monotonic() + self.stall_timeout
+        while not free:
+            if self._drain(block=True):
+                deadline = time.monotonic() + self.stall_timeout
+            else:
+                self._check_workers()
+                if time.monotonic() > deadline:
+                    self._fail(
+                        PipelineStallError(
+                            f"shard {shard_id} returned no shm slot for "
+                            f"{self.stall_timeout}s"
+                        )
+                    )
+        return free.pop()
+
     def _drain(self, block: bool) -> bool:
         """Move every available result message into master state.
 
@@ -771,7 +904,9 @@ class ParallelPipeline:
             block = False  # only block for the first message
             kind = message[0]
             if kind == "reports":
-                _, chunk_id, shard_id, keys, posted_at = message
+                _, chunk_id, shard_id, keys, posted_at, slot_id = message
+                if slot_id >= 0 and self._rings is not None:
+                    self._free_slots[shard_id].append(slot_id)
                 self._queue_delay_hist.record(
                     max(0.0, time.perf_counter() - posted_at)
                 )

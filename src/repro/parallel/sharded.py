@@ -286,12 +286,8 @@ class ShardedQuantileFilter:
                 shard.reset()
         else:
             for shard in self.shards:
-                shard._cand_fps = [
-                    [0] * shard.bucket_size for _ in range(shard.num_buckets)
-                ]
-                shard._cand_qws = [
-                    [0.0] * shard.bucket_size for _ in range(shard.num_buckets)
-                ]
+                shard._cand_fps[...] = 0
+                shard._cand_qws[...] = 0.0
                 shard._rows = [[0.0] * shard.width for _ in range(shard.depth)]
 
     # ------------------------------------------------------------------

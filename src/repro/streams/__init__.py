@@ -16,6 +16,7 @@ from repro.streams.drift import DriftConfig, generate_drift_trace
 from repro.streams.trace_io import save_trace, load_trace
 from repro.streams.live import (
     batch_detect_stream,
+    detect_chunk_stream,
     detect_stream,
     interleave_traces,
     replay,
@@ -36,6 +37,7 @@ __all__ = [
     "load_trace",
     "detect_stream",
     "batch_detect_stream",
+    "detect_chunk_stream",
     "replay",
     "interleave_traces",
 ]

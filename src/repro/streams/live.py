@@ -8,6 +8,9 @@ Kafka consumer, a log tail).  These helpers bridge the two:
   iterable of ``(key, value)`` pairs.
 * :func:`batch_detect_stream` — same, but buffering into numpy chunks
   for the :class:`~repro.core.vectorized.BatchQuantileFilter` engine.
+* :func:`detect_chunk_stream` — array-native variant consuming
+  ``(keys, values)`` ndarray chunks directly (pairs with
+  :meth:`~repro.streams.model.Trace.iter_chunks`); no per-item tuples.
 * :func:`replay` — convenience: run a whole trace through a detector.
 * :func:`interleave_traces` — deterministically mix several traces into
   one (multi-source monitors).
@@ -84,6 +87,33 @@ def _flush(engine, keys_buffer, values_buffer, known):
     fresh = engine.reported_keys - known
     known |= fresh
     yield engine.items_processed, fresh
+
+
+def detect_chunk_stream(
+    engine: BatchQuantileFilter,
+    chunks: Iterable[Tuple[np.ndarray, np.ndarray]],
+) -> Iterator[Tuple[int, set]]:
+    """Feed an iterable of ``(keys, values)`` ndarray chunks natively.
+
+    The array twin of :func:`batch_detect_stream` for sources that
+    already produce arrays — :meth:`~repro.streams.model.Trace.
+    iter_chunks`, a capture ring, a decoded wire batch — so no per-item
+    Python tuples are ever built.  Yields ``(items_processed_so_far,
+    newly_reported_keys)`` after each chunk::
+
+        for done, fresh in detect_chunk_stream(engine,
+                                               trace.iter_chunks(8192)):
+            alert(fresh)
+    """
+    known: set = set(engine.reported_keys)
+    for keys, values in chunks:
+        engine.process(
+            np.asarray(keys, dtype=np.int64),
+            np.asarray(values, dtype=np.float64),
+        )
+        fresh = engine.reported_keys - known
+        known |= fresh
+        yield engine.items_processed, fresh
 
 
 def replay(detector: Detector, trace: Trace) -> Detector:

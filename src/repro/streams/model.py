@@ -42,6 +42,27 @@ class Trace:
         for key, value in zip(self.keys.tolist(), self.values.tolist()):
             yield key, value
 
+    def iter_chunks(
+        self, chunk_items: int
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(keys, values)`` ndarray pairs of ``chunk_items`` items.
+
+        Chunks are zero-copy views into the trace arrays (the final
+        chunk may be shorter), so batch consumers — the vectorised
+        engine, the parallel pipeline feed — never materialise per-item
+        tuples.  Callers that mutate or retain chunks across trace
+        mutations should copy.
+        """
+        if chunk_items < 1:
+            raise ParameterError(
+                f"chunk_items must be >= 1, got {chunk_items}"
+            )
+        for start in range(0, len(self), chunk_items):
+            yield (
+                self.keys[start:start + chunk_items],
+                self.values[start:start + chunk_items],
+            )
+
     @property
     def distinct_keys(self) -> int:
         """Number of distinct keys in the trace."""

@@ -1,0 +1,138 @@
+"""The shm chunk transport must be indistinguishable from pickle.
+
+``transport="shm"`` changes *how* chunk bytes reach the workers — a
+shared-memory slot ring with credit-based reuse instead of pickled
+queue messages — and nothing else.  These tests pin that contract on a
+200k-item CAIDA-like trace: identical reported keys on both engines,
+slot-credit exhaustion and reuse under a deliberately tiny ring, the
+crash surface (a SIGKILLed worker must raise, not hang, and the shared
+blocks must be unlinked), and the ring arithmetic itself.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.core.criteria import Criteria
+from repro.parallel.pipeline import ParallelPipeline, WorkerCrashError
+from repro.parallel.transport import ShmSlotRing
+from repro.streams.caida_like import CaidaLikeConfig, generate_caida_like_trace
+
+CRITERIA = Criteria(delta=0.95, threshold=200.0, epsilon=30.0)
+GEOMETRY = dict(num_buckets=4_096, vague_width=2_048, seed=0)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_caida_like_trace(
+        CaidaLikeConfig(num_items=200_000, num_keys=5_000, seed=0)
+    )
+
+
+def _assert_no_live_workers(pipe):
+    for worker in pipe.workers:
+        assert not worker.is_alive(), f"worker {worker.name} still alive"
+
+
+@pytest.mark.parametrize("engine", ["batch", "scalar"])
+def test_shm_matches_pickle_output(trace, engine):
+    results = {}
+    for transport in ("pickle", "shm"):
+        pipe = ParallelPipeline(
+            CRITERIA, 4, engine=engine, transport=transport, **GEOMETRY
+        )
+        results[transport] = pipe.run(trace.keys, trace.values)
+        _assert_no_live_workers(pipe)
+
+    assert results["shm"].reported_keys == results["pickle"].reported_keys
+    assert results["shm"].items == results["pickle"].items == len(trace)
+    assert (
+        results["shm"].per_shard_items == results["pickle"].per_shard_items
+    )
+    assert (
+        results["shm"].per_shard_reports
+        == results["pickle"].per_shard_reports
+    )
+
+
+def test_shm_slot_ring_wraps_under_tiny_capacity(trace):
+    # queue_capacity=1 -> 3 slots per worker; 200k items in 4k chunks
+    # forces every slot to be returned and reused many times over.
+    pickle_pipe = ParallelPipeline(
+        CRITERIA, 2, engine="batch", transport="pickle",
+        chunk_items=4_096, queue_capacity=1, **GEOMETRY,
+    )
+    expected = pickle_pipe.run(trace.keys, trace.values).reported_keys
+
+    shm_pipe = ParallelPipeline(
+        CRITERIA, 2, engine="batch", transport="shm",
+        chunk_items=4_096, queue_capacity=1, **GEOMETRY,
+    )
+    result = shm_pipe.run(trace.keys, trace.values)
+    _assert_no_live_workers(shm_pipe)
+    assert result.reported_keys == expected
+    assert result.chunks == -(-len(trace) // 4_096)
+
+
+def test_shm_worker_crash_surfaces_error_and_unlinks(trace):
+    pipe = ParallelPipeline(
+        CRITERIA, 3, engine="batch", transport="shm",
+        chunk_items=8_192, stall_timeout=20.0, **GEOMETRY,
+    )
+    pipe.start()
+    ring_names = [ring.name for ring in pipe._rings]
+    start = time.perf_counter()
+    try:
+        with pytest.raises(WorkerCrashError) as excinfo:
+            first = True
+            for begin in range(0, len(trace), pipe.chunk_items):
+                end = begin + pipe.chunk_items
+                pipe.feed(trace.keys[begin:end], trace.values[begin:end])
+                if first:
+                    os.kill(pipe.workers[1].pid, signal.SIGKILL)
+                    first = False
+            pipe.finish()
+        elapsed = time.perf_counter() - start
+        assert elapsed < pipe.stall_timeout + 10.0
+        assert "shard 1" in str(excinfo.value)
+    finally:
+        pipe.close()
+    _assert_no_live_workers(pipe)
+    # close() must have destroyed every shared block.
+    assert pipe._rings is None
+    for name in ring_names:
+        assert not os.path.exists(f"/dev/shm/{name.lstrip('/')}")
+
+
+def test_slot_ring_roundtrip_and_validation():
+    ring = ShmSlotRing.create(num_slots=3, slot_items=8)
+    try:
+        peer = ShmSlotRing.attach(ring.name, 3, 8)
+        try:
+            keys = np.arange(5, dtype=np.int64) + 100
+            values = np.linspace(0.0, 1.0, 5)
+            assert ring.write(1, keys, values) == 5
+            got_keys, got_values = peer.read(1, 5)
+            assert np.array_equal(got_keys, keys)
+            assert np.array_equal(got_values, values)
+            # Oversized chunks are rejected, not truncated.
+            with pytest.raises(ParameterError):
+                ring.write(0, np.zeros(9, dtype=np.int64), np.zeros(9))
+        finally:
+            peer.close()
+    finally:
+        ring.close()
+        ring.unlink()
+    with pytest.raises(ParameterError):
+        ShmSlotRing.create(num_slots=0, slot_items=8)
+    with pytest.raises(ParameterError):
+        ShmSlotRing.create(num_slots=1, slot_items=0)
+
+
+def test_transport_validation():
+    with pytest.raises(ParameterError):
+        ParallelPipeline(CRITERIA, 2, transport="carrier-pigeon", **GEOMETRY)
