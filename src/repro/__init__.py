@@ -32,12 +32,17 @@ from repro.core.persistence import save_filter, load_filter
 from repro.parallel.sharded import ShardedQuantileFilter
 from repro.parallel.pipeline import ParallelPipeline
 from repro.observability import (
+    HealthMonitor,
+    HealthServer,
     StatsRegistry,
     observe_filter,
     render_prometheus,
+    serve_filter,
+    serve_pipeline,
 )
 from repro.common.errors import ReproError, ParameterError
 from repro.detection.ground_truth import GroundTruthDetector, compute_ground_truth
+from repro.detection.shadow import ShadowAccuracyEstimator
 from repro.metrics.accuracy import DetectionScore, score_sets
 
 __version__ = "1.0.0"
@@ -55,6 +60,11 @@ __all__ = [
     "StatsRegistry",
     "observe_filter",
     "render_prometheus",
+    "HealthMonitor",
+    "HealthServer",
+    "serve_filter",
+    "serve_pipeline",
+    "ShadowAccuracyEstimator",
     "save_filter",
     "load_filter",
     "ReproError",

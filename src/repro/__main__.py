@@ -1,4 +1,5 @@
-"""``python -m repro`` — the operations CLI (``stats`` / ``watch``).
+"""``python -m repro`` — the operations CLI (``stats`` / ``watch`` /
+``trace`` / ``serve`` / ``health``).
 
 Delegates to :mod:`repro.observability.cli`; the ``repro-experiments``
 figure runner stays its own entry point

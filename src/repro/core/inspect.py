@@ -1,4 +1,4 @@
-"""Structure introspection: human-readable state dumps for debugging.
+"""Structure introspection: state dumps and structural probes.
 
 When a deployment misbehaves — recall dropping, counters saturating,
 election churn — the first question is "what does the structure look
@@ -6,10 +6,18 @@ like right now?".  :func:`describe` renders a QuantileFilter's state as
 a text report: part sizes, occupancy, hit rates, counter statistics,
 the top candidate entries, and health warnings derived from the
 monitoring thresholds documented in ``docs/operations.md``.
+
+:func:`structural_probe` is the machine-readable counterpart: one flat
+dict of geometry and derived accuracy estimators (fingerprint-collision
+probability, vague-part noise standard deviation) that the health model
+in :mod:`repro.observability.health` consumes.  It accepts any filter
+engine — scalar, batch, or windowed — and degrades gracefully by
+omitting fields the engine does not track.
 """
 
 from __future__ import annotations
 
+import math
 from typing import List
 
 import numpy as np
@@ -52,6 +60,116 @@ def health_warnings(qf: QuantileFilter) -> List[str]:
             "eviction"
         )
     return warnings
+
+
+def _vague_noise_std(counters: np.ndarray, width: int) -> float:
+    """Count-Sketch noise scale from the live counter planes.
+
+    A point query's error is (up to constants) a zero-mean variable
+    with variance ``F2 / width`` per row, where ``F2`` is the row's sum
+    of squared counters — estimating ``F2`` by the row's own squared
+    mass gives a live, assumption-free noise scale in Qweight units.
+    """
+    if counters.size == 0 or width < 1:
+        return 0.0
+    rows = np.asarray(counters, dtype=np.float64)
+    if rows.ndim == 1:
+        rows = rows[None, :]
+    row_f2 = np.sum(rows * rows, axis=1)
+    return float(math.sqrt(float(row_f2.mean()) / width))
+
+
+def structural_probe(filt) -> dict:
+    """One flat dict of structural facts and derived accuracy estimators.
+
+    Works on the scalar :class:`QuantileFilter`, the numpy
+    :class:`~repro.core.vectorized.BatchQuantileFilter`, and the
+    :class:`~repro.core.windowed.WindowedQuantileFilter` (which probes
+    its active inner filter and adds the window fields).  Fields an
+    engine does not track are simply absent, so consumers must use
+    ``.get()``.
+
+    Derived estimators:
+
+    * ``fingerprint_collision_probability`` — chance a fresh key's
+      fingerprint collides with an already-occupied slot in its bucket
+      (mean occupied slots per bucket times ``2^-fp_bits``).
+    * ``vague_noise_std`` — Count-Sketch noise scale in Qweight units
+      (see :func:`_vague_noise_std`); compare against
+      ``report_threshold`` to judge whether vague-part estimates are
+      trustworthy.
+    """
+    # Windowed wrapper: probe the active inner filter, keep window facts.
+    inner = getattr(filt, "_filter", None)
+    if inner is None and getattr(filt, "_panes", None) is not None:
+        inner = filt._panes[filt._elder]  # sliding mode: the elder pane
+    if inner is not None and hasattr(filt, "window_items"):
+        probe = structural_probe(inner)
+        probe.update(
+            engine="windowed",
+            window_items=filt.window_items,
+            window_mode=filt.mode,
+            window_fill=float(filt.window_fill),
+            window_resets=int(filt.resets),
+            items_processed=int(filt.items_processed),
+            report_count=int(filt.report_count),
+        )
+        return probe
+
+    probe: dict = {
+        "items_processed": int(filt.items_processed),
+        "report_count": int(filt.report_count),
+        "nbytes": int(filt.nbytes),
+        "threshold": float(filt.criteria.threshold),
+        "report_threshold": float(filt.criteria.report_threshold),
+    }
+
+    candidate = getattr(filt, "candidate", None)
+    if candidate is not None:
+        # Scalar engine: parts are real objects.
+        probe.update(
+            engine="scalar",
+            num_buckets=int(candidate.num_buckets),
+            bucket_size=int(candidate.bucket_size),
+            fp_bits=int(candidate.fp_bits),
+            candidate_entries=int(candidate.entry_count()),
+            candidate_occupancy=float(candidate.occupancy()),
+        )
+        counters = filt.vague.sketch.counters
+        probe.update(
+            vague_width=int(filt.vague.width),
+            vague_depth=int(filt.vague.depth),
+            vague_saturation=float(counters.saturation_fraction()),
+            vague_noise_std=_vague_noise_std(
+                np.asarray(counters.data, dtype=np.float64),
+                filt.vague.width,
+            ),
+        )
+    elif hasattr(filt, "entry_count"):
+        # Batch engine: flat numpy planes, float counters (no clamp).
+        probe.update(
+            engine="batch",
+            num_buckets=int(filt.num_buckets),
+            bucket_size=int(filt.bucket_size),
+            fp_bits=int(filt.fp_bits),
+            candidate_entries=int(filt.entry_count()),
+            candidate_occupancy=float(filt.occupancy()),
+            vague_width=int(filt.width),
+            vague_depth=int(filt.depth),
+            vague_saturation=0.0,
+        )
+        rows = getattr(filt, "_rows", None)
+        if rows is not None:
+            probe["vague_noise_std"] = _vague_noise_std(
+                np.asarray(rows, dtype=np.float64), filt.width
+            )
+
+    if "candidate_entries" in probe and probe.get("num_buckets"):
+        mean_occupied = probe["candidate_entries"] / probe["num_buckets"]
+        probe["fingerprint_collision_probability"] = (
+            mean_occupied / float(2 ** probe["fp_bits"])
+        )
+    return probe
 
 
 def describe(qf: QuantileFilter, top_k: int = 5) -> str:

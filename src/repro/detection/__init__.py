@@ -13,6 +13,11 @@ from repro.detection.adapters import (
     MultiKeyQuantileEstimator,
     QueryOnInsertAdapter,
 )
+from repro.detection.shadow import (
+    ShadowAccuracyEstimator,
+    ShadowScore,
+    wilson_interval,
+)
 
 __all__ = [
     "Detector",
@@ -21,4 +26,7 @@ __all__ = [
     "compute_ground_truth",
     "MultiKeyQuantileEstimator",
     "QueryOnInsertAdapter",
+    "ShadowAccuracyEstimator",
+    "ShadowScore",
+    "wilson_interval",
 ]

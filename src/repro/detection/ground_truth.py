@@ -58,6 +58,11 @@ class GroundTruthDetector(Detector):
         return self._items
 
     @property
+    def distinct_keys(self) -> int:
+        """Number of distinct keys with tracked state."""
+        return len(self._trackers)
+
+    @property
     def nbytes(self) -> int:
         """Modelled bytes: key 8 B + two 4 B counters per distinct key."""
         return 16 * len(self._trackers)

@@ -39,9 +39,23 @@ The subsystem has two tiers, all zero-dependency:
 * :mod:`~repro.observability.logs` — :func:`configure_json_logging` /
   :class:`JsonLogFormatter` for structured pipeline lifecycle logs.
 
+**Health & serving** (derived verdicts, HTTP endpoint):
+
+* :mod:`~repro.observability.health` — :class:`HealthModel` maps
+  snapshots + structural probes to ok/degraded/critical
+  :class:`HealthSignal` verdicts with reasons;
+  :class:`ExceedanceDriftDetector` watches the value-vs-T exceedance
+  fraction; :class:`HealthMonitor` bundles both with the shadow
+  accuracy estimator (:mod:`repro.detection.shadow`).
+* :mod:`~repro.observability.server` — stdlib threaded
+  :class:`HealthServer` exposing ``/metrics``, ``/healthz`` and
+  ``/health/shards`` for a filter (:func:`serve_filter`) or pipeline
+  (:func:`serve_pipeline`).
+
 The ``repro`` CLI (:mod:`~repro.observability.cli`) exposes all of it:
 ``repro stats`` / ``repro watch`` for metrics, ``repro trace`` for a
-fully instrumented run.
+fully instrumented run, ``repro serve`` / ``repro health`` for the
+health layer.
 
 >>> from repro.observability import StatsRegistry, render_prometheus
 >>> reg = StatsRegistry()
@@ -85,8 +99,26 @@ from repro.observability.instrument import (
     HISTOGRAM_METRIC_HELP,
     observe_filter,
 )
+from repro.observability.health import (
+    HEALTH_METRIC_HELP,
+    ExceedanceDriftDetector,
+    HealthModel,
+    HealthMonitor,
+    HealthReport,
+    HealthSignal,
+    HealthThresholds,
+    aggregate_reports,
+    worst_verdict,
+)
 from repro.observability.logs import JsonLogFormatter, configure_json_logging
 from repro.observability.provenance import ReportProvenance, provenance_record
+from repro.observability.server import (
+    FilterServeSource,
+    HealthServer,
+    PipelineServeSource,
+    serve_filter,
+    serve_pipeline,
+)
 from repro.observability.tracing import (
     FILTER_EVENTS,
     PIPELINE_SPANS,
@@ -117,6 +149,20 @@ __all__ = [
     "FILTER_METRIC_HELP",
     "HISTOGRAM_METRIC_HELP",
     "observe_filter",
+    "HEALTH_METRIC_HELP",
+    "ExceedanceDriftDetector",
+    "HealthModel",
+    "HealthMonitor",
+    "HealthReport",
+    "HealthSignal",
+    "HealthThresholds",
+    "aggregate_reports",
+    "worst_verdict",
+    "FilterServeSource",
+    "HealthServer",
+    "PipelineServeSource",
+    "serve_filter",
+    "serve_pipeline",
     "JsonLogFormatter",
     "configure_json_logging",
     "ReportProvenance",

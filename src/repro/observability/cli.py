@@ -1,4 +1,5 @@
-"""The ``repro`` operations CLI: ``repro stats``, ``watch`` and ``trace``.
+"""The ``repro`` operations CLI: ``stats``, ``watch``, ``trace``,
+``serve`` and ``health``.
 
 All subcommands drive a live :class:`~repro.parallel.pipeline.
 ParallelPipeline` (workers, bounded queues, per-worker registries) over
@@ -15,12 +16,21 @@ a registered dataset and export its telemetry:
   ``<out>.provenance.json`` (one record per report, with the filter
   state captured at emission).  Lifecycle logs go to stderr as JSON
   lines; latency-histogram summaries print at the end.
+* ``repro serve`` — run the pipeline while a threaded HTTP server
+  exposes ``/metrics``, ``/healthz`` and ``/health/shards`` live (see
+  :mod:`repro.observability.server`); ``--linger`` keeps serving the
+  final snapshot after the stream ends.
+* ``repro health`` — run the stream and print the final
+  :class:`~repro.observability.health.HealthReport`; the exit code is
+  2 on a critical verdict, so scripts can gate on it.
 
 Examples::
 
     repro stats --dataset cloud --shards 4
     repro watch --every 8 --format json > stats.jsonl
     repro trace --scale 20000 --out /tmp/run1
+    repro serve --port 9133 --linger 60
+    repro health --dataset cloud --format json
     python -m repro stats          # equivalent entry point
 
 The parser is plain argparse:
@@ -31,6 +41,10 @@ The parser is plain argparse:
 'json'
 >>> build_parser().parse_args(["trace", "--out", "/tmp/t"]).out
 '/tmp/t'
+>>> build_parser().parse_args(["serve", "--port", "9133"]).port
+9133
+>>> build_parser().parse_args(["health"]).format
+'text'
 """
 
 from __future__ import annotations
@@ -73,8 +87,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a fully instrumented pipeline and write a Chrome "
         "trace (Perfetto-loadable) plus a report-provenance dump",
     )
+    serve = sub.add_parser(
+        "serve",
+        help="run a pipeline while serving /metrics, /healthz and "
+        "/health/shards over HTTP",
+    )
+    health = sub.add_parser(
+        "health",
+        help="run a pipeline and print the final health report "
+        "(exit code 2 on a critical verdict)",
+    )
     for sub_parser, default_format in (
         (stats, "prom"), (watch, "json"), (trace, "text"),
+        (serve, "prom"), (health, "text"),
     ):
         sub_parser.add_argument(
             "--dataset", default="internet",
@@ -113,6 +138,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--sample-every", type=int, default=64,
         help="record every Nth per-item filter event as a trace "
         "instant (default 64; 1 = record all)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default 0 = ephemeral; the chosen port is "
+        "printed on stderr)",
+    )
+    serve.add_argument(
+        "--every", type=int, default=4,
+        help="chunks between stats/health refreshes (default 4)",
+    )
+    serve.add_argument(
+        "--throttle", type=float, default=0.0,
+        help="seconds to sleep between feed strides (slows the demo "
+        "stream down so there is time to scrape it)",
+    )
+    serve.add_argument(
+        "--linger", type=float, default=0.0,
+        help="seconds to keep serving the final snapshot after the "
+        "stream ends (default 0)",
     )
     return parser
 
@@ -237,13 +284,115 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"{len(result.reported_keys)} reported keys",
         file=sys.stderr,
     )
+    from repro.observability.registry import base_name
+
+    worker_dropped = sum(
+        value
+        for sample, value in (result.stats or {}).items()
+        if base_name(sample) == "tracer_dropped_events_total"
+        and 'role="master"' not in sample
+    )
     print(
         f"# wrote {trace_path} ({len(result.trace_events or [])} events, "
-        f"{pipeline.tracer.dropped} dropped) and {prov_path} "
+        f"{pipeline.tracer.dropped} master-dropped, "
+        f"{int(worker_dropped)} worker-dropped) and {prov_path} "
         f"({len(records)} report records)",
         file=sys.stderr,
     )
     return 0
+
+
+def _serving_loop(args: argparse.Namespace, pipeline, trace, monitor, source):
+    """Feed the stream while refreshing the cached stats/health views."""
+    import time
+
+    stride = args.chunk_items * args.every
+    for start in range(0, trace.keys.shape[0], stride):
+        keys = trace.keys[start:start + stride]
+        values = trace.values[start:start + stride]
+        # The monitor watches the raw stream (drift + shadow) off the
+        # insert path; the workers never see it.
+        monitor.observe_batch(keys, values)
+        pipeline.feed(keys, values)
+        pipeline.collect_stats_view()
+        source.refresh()
+        throttle = getattr(args, "throttle", 0.0)
+        if throttle:
+            time.sleep(throttle)
+    result = pipeline.finish()
+    return result, source.refresh()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.every < 1:
+        print(f"--every must be >= 1, got {args.every}", file=sys.stderr)
+        return 2
+    import time
+
+    from repro.observability.health import HealthMonitor
+    from repro.observability.server import HealthServer, PipelineServeSource
+
+    pipeline, trace = _build_pipeline(args)
+    monitor = HealthMonitor.for_criteria(pipeline.criteria)
+    source = PipelineServeSource(pipeline, monitor=monitor)
+    server = HealthServer(source, host=args.host, port=args.port)
+    with pipeline:
+        pipeline.start()
+        server.start()
+        print(f"serving on {server.url}", file=sys.stderr)
+        try:
+            result, report = _serving_loop(
+                args, pipeline, trace, monitor, source
+            )
+            print(
+                f"# run: {result.items} items, {result.num_shards} shards, "
+                f"verdict {report.verdict}",
+                file=sys.stderr,
+            )
+            if args.linger:
+                print(
+                    f"# lingering {args.linger:g}s with the final snapshot",
+                    file=sys.stderr,
+                )
+                time.sleep(args.linger)
+        finally:
+            server.stop()
+    return 0
+
+
+def _render_health_text(report) -> str:
+    lines = [f"verdict: {report.verdict} (source {report.source})"]
+    for signal in report.signals:
+        lines.append(
+            f"  [{signal.verdict:>8}] {signal.name} = {signal.value:.4g} — "
+            f"{signal.reason}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    from repro.observability.health import HealthMonitor
+    from repro.observability.server import PipelineServeSource
+
+    pipeline, trace = _build_pipeline(args)
+    monitor = HealthMonitor.for_criteria(pipeline.criteria)
+    source = PipelineServeSource(pipeline, monitor=monitor)
+    args.every = getattr(args, "every", 4)
+    with pipeline:
+        pipeline.start()
+        result, report = _serving_loop(args, pipeline, trace, monitor, source)
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    elif args.format == "prom":
+        print(render_prometheus(monitor.health_samples()))
+    else:
+        print(_render_health_text(report))
+    print(
+        f"# run: {result.items} items, {result.num_shards} shards, "
+        f"{len(result.reported_keys)} reported keys",
+        file=sys.stderr,
+    )
+    return 2 if report.verdict == "critical" else 0
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -253,6 +402,10 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_stats(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "health":
+        return _cmd_health(args)
     return _cmd_watch(args)
 
 

@@ -47,8 +47,17 @@ _HISTOGRAM_SUFFIXES = ("_bucket", "_count", "_sum")
 
 
 def _format_value(value: float) -> str:
-    """Render ints without a trailing ``.0`` (Prometheus accepts both)."""
+    """Render ints without a trailing ``.0`` (Prometheus accepts both).
+
+    Non-finite values use the exposition-format spellings ``NaN``,
+    ``+Inf``, ``-Inf`` — Python's ``repr`` forms (``nan``/``inf``) are
+    rejected by Prometheus parsers.
+    """
     as_float = float(value)
+    if math.isnan(as_float):
+        return "NaN"
+    if math.isinf(as_float):
+        return "+Inf" if as_float > 0 else "-Inf"
     if as_float.is_integer() and abs(as_float) < 1e15:
         return str(int(as_float))
     return repr(as_float)

@@ -1,0 +1,312 @@
+"""Stdlib HTTP endpoint serving live metrics and health verdicts.
+
+Three routes, one tiny threaded server:
+
+* ``GET /metrics`` — the current snapshot in the Prometheus text
+  exposition format (telemetry families plus the derived ``qf_health_*``
+  samples), ready for a scraper.
+* ``GET /healthz`` — the aggregated :class:`~repro.observability.health.
+  HealthReport` as JSON; status 200 for ok/degraded, 503 for critical,
+  so a load balancer can act on the status code alone.
+* ``GET /health/shards`` — the per-shard report breakdown (pipelines;
+  a standalone filter serves a single-entry list).
+
+The server never touches the monitored structure's hot path: a
+*serve source* adapts each deployment shape to the three routes.
+:class:`FilterServeSource` snapshots the filter's registry (pull-model
+reads of plain attributes) and probes its structure;
+:class:`PipelineServeSource` only reads the pipeline's **cached**
+``last_stats`` / ``last_per_shard_stats`` — worker stats syncs ride the
+input queues and must stay on the feeding thread, so the feeder calls
+``pipeline.collect_stats_view()`` at its own cadence and the HTTP
+threads serve whatever view is current.
+
+>>> from repro.core.criteria import Criteria
+>>> from repro.core.quantile_filter import QuantileFilter
+>>> filt = QuantileFilter(Criteria(delta=0.9, threshold=50.0,
+...                                epsilon=5.0), num_buckets=8,
+...                       vague_width=64)
+>>> source = FilterServeSource(filt)
+>>> for i in range(100):
+...     _ = filt.insert(i % 7, 10.0)
+>>> print(source.metrics_text().splitlines()[0])
+# HELP qf_candidate_entries Occupied candidate slots.
+>>> source.refresh().verdict
+'ok'
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional
+from urllib.parse import urlsplit
+
+from repro.observability.exporters import render_prometheus
+from repro.observability.health import (
+    HealthMonitor,
+    HealthReport,
+    aggregate_reports,
+    verdict_rank,
+)
+from repro.observability.instrument import observe_filter
+from repro.observability.registry import StatsRegistry
+
+
+class FilterServeSource:
+    """Serve source for a standalone filter (any engine).
+
+    Instruments the filter on construction when it is not already
+    observed; the monitor defaults to the standard
+    :meth:`~repro.observability.health.HealthMonitor.for_filter` build.
+    Feed the monitor (``source.monitor.observe_batch(keys, values)``)
+    alongside the filter's inserts to enable the drift and shadow
+    signals — without it the structural and telemetry signals still
+    work.
+    """
+
+    def __init__(
+        self,
+        filt,
+        monitor: Optional[HealthMonitor] = None,
+        registry: Optional[StatsRegistry] = None,
+    ):
+        self.filt = filt
+        self.registry = (
+            registry
+            if registry is not None
+            else observe_filter(filt)
+        )
+        self.monitor = (
+            monitor if monitor is not None else HealthMonitor.for_filter(filt)
+        )
+        self._lock = threading.Lock()
+
+    def refresh(self) -> HealthReport:
+        """Recompute the health report from a fresh snapshot."""
+        # Deferred: core.quantile_filter imports the observability
+        # package for provenance, so inspect cannot load at import time.
+        from repro.core.inspect import structural_probe
+
+        with self._lock:
+            return self.monitor.report(
+                self.registry.snapshot(),
+                probe=structural_probe(self.filt),
+                reported_keys=set(self.filt.reported_keys),
+            )
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Registry snapshot overlaid with the derived health samples."""
+        self.refresh()
+        snapshot = self.registry.snapshot()
+        snapshot.update(self.monitor.health_samples())
+        return snapshot
+
+    def metrics_text(self) -> str:
+        return render_prometheus(self.metrics_snapshot())
+
+    def shard_reports(self) -> List[HealthReport]:
+        return [self.refresh()]
+
+
+class PipelineServeSource:
+    """Serve source for a running :class:`~repro.parallel.pipeline.
+    ParallelPipeline`.
+
+    Reads only the pipeline's cached cross-shard views — the feeding
+    thread refreshes them with ``pipeline.collect_stats_view()``; HTTP
+    threads must never ride the worker queues themselves.  Per-shard
+    verdicts come from evaluating each cached worker view separately;
+    the aggregate is worst-wins across the global report and every
+    shard report.
+    """
+
+    def __init__(self, pipeline, monitor: Optional[HealthMonitor] = None):
+        self.pipeline = pipeline
+        self.monitor = (
+            monitor
+            if monitor is not None
+            else HealthMonitor.for_criteria(pipeline.criteria)
+        )
+        self._lock = threading.Lock()
+        self._shard_reports: List[HealthReport] = []
+
+    def _global_snapshot(self) -> Dict[str, float]:
+        if self.pipeline.last_stats is not None:
+            return dict(self.pipeline.last_stats)
+        # No worker view collected yet: the master-side registry alone
+        # (pull gauges over plain attributes — safe from any thread).
+        return self.pipeline.stats.snapshot()
+
+    def refresh(self) -> HealthReport:
+        with self._lock:
+            expected = (
+                self.pipeline.num_shards if self.pipeline.running else None
+            )
+            report = self.monitor.report(
+                self._global_snapshot(),
+                reported_keys=self.pipeline.reported_keys,
+                expected_workers=expected,
+                source="aggregate",
+            )
+            per_shard = self.pipeline.last_per_shard_stats or []
+            shard_reports = [
+                self.monitor.model.evaluate(view, source=f"shard-{shard}")
+                for shard, view in enumerate(per_shard)
+            ]
+            self._shard_reports = shard_reports
+            if shard_reports:
+                report = aggregate_reports(
+                    [report] + shard_reports, source="aggregate"
+                )
+                self.monitor.last_report = report
+            return report
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        self.refresh()
+        snapshot = self._global_snapshot()
+        snapshot.update(self.monitor.health_samples())
+        return snapshot
+
+    def metrics_text(self) -> str:
+        return render_prometheus(self.metrics_snapshot())
+
+    def shard_reports(self) -> List[HealthReport]:
+        self.refresh()
+        return list(self._shard_reports)
+
+
+class _HealthRequestHandler(BaseHTTPRequestHandler):
+    """Routes /metrics, /healthz, /health/shards against the source."""
+
+    server_version = "QuantileFilterHealth/1.0"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path
+        try:
+            if path == "/metrics":
+                body = self.server.source.metrics_text() + "\n"
+                self._respond(
+                    200, body, "text/plain; version=0.0.4; charset=utf-8"
+                )
+            elif path == "/healthz":
+                report = self.server.source.refresh()
+                status = 503 if report.verdict == "critical" else 200
+                self._respond_json(status, report.as_dict())
+            elif path == "/health/shards":
+                reports = self.server.source.shard_reports()
+                verdict = "ok"
+                for report in reports:
+                    if verdict_rank(report.verdict) > verdict_rank(verdict):
+                        verdict = report.verdict
+                self._respond_json(
+                    200,
+                    {
+                        "verdict": verdict,
+                        "shards": [r.as_dict() for r in reports],
+                    },
+                )
+            else:
+                self._respond_json(
+                    404,
+                    {
+                        "error": f"unknown path {path!r}",
+                        "routes": ["/metrics", "/healthz", "/health/shards"],
+                    },
+                )
+        except Exception as exc:  # pragma: no cover - defensive
+            self._respond_json(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+
+    def _respond(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _respond_json(self, status: int, obj: dict) -> None:
+        self._respond(
+            status, json.dumps(obj, indent=2) + "\n", "application/json"
+        )
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request stderr logging (scrapes are frequent)."""
+
+
+class HealthServer:
+    """Threaded HTTP server bound to a serve source.
+
+    ``port=0`` (the default) binds an ephemeral port; read
+    :attr:`port` / :attr:`url` after :meth:`start`.  The accept loop
+    and every request run on daemon threads, and :meth:`stop` joins the
+    accept thread after ``shutdown()`` — no threads outlive it.
+    Usable as a context manager.
+    """
+
+    def __init__(self, source, host: str = "127.0.0.1", port: int = 0):
+        self.source = source
+        self.host = host
+        self.port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "HealthServer":
+        if self._server is not None:
+            return self
+        server = ThreadingHTTPServer(
+            (self.host, self.port), _HealthRequestHandler
+        )
+        server.daemon_threads = True
+        server.source = self.source
+        self._server = server
+        self.port = server.server_address[1]
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            name="quantilefilter-health-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def url(self) -> str:
+        """Base URL (valid after :meth:`start`)."""
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "HealthServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_filter(filt, host: str = "127.0.0.1", port: int = 0) -> HealthServer:
+    """Start a health server for a standalone filter; returns it running."""
+    return HealthServer(FilterServeSource(filt), host=host, port=port).start()
+
+
+def serve_pipeline(
+    pipeline, host: str = "127.0.0.1", port: int = 0
+) -> HealthServer:
+    """Start a health server for a pipeline; returns it running."""
+    return HealthServer(
+        PipelineServeSource(pipeline), host=host, port=port
+    ).start()

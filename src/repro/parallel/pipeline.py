@@ -230,6 +230,13 @@ def _worker_main(
                 "worker_insert_seconds",
                 help="Per-chunk shard insert latency (batch insert time).",
             )
+            if tracer is not None:
+                registry.counter_fn(
+                    "tracer_dropped_events_total",
+                    lambda: tracer.dropped,
+                    help="Trace events dropped by a full ring buffer.",
+                    labels={"role": f"shard-{shard_id}"},
+                )
         known: Set = set()
         while True:
             if tracer is not None:
@@ -554,7 +561,15 @@ class ParallelPipeline:
             help="Delay between a worker posting a report batch and the "
             "master draining it.",
         )
+        if self.tracer is not None:
+            self.stats.counter_fn(
+                "tracer_dropped_events_total",
+                lambda: self.tracer.dropped,
+                help="Trace events dropped by a full ring buffer.",
+                labels={"role": "master"},
+            )
         self.last_stats: Optional[Dict[str, float]] = None
+        self.last_per_shard_stats: Optional[List[Dict[str, float]]] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -837,6 +852,16 @@ class ParallelPipeline:
             self._free_slots = []
         self._in_queues = []
         self._out_queue = None
+
+    @property
+    def reported_keys(self) -> Set:
+        """Copy of the distinct keys reported across all shards so far."""
+        return set(self._reported)
+
+    @property
+    def running(self) -> bool:
+        """Whether the pipeline is between :meth:`start` and :meth:`finish`."""
+        return self._started and not self._finished
         self._started = False
 
     # ------------------------------------------------------------------
@@ -1071,6 +1096,7 @@ class ParallelPipeline:
         aggregate = aggregate_snapshots(per_shard)
         aggregate.update(self.stats.snapshot())
         self.last_stats = aggregate
+        self.last_per_shard_stats = [dict(view) for view in per_shard]
         return aggregate
 
     def _check_workers(self) -> None:

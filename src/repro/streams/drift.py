@@ -78,6 +78,51 @@ class DriftConfig:
             )
 
 
+def exceedance_fraction(values, threshold: float) -> float:
+    """Fraction of ``values`` strictly above ``threshold``.
+
+    The scalar statistic behind drift detection: under stationary
+    traffic the fraction of items exceeding the criteria threshold
+    ``T`` is roughly constant, so a sustained shift in this fraction is
+    the cheapest observable symptom of concept drift (the workload this
+    module generates).
+
+    >>> exceedance_fraction([1.0, 5.0, 9.0, 20.0], threshold=8.0)
+    0.5
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    return float(np.count_nonzero(arr > threshold)) / arr.size
+
+
+def windowed_exceedance_fractions(
+    values, threshold: float, window_items: int
+) -> np.ndarray:
+    """:func:`exceedance_fraction` per consecutive full window.
+
+    Splits ``values`` into ``len(values) // window_items`` complete
+    windows (a trailing partial window is ignored) and returns one
+    fraction per window — the sequence a drift monitor watches.
+
+    >>> windowed_exceedance_fractions(
+    ...     [0.0, 9.0, 9.0, 9.0, 0.0, 0.0], threshold=5.0, window_items=2
+    ... ).tolist()
+    [0.5, 1.0, 0.0]
+    """
+    if window_items < 1:
+        raise ParameterError(
+            f"window_items must be >= 1, got {window_items}"
+        )
+    arr = np.asarray(values, dtype=np.float64)
+    num_windows = arr.size // window_items
+    if num_windows == 0:
+        return np.empty(0, dtype=np.float64)
+    trimmed = arr[: num_windows * window_items]
+    above = (trimmed > threshold).reshape(num_windows, window_items)
+    return above.mean(axis=1)
+
+
 def generate_drift_trace(config: DriftConfig = DriftConfig()) -> Trace:
     """Generate the phase-drifting trace."""
     rng = np_rng(config.seed, "drift-trace")

@@ -1,0 +1,184 @@
+"""Shadow accuracy estimator: sampling, scoring, live CI acceptance."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.core.criteria import Criteria
+from repro.detection.ground_truth import compute_ground_truth
+from repro.detection.shadow import (
+    ShadowAccuracyEstimator,
+    wilson_interval,
+)
+from repro.metrics.accuracy import score_sets
+
+CRIT = Criteria(delta=0.9, threshold=100.0, epsilon=5.0)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(80, 100)
+        assert lo < 0.8 < hi
+
+    def test_stays_inside_unit_interval(self):
+        assert wilson_interval(0, 50)[0] == 0.0
+        assert wilson_interval(50, 50)[1] == 1.0
+
+    def test_does_not_collapse_at_extremes(self):
+        lo, hi = wilson_interval(10, 10)
+        assert hi - lo > 0.0
+        lo, hi = wilson_interval(0, 10)
+        assert hi - lo > 0.0
+
+    def test_narrows_with_more_data(self):
+        narrow = wilson_interval(800, 1_000)
+        wide = wilson_interval(8, 10)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_empty_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_invalid_counts_raise(self):
+        with pytest.raises(ParameterError):
+            wilson_interval(5, 3)
+        with pytest.raises(ParameterError):
+            wilson_interval(-1, 3)
+
+
+class TestSampling:
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ParameterError):
+            ShadowAccuracyEstimator(CRIT, sample_rate=0)
+
+    def test_rate_one_samples_everything(self):
+        est = ShadowAccuracyEstimator(CRIT, sample_rate=1)
+        keys = np.arange(200)
+        assert est.sample_mask(keys).all()
+        assert all(est.is_sampled(int(k)) for k in keys)
+
+    def test_scalar_and_vectorized_predicates_agree(self):
+        est = ShadowAccuracyEstimator(CRIT, sample_rate=8, seed=5)
+        keys = np.arange(2_000)
+        mask = est.sample_mask(keys)
+        scalar = np.array([est.is_sampled(int(k)) for k in keys])
+        np.testing.assert_array_equal(mask, scalar)
+
+    def test_sampled_fraction_near_rate(self):
+        est = ShadowAccuracyEstimator(CRIT, sample_rate=16, seed=1)
+        mask = est.sample_mask(np.arange(50_000))
+        assert mask.mean() == pytest.approx(1 / 16, rel=0.15)
+
+    def test_seed_varies_the_slice(self):
+        keys = np.arange(5_000)
+        a = ShadowAccuracyEstimator(CRIT, sample_rate=4, seed=0)
+        b = ShadowAccuracyEstimator(CRIT, sample_rate=4, seed=1)
+        assert (a.sample_mask(keys) != b.sample_mask(keys)).any()
+
+    def test_membership_is_deterministic(self):
+        est = ShadowAccuracyEstimator(CRIT, sample_rate=4, seed=2)
+        again = ShadowAccuracyEstimator(CRIT, sample_rate=4, seed=2)
+        keys = np.arange(1_000)
+        np.testing.assert_array_equal(
+            est.sample_mask(keys), again.sample_mask(keys)
+        )
+
+
+class TestObservation:
+    def test_scalar_and_batch_observation_agree(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 50, size=3_000)
+        values = rng.lognormal(4.5, 0.8, size=3_000)
+        scalar = ShadowAccuracyEstimator(CRIT, sample_rate=4, seed=0)
+        batch = ShadowAccuracyEstimator(CRIT, sample_rate=4, seed=0)
+        for k, v in zip(keys, values):
+            scalar.observe(int(k), float(v))
+        batch.observe_batch(keys, values)
+        assert scalar.sampled_items == batch.sampled_items
+        assert scalar.true_outstanding == batch.true_outstanding
+
+    def test_length_mismatch_raises(self):
+        est = ShadowAccuracyEstimator(CRIT)
+        with pytest.raises(ParameterError):
+            est.observe_batch(np.arange(3), np.zeros(4))
+
+    def test_memory_scales_with_slice_not_stream(self):
+        full = ShadowAccuracyEstimator(CRIT, sample_rate=1)
+        sliced = ShadowAccuracyEstimator(CRIT, sample_rate=16)
+        keys = np.arange(8_000)
+        values = np.full(8_000, 10.0)
+        full.observe_batch(keys, values)
+        sliced.observe_batch(keys, values)
+        assert sliced.nbytes < full.nbytes / 8
+
+
+class TestScoring:
+    def test_perfect_filter_scores_one(self):
+        est = ShadowAccuracyEstimator(CRIT, sample_rate=1)
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 30, size=5_000)
+        values = rng.lognormal(4.8, 0.7, size=5_000)
+        est.observe_batch(keys, values)
+        truth = compute_ground_truth(
+            zip((int(k) for k in keys), (float(v) for v in values)), CRIT
+        )
+        score = est.score(truth)
+        assert score.precision == 1.0 and score.recall == 1.0
+        assert score.false_positives == 0 and score.false_negatives == 0
+
+    def test_reports_outside_slice_are_ignored(self):
+        est = ShadowAccuracyEstimator(CRIT, sample_rate=8, seed=0)
+        unsampled = next(
+            k for k in range(10_000) if not est.is_sampled(k)
+        )
+        score = est.score({unsampled})
+        assert score.false_positives == 0
+
+    def test_score_dict_round_trips(self):
+        est = ShadowAccuracyEstimator(CRIT, sample_rate=1)
+        est.observe("k", 500.0)
+        est.observe("k", 500.0)
+        payload = est.score({"k"}).as_dict()
+        assert set(payload) >= {
+            "precision", "recall", "precision_ci", "recall_ci",
+            "tp", "fp", "fn", "sampled_keys",
+        }
+
+    def test_fig4_style_live_estimate_within_ci_of_offline_truth(self):
+        """Acceptance: shadow precision/recall vs offline ground truth.
+
+        Runs a real BatchQuantileFilter over a fig4-style workload; the
+        exact offline precision/recall (full ground truth vs the full
+        report set) must fall inside the shadow estimator's reported
+        Wilson interval, padded only by the score's own granularity.
+        """
+        from repro.core.vectorized import BatchQuantileFilter
+        from repro.experiments.config import build_trace, default_criteria_for
+
+        trace = build_trace("internet", scale=30_000, seed=4)
+        criteria = default_criteria_for("internet")
+        filt = BatchQuantileFilter(criteria, memory_bytes=48 * 1024, seed=4)
+        filt.process(trace.keys, trace.values)
+
+        est = ShadowAccuracyEstimator(criteria, sample_rate=8, seed=4)
+        est.observe_batch(trace.keys, trace.values)
+        shadow = est.score(filt.reported_keys)
+
+        truth = compute_ground_truth(
+            zip((int(k) for k in trace.keys),
+                (float(v) for v in trace.values)),
+            criteria,
+        )
+        offline = score_sets(filt.reported_keys, truth)
+
+        assert shadow.sampled_keys > 0
+        pad = 0.05  # sampling slack beyond the 95 % interval
+        assert (
+            shadow.precision_low - pad
+            <= offline.precision
+            <= shadow.precision_high + pad
+        )
+        assert (
+            shadow.recall_low - pad
+            <= offline.recall
+            <= shadow.recall_high + pad
+        )

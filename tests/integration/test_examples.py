@@ -46,6 +46,16 @@ class TestFastExamples:
         assert "# TYPE qf_items_total counter" in output
         assert "qf_items_total 80000" in output
 
+    def test_health_monitoring(self, capsys):
+        load_example("health_monitoring").main()
+        output = capsys.readouterr().out
+        assert "baseline verdict: ok" in output
+        assert "baseline drift signal ok: True" in output
+        assert "drifted verdict: degraded" in output
+        assert "drift signal degraded after injection: True" in output
+        assert "triggering signal named in reasons: True" in output
+        assert "qf_health_status 1" in output
+
     def test_cpu_utilization_scaled_down(self, capsys):
         module = load_example("cpu_utilization")
         module.TICKS = 1_200

@@ -67,6 +67,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nope"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.linger == 0.0
+        assert args.every == 4
+
+    def test_health_defaults_to_text(self):
+        args = build_parser().parse_args(["health"])
+        assert args.command == "health"
+        assert args.format == "text"
+
 
 class TestStatsCommand:
     @pytest.fixture(scope="class")
@@ -134,3 +147,92 @@ def test_stats_text_format(capsys):
     out = capsys.readouterr().out
     assert "#" not in out.split("\n")[0]
     assert re.search(r"qf_items_total\s+12000", out)
+
+
+def test_health_command_prints_report(capsys):
+    rc = main(["health", *STATS_ARGS])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.startswith("verdict:")
+    assert "exceedance_drift" in out
+
+
+def test_health_command_json_format(capsys):
+    rc = main(["health", *STATS_ARGS, "--format", "json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["verdict"] in ("ok", "degraded", "critical")
+    assert {s["name"] for s in payload["signals"]} >= {
+        "report_rate", "exceedance_drift", "shadow_accuracy",
+    }
+
+
+def test_serve_command_scrapeable_while_running():
+    """Integration: `repro serve` on an ephemeral port, scraped mid-run.
+
+    Runs the CLI in a thread against a throttled stream, scrapes
+    /metrics and /healthz while items are still flowing, and checks the
+    command exits 0 without leaving server threads behind.
+    """
+    import io
+    import re as _re
+    import threading
+    import time
+    import urllib.request
+    from contextlib import redirect_stderr
+
+    stderr = io.StringIO()
+    result = {}
+
+    def run():
+        with redirect_stderr(stderr):
+            result["rc"] = main([
+                "serve", *STATS_ARGS, "--scale", "30000",
+                "--chunk-items", "2048", "--every", "1",
+                "--throttle", "0.25", "--port", "0", "--linger", "3",
+            ])
+
+    baseline_threads = threading.active_count()
+    thread = threading.Thread(target=run)
+    thread.start()
+    try:
+        url = None
+        deadline = time.monotonic() + 30
+        while url is None and time.monotonic() < deadline:
+            m = _re.search(r"serving on (http://\S+)", stderr.getvalue())
+            if m:
+                url = m.group(1)
+            else:
+                time.sleep(0.05)
+        assert url is not None, "serve never printed its URL"
+
+        with urllib.request.urlopen(url + "/healthz", timeout=10) as resp:
+            payload = json.load(resp)
+        assert payload["verdict"] in ("ok", "degraded")
+        assert payload["signals"]
+
+        with urllib.request.urlopen(url + "/metrics", timeout=10) as resp:
+            body = resp.read().decode()
+        assert "qf_health_status" in body
+        for line in body.strip().splitlines():
+            if not line.startswith("#"):
+                float(line.rsplit(" ", 1)[1])  # parseable values
+
+        # The first per-shard view lands after the first stride's
+        # collect_stats_view(); poll briefly for it.
+        shards = {"shards": []}
+        deadline = time.monotonic() + 30
+        while len(shards["shards"]) < 2 and time.monotonic() < deadline:
+            with urllib.request.urlopen(
+                url + "/health/shards", timeout=10
+            ) as resp:
+                shards = json.load(resp)
+            if len(shards["shards"]) < 2:
+                time.sleep(0.1)
+        assert len(shards["shards"]) == 2
+    finally:
+        thread.join(timeout=120)
+    assert not thread.is_alive()
+    assert result["rc"] == 0
+    time.sleep(0.2)
+    assert threading.active_count() <= baseline_threads

@@ -70,6 +70,32 @@ class TestPrometheus:
     def test_empty_snapshot_is_empty_string(self):
         assert render_prometheus({}, specs=SPECS) == ""
 
+    def test_nan_renders_exposition_spelling(self):
+        text = render_prometheus({"demo_occupancy": float("nan")}, specs=SPECS)
+        assert text.splitlines()[-1] == "demo_occupancy NaN"
+
+    def test_positive_infinity_renders_plus_inf(self):
+        text = render_prometheus({"demo_occupancy": float("inf")}, specs=SPECS)
+        assert text.splitlines()[-1] == "demo_occupancy +Inf"
+
+    def test_negative_infinity_renders_minus_inf(self):
+        text = render_prometheus(
+            {"demo_occupancy": float("-inf")}, specs=SPECS
+        )
+        assert text.splitlines()[-1] == "demo_occupancy -Inf"
+
+    def test_non_finite_never_renders_python_repr(self):
+        snap = {
+            "demo_occupancy": float("nan"),
+            "demo_items_total": float("inf"),
+        }
+        text = render_prometheus(snap, specs=SPECS)
+        for sample_line in text.splitlines():
+            if sample_line.startswith("#"):
+                continue
+            value = sample_line.split()[-1]
+            assert value not in ("nan", "inf", "-inf")
+
 
 class TestLabelEscaping:
     """The exposition format escapes ``\\``, ``"`` and newline in label

@@ -1,0 +1,293 @@
+"""Health model: signal thresholds, drift detection, aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.core.criteria import Criteria
+from repro.core.inspect import structural_probe
+from repro.core.quantile_filter import QuantileFilter
+from repro.observability.health import (
+    HEALTH_METRIC_HELP,
+    ExceedanceDriftDetector,
+    HealthModel,
+    HealthMonitor,
+    HealthReport,
+    HealthSignal,
+    HealthThresholds,
+    aggregate_reports,
+    verdict_rank,
+    worst_verdict,
+)
+from repro.observability.instrument import observe_filter
+from repro.observability.registry import SPEC_INDEX, StatsRegistry
+
+CRIT = Criteria(delta=0.9, threshold=100.0, epsilon=5.0)
+
+
+def snapshot(**families):
+    """Shorthand: snake_case kwargs to a qf_* snapshot dict."""
+    base = {"qf_items_total": 50_000.0}
+    base.update(families)
+    return base
+
+
+class TestVerdicts:
+    def test_rank_ordering(self):
+        assert verdict_rank("ok") < verdict_rank("degraded")
+        assert verdict_rank("degraded") < verdict_rank("critical")
+
+    def test_unknown_verdict_raises(self):
+        with pytest.raises(ParameterError):
+            verdict_rank("meh")
+
+    def test_worst_verdict_empty_is_ok(self):
+        assert worst_verdict([]) == "ok"
+
+    def test_worst_verdict_picks_most_severe(self):
+        assert worst_verdict(["ok", "critical", "degraded"]) == "critical"
+
+
+class TestSignals:
+    def test_all_ok_on_benign_snapshot(self):
+        report = HealthModel().evaluate(snapshot(
+            qf_candidate_occupancy=0.5,
+            qf_candidate_swaps_total=100.0,
+            qf_vague_inserts_total=500.0,
+            qf_vague_saturation=0.0,
+            qf_reports_total=10.0,
+        ))
+        assert report.verdict == "ok"
+        assert report.reasons == []
+
+    def test_occupancy_degraded_above_threshold(self):
+        report = HealthModel().evaluate(snapshot(qf_candidate_occupancy=0.99))
+        signal = report.signal("candidate_occupancy")
+        assert signal.verdict == "degraded"
+        assert "candidate_occupancy" in report.reasons[0]
+
+    def test_churn_degraded(self):
+        report = HealthModel().evaluate(snapshot(
+            qf_candidate_swaps_total=25_000.0,
+        ))
+        assert report.signal("candidate_churn").verdict == "degraded"
+
+    def test_vague_pressure_degraded(self):
+        report = HealthModel().evaluate(snapshot(
+            qf_vague_inserts_total=10_000.0,
+        ))
+        assert report.signal("vague_pressure").verdict == "degraded"
+
+    def test_saturation_critical_above_critical_threshold(self):
+        report = HealthModel().evaluate(snapshot(qf_vague_saturation=0.3))
+        assert report.signal("vague_saturation").verdict == "critical"
+        assert report.verdict == "critical"
+
+    def test_saturation_degraded_between_thresholds(self):
+        report = HealthModel().evaluate(snapshot(qf_vague_saturation=0.1))
+        assert report.signal("vague_saturation").verdict == "degraded"
+
+    def test_collision_signal_comes_from_probe(self):
+        report = HealthModel().evaluate(
+            snapshot(), probe={"fingerprint_collision_probability": 0.05},
+        )
+        assert report.signal("fingerprint_collision").verdict == "degraded"
+        report = HealthModel().evaluate(snapshot(), probe={})
+        assert report.signal("fingerprint_collision") is None
+
+    def test_noise_signal_relative_to_report_threshold(self):
+        probe = {"vague_noise_std": 30.0, "report_threshold": 50.0}
+        report = HealthModel().evaluate(snapshot(), probe=probe)
+        assert report.signal("vague_noise").verdict == "degraded"
+        probe["vague_noise_std"] = 60.0
+        report = HealthModel().evaluate(snapshot(), probe=probe)
+        assert report.signal("vague_noise").verdict == "critical"
+
+    def test_report_rate_windows_between_evaluations(self):
+        model = HealthModel()
+        first = model.evaluate(snapshot(qf_reports_total=10.0))
+        assert first.signal("report_rate").verdict == "ok"
+        # 1 000 new reports over 1 000 new items: a 100 % window rate.
+        second = model.evaluate({
+            "qf_items_total": 51_000.0, "qf_reports_total": 1_010.0,
+        })
+        assert second.signal("report_rate").verdict == "degraded"
+
+    def test_report_rate_survives_counter_reset(self):
+        model = HealthModel()
+        model.evaluate(snapshot(qf_reports_total=100.0))
+        fresh = model.evaluate({
+            "qf_items_total": 2_000.0, "qf_reports_total": 1.0,
+        })
+        assert fresh.signal("report_rate").verdict == "ok"
+
+    def test_warmup_forces_ok(self):
+        report = HealthModel().evaluate({
+            "qf_items_total": 10.0,
+            "qf_candidate_occupancy": 1.0,
+            "qf_vague_saturation": 0.9,
+        })
+        assert report.verdict == "ok"
+        assert all(s.verdict == "ok" for s in report.signals)
+        assert any("warming up" in s.reason for s in report.signals)
+
+    def test_workers_alive_critical_when_short(self):
+        report = HealthModel().evaluate(
+            snapshot(pipeline_workers_alive=1.0), expected_workers=4,
+        )
+        assert report.signal("workers_alive").verdict == "critical"
+
+    def test_workers_alive_not_masked_by_warmup(self):
+        report = HealthModel().evaluate(
+            {"qf_items_total": 5.0, "pipeline_workers_alive": 0.0},
+            expected_workers=2,
+        )
+        assert report.verdict == "critical"
+
+    def test_labelled_samples_fold_into_families(self):
+        report = HealthModel().evaluate({
+            'qf_items_total{shard="0"}': 25_000.0,
+            'qf_items_total{shard="1"}': 25_000.0,
+            'qf_candidate_occupancy{shard="0"}': 0.999,
+            'qf_candidate_occupancy{shard="1"}': 0.999,
+        })
+        assert report.signal("candidate_occupancy").verdict == "degraded"
+
+
+class TestDriftDetector:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            ExceedanceDriftDetector(1.0, window_items=0)
+        with pytest.raises(ParameterError):
+            ExceedanceDriftDetector(1.0, warmup_windows=0)
+
+    def test_not_warmed_up_until_warmup_windows(self):
+        det = ExceedanceDriftDetector(10.0, window_items=10, warmup_windows=2)
+        det.observe_batch([0.0] * 10)
+        assert not det.warmed_up
+        det.observe_batch([0.0] * 10)
+        assert det.warmed_up
+
+    def test_stationary_stream_stays_quiet(self):
+        rng = np.random.default_rng(7)
+        det = ExceedanceDriftDetector(
+            1.0, window_items=500, warmup_windows=2
+        )
+        values = (rng.random(5_000) < 0.1).astype(float) * 2.0
+        det.observe_batch(values)
+        assert det.warmed_up
+        assert det.last_z < 4.0
+
+    def test_shift_raises_z(self):
+        det = ExceedanceDriftDetector(
+            10.0, window_items=200, warmup_windows=2
+        )
+        base = [5.0] * 190 + [50.0] * 10  # 5 % exceedance
+        det.observe_batch(base * 2)
+        det.observe_batch([5.0] * 100 + [50.0] * 100)  # 50 %
+        assert det.last_z > 4.0
+        assert det.last_fraction == pytest.approx(0.5)
+
+    def test_scalar_and_batch_paths_agree(self):
+        values = list(np.linspace(0.0, 20.0, 400))
+        a = ExceedanceDriftDetector(10.0, window_items=50, warmup_windows=2)
+        b = ExceedanceDriftDetector(10.0, window_items=50, warmup_windows=2)
+        for v in values:
+            a.observe(v)
+        b.observe_batch(values)
+        assert a.last_fraction == b.last_fraction
+        assert a.last_z == b.last_z
+        assert a.reference == b.reference
+
+    def test_model_emits_drift_signal(self):
+        det = ExceedanceDriftDetector(10.0, window_items=100, warmup_windows=1)
+        det.observe_batch([5.0] * 95 + [50.0] * 5)
+        det.observe_batch([50.0] * 100)
+        report = HealthModel().evaluate(snapshot(), drift=det)
+        assert report.signal("exceedance_drift").verdict == "degraded"
+        assert any("drifted" in r for r in report.reasons)
+
+
+class TestAggregation:
+    def mk(self, source, **verdicts):
+        return HealthReport(
+            verdict=worst_verdict(verdicts.values()),
+            signals=tuple(
+                HealthSignal(name, verdict, 0.0, f"{name} reason")
+                for name, verdict in verdicts.items()
+            ),
+            source=source,
+        )
+
+    def test_worst_wins_per_signal(self):
+        merged = aggregate_reports([
+            self.mk("shard-0", occupancy="ok", churn="degraded"),
+            self.mk("shard-1", occupancy="critical", churn="ok"),
+        ])
+        assert merged.verdict == "critical"
+        assert merged.signal("occupancy").verdict == "critical"
+        assert merged.signal("churn").verdict == "degraded"
+
+    def test_shard_source_prefixes_reason(self):
+        merged = aggregate_reports([
+            self.mk("shard-0", occupancy="ok"),
+            self.mk("shard-1", occupancy="degraded"),
+        ])
+        assert "[shard-1]" in merged.signal("occupancy").reason
+
+    def test_empty_is_ok(self):
+        merged = aggregate_reports([])
+        assert merged.verdict == "ok"
+        assert merged.signals == ()
+
+
+class TestMonitor:
+    def make_filter(self):
+        return QuantileFilter(
+            CRIT, num_buckets=32, bucket_size=4, vague_width=256, seed=3
+        )
+
+    def test_for_filter_end_to_end(self):
+        filt = self.make_filter()
+        registry = observe_filter(filt, StatsRegistry())
+        monitor = HealthMonitor.for_filter(filt, shadow_sample_rate=1)
+        rng = np.random.default_rng(0)
+        for _ in range(4_000):
+            key = int(rng.integers(0, 64))
+            value = float(rng.lognormal(4.0, 0.6))
+            filt.insert(key, value)
+            monitor.observe(key, value)
+        report = monitor.report(
+            registry.snapshot(),
+            probe=structural_probe(filt),
+            reported_keys=filt.reported_keys,
+        )
+        assert monitor.last_report is report
+        names = {s.name for s in report.signals}
+        assert {"candidate_occupancy", "exceedance_drift",
+                "shadow_accuracy"} <= names
+
+    def test_shadow_disabled_mode(self):
+        monitor = HealthMonitor.for_criteria(CRIT, shadow_sample_rate=None)
+        assert monitor.shadow is None
+        monitor.observe_batch(
+            np.arange(10), np.full(10, 5.0)
+        )  # must not raise
+
+    def test_health_samples_empty_before_first_report(self):
+        monitor = HealthMonitor.for_criteria(CRIT)
+        assert monitor.health_samples() == {}
+
+    def test_health_samples_render_verdict_ranks(self):
+        monitor = HealthMonitor.for_criteria(CRIT, shadow_sample_rate=None)
+        monitor.report({"qf_items_total": 5_000.0,
+                        "qf_vague_saturation": 0.5})
+        samples = monitor.health_samples()
+        assert samples["qf_health_status"] == 2.0
+        assert samples['qf_health_signal{signal="vague_saturation"}'] == 2.0
+        assert "qf_drift_exceedance_fraction" in samples
+
+    def test_health_families_registered_in_spec_index(self):
+        for family in HEALTH_METRIC_HELP:
+            assert family in SPEC_INDEX
+            assert SPEC_INDEX[family].kind == "gauge"

@@ -1,0 +1,283 @@
+"""HTTP health server: routes, verdict flips, pipeline serving, CLI."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.criteria import Criteria
+from repro.core.quantile_filter import QuantileFilter
+from repro.observability.health import HealthMonitor
+from repro.observability.server import (
+    FilterServeSource,
+    HealthServer,
+    PipelineServeSource,
+    serve_filter,
+)
+from repro.streams.drift import DriftConfig, generate_drift_trace
+
+CRIT = Criteria(delta=0.9, threshold=100.0, epsilon=5.0)
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, resp.read().decode(), dict(resp.headers)
+
+
+def get_json(url):
+    status, body, _ = get(url)
+    return status, json.loads(body)
+
+
+def fed_filter(num_items=4_000, seed=0, **geometry):
+    geometry.setdefault("num_buckets", 64)
+    geometry.setdefault("bucket_size", 4)
+    geometry.setdefault("vague_width", 512)
+    filt = QuantileFilter(CRIT, seed=seed, **geometry)
+    rng = np.random.default_rng(seed)
+    for _ in range(num_items):
+        filt.insert(int(rng.integers(0, 80)),
+                    float(rng.lognormal(4.0, 0.6)))
+    return filt
+
+
+class TestRoutes:
+    @pytest.fixture()
+    def server(self):
+        server = serve_filter(fed_filter())
+        yield server
+        server.stop()
+
+    def test_metrics_is_parseable_prometheus(self, server):
+        status, body, headers = get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        families = set()
+        for line in body.strip().splitlines():
+            if line.startswith("# HELP "):
+                families.add(line.split()[2])
+            elif line.startswith("# TYPE "):
+                assert line.split()[3] in ("counter", "gauge", "histogram")
+            else:
+                name, value = line.rsplit(" ", 1)
+                float(value)  # every sample value parses
+                assert name.split("{")[0] in families
+        assert "qf_items_total" in families
+        assert "qf_health_status" in families
+
+    def test_healthz_returns_verdict_json(self, server):
+        status, payload = get_json(server.url + "/healthz")
+        assert status == 200
+        assert payload["verdict"] in ("ok", "degraded")
+        assert isinstance(payload["reasons"], list)
+        names = {s["name"] for s in payload["signals"]}
+        assert "candidate_occupancy" in names
+
+    def test_health_shards_single_entry_for_filter(self, server):
+        status, payload = get_json(server.url + "/health/shards")
+        assert status == 200
+        assert len(payload["shards"]) == 1
+
+    def test_unknown_route_404s_with_route_list(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server.url + "/nope")
+        assert err.value.code == 404
+        assert "/healthz" in json.load(err.value)["routes"]
+
+
+class TestLifecycle:
+    def test_ephemeral_port_bound_and_no_orphan_threads(self):
+        baseline = threading.active_count()
+        server = serve_filter(fed_filter(num_items=500))
+        assert server.port != 0
+        get(server.url + "/healthz")
+        server.stop()
+        assert not server.running
+        assert threading.active_count() == baseline
+
+    def test_context_manager_stops_on_exit(self):
+        source = FilterServeSource(fed_filter(num_items=500))
+        with HealthServer(source) as server:
+            status, _ = get_json(server.url + "/healthz")
+            assert status == 200
+        assert not server.running
+
+    def test_stop_is_idempotent(self):
+        server = serve_filter(fed_filter(num_items=500))
+        server.stop()
+        server.stop()
+
+    def test_concurrent_scrapes(self):
+        server = serve_filter(fed_filter())
+        errors = []
+
+        def scrape():
+            try:
+                for _ in range(5):
+                    get(server.url + "/metrics")
+                    get_json(server.url + "/healthz")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=scrape) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        server.stop()
+        assert errors == []
+
+
+class TestVerdictFlips:
+    def test_drift_stream_flips_healthz_to_degraded(self):
+        """Acceptance: a drift-injected stream names exceedance_drift."""
+        filt = QuantileFilter(
+            Criteria(delta=0.9, threshold=300.0, epsilon=5.0),
+            num_buckets=256, bucket_size=4, vague_width=1024, seed=0,
+        )
+        monitor = HealthMonitor.for_filter(
+            filt, drift_window_items=1_024, shadow_sample_rate=None,
+        )
+        source = FilterServeSource(filt, monitor=monitor)
+        trace = generate_drift_trace(DriftConfig(
+            num_items=24_000, num_keys=400, num_phases=2,
+            anomalous_per_phase=120, anomaly_boost=25.0, seed=1,
+        ))
+        with HealthServer(source) as server:
+            # Phase 1: baseline traffic establishes the drift reference.
+            half = trace.keys.shape[0] // 2
+            for i in range(half):
+                filt.insert(int(trace.keys[i]), float(trace.values[i]))
+            monitor.observe_batch(trace.keys[:half], trace.values[:half])
+            _, baseline = get_json(server.url + "/healthz")
+            drift_before = next(
+                s for s in baseline["signals"]
+                if s["name"] == "exceedance_drift"
+            )
+            assert drift_before["verdict"] == "ok"
+
+            # Phase 2: a much larger anomalous key set shifts the
+            # exceedance fraction across T.
+            for i in range(half, trace.keys.shape[0]):
+                filt.insert(int(trace.keys[i]), float(trace.values[i]))
+            monitor.observe_batch(trace.keys[half:], trace.values[half:])
+            status, flipped = get_json(server.url + "/healthz")
+        assert status == 200  # degraded still serves 200
+        assert flipped["verdict"] == "degraded"
+        assert any(r.startswith("exceedance_drift:") for r in
+                   flipped["reasons"])
+
+    def test_saturation_stress_flips_healthz_with_named_signal(self):
+        """Acceptance: candidate-saturation stress names its signal."""
+        # A deliberately tiny candidate part, flooded with distinct
+        # hot keys: occupancy pins at 100 % and churn explodes.
+        filt = QuantileFilter(
+            CRIT, num_buckets=2, bucket_size=2, vague_width=64, seed=0,
+        )
+        source = FilterServeSource(
+            filt,
+            monitor=HealthMonitor.for_filter(filt, shadow_sample_rate=None),
+        )
+        rng = np.random.default_rng(0)
+        with HealthServer(source) as server:
+            for i in range(6_000):
+                filt.insert(i % 500, float(rng.lognormal(5.2, 0.5)))
+            _, payload = get_json(server.url + "/healthz")
+        assert payload["verdict"] in ("degraded", "critical")
+        flagged = {r.split(":")[0] for r in payload["reasons"]}
+        assert flagged & {
+            "candidate_occupancy", "candidate_churn", "vague_pressure",
+            "vague_saturation",
+        }
+
+    def test_critical_verdict_returns_503(self):
+        filt = fed_filter(num_items=2_000)
+        monitor = HealthMonitor.for_filter(filt, shadow_sample_rate=None)
+        source = FilterServeSource(filt, monitor=monitor)
+        # Force a critical signal through the snapshot.
+        registry = source.registry
+        registry.gauge("qf_vague_saturation", agg="mean",
+                       labels={"forced": "1"}).set(0.9)
+        with HealthServer(source) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                get(server.url + "/healthz")
+        assert err.value.code == 503
+        assert json.load(err.value)["verdict"] == "critical"
+
+
+class TestPipelineSource:
+    def test_serves_cached_views_and_per_shard_breakdown(self):
+        from repro.parallel.pipeline import ParallelPipeline
+
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 1_000, size=24_000)
+        values = rng.lognormal(4.0, 0.7, size=24_000)
+        pipeline = ParallelPipeline(
+            CRIT, 2, memory_bytes=32 * 1024, chunk_items=4_096,
+            collect_stats=True,
+        )
+        monitor = HealthMonitor.for_criteria(CRIT, shadow_sample_rate=None)
+        source = PipelineServeSource(pipeline, monitor=monitor)
+        with pipeline:
+            pipeline.start()
+            with HealthServer(source) as server:
+                half = keys.shape[0] // 2
+                monitor.observe_batch(keys[:half], values[:half])
+                pipeline.feed(keys[:half], values[:half])
+                pipeline.collect_stats_view()
+
+                status, payload = get_json(server.url + "/healthz")
+                assert status == 200
+                workers = next(
+                    s for s in payload["signals"]
+                    if s["name"] == "workers_alive"
+                )
+                assert workers["verdict"] == "ok"
+
+                _, shards = get_json(server.url + "/health/shards")
+                assert len(shards["shards"]) == 2
+                assert {s["source"] for s in shards["shards"]} == {
+                    "shard-0", "shard-1",
+                }
+
+                _, metrics, _ = get(server.url + "/metrics")
+                assert "qf_health_status" in metrics
+                assert "pipeline_items_fed_total" in metrics
+
+                monitor.observe_batch(keys[half:], values[half:])
+                pipeline.feed(keys[half:], values[half:])
+                pipeline.collect_stats_view()
+                pipeline.finish()
+
+                # After finish the cached snapshot still serves.
+                status, payload = get_json(server.url + "/healthz")
+                assert status == 200
+                assert all(
+                    s["name"] != "workers_alive"
+                    for s in payload["signals"]
+                )
+
+    def test_last_per_shard_stats_cached_by_view_and_finish(self):
+        from repro.parallel.pipeline import ParallelPipeline
+
+        rng = np.random.default_rng(6)
+        keys = rng.integers(0, 200, size=8_000)
+        values = rng.lognormal(4.0, 0.5, size=8_000)
+        pipeline = ParallelPipeline(
+            CRIT, 2, memory_bytes=32 * 1024, chunk_items=2_048,
+            collect_stats=True,
+        )
+        assert pipeline.last_per_shard_stats is None
+        with pipeline:
+            pipeline.start()
+            assert pipeline.running
+            pipeline.feed(keys, values)
+            pipeline.collect_stats_view()
+            assert len(pipeline.last_per_shard_stats) == 2
+            pipeline.finish()
+        assert not pipeline.running
+        assert len(pipeline.last_per_shard_stats) == 2
+        assert pipeline.reported_keys == set(pipeline.reported_keys)

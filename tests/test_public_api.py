@@ -31,6 +31,9 @@ PUBLIC_MODULES = [
     "repro.detection", "repro.detection.base",
     "repro.detection.ground_truth", "repro.detection.adapters",
     "repro.detection.reports", "repro.detection.calibration",
+    "repro.detection.shadow",
+    "repro.observability", "repro.observability.registry",
+    "repro.observability.health", "repro.observability.server",
     "repro.streams", "repro.streams.model", "repro.streams.zipf",
     "repro.streams.caida_like", "repro.streams.cloud_like",
     "repro.streams.drift", "repro.streams.trace_io", "repro.streams.live",
@@ -55,7 +58,8 @@ def test_module_imports(module_name):
     "package_name",
     ["repro", "repro.common", "repro.sketches", "repro.quantiles",
      "repro.core", "repro.baselines", "repro.detection", "repro.streams",
-     "repro.metrics", "repro.analysis", "repro.parallel"],
+     "repro.metrics", "repro.analysis", "repro.parallel",
+     "repro.observability"],
 )
 def test_all_lists_resolve(package_name):
     package = importlib.import_module(package_name)
@@ -71,6 +75,8 @@ def test_top_level_quickstart_names():
     from repro import save_filter, load_filter  # noqa: F401
     from repro import compute_ground_truth, score_sets  # noqa: F401
     from repro import ShardedQuantileFilter, ParallelPipeline  # noqa: F401
+    from repro import HealthMonitor, HealthServer  # noqa: F401
+    from repro import ShadowAccuracyEstimator, serve_pipeline  # noqa: F401
     from repro.analysis.sizing import recommend  # noqa: F401
     from repro.detection.reports import AlertPolicy, ReportLog  # noqa: F401
 
