@@ -5,6 +5,13 @@ returns a :class:`~repro.experiments.harness.FigureResult` whose rows
 are the same series the paper plots.  ``repro-experiments`` (the CLI in
 :mod:`repro.experiments.cli`) runs them from the command line, and the
 ``benchmarks/`` tree runs them under pytest-benchmark.
+
+The evaluation *grid* itself — variant × workload × memory × scale,
+with baseline head-to-heads at every point — is driven by
+:mod:`repro.experiments.matrix` (``repro matrix run``), persisted per
+revision by :mod:`repro.experiments.runstore` and turned into trend
+reports and regression verdicts by :mod:`repro.experiments.trend`
+(``repro matrix report|gate``).
 """
 
 from repro.experiments.config import (
@@ -22,6 +29,25 @@ from repro.experiments.harness import (
     accuracy_sweep,
     format_rows,
 )
+from repro.experiments.matrix import (
+    CellSpec,
+    expand_cells,
+    load_matrix_config,
+    run_cell,
+    run_matrix,
+)
+from repro.experiments.runstore import (
+    RunData,
+    RunStore,
+    record_fingerprint,
+)
+from repro.experiments.trend import (
+    GatePolicy,
+    GateResult,
+    evaluate_gates,
+    merge_runs,
+    render_markdown,
+)
 
 __all__ = [
     "PaperDefaults",
@@ -35,4 +61,17 @@ __all__ = [
     "run_detection",
     "accuracy_sweep",
     "format_rows",
+    "CellSpec",
+    "expand_cells",
+    "load_matrix_config",
+    "run_cell",
+    "run_matrix",
+    "RunData",
+    "RunStore",
+    "record_fingerprint",
+    "GatePolicy",
+    "GateResult",
+    "evaluate_gates",
+    "merge_runs",
+    "render_markdown",
 ]

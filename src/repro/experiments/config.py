@@ -18,8 +18,10 @@ from typing import Callable, Dict
 
 from repro.common.errors import ParameterError
 from repro.core.criteria import Criteria
+from repro.streams.bursty import BurstyConfig, generate_bursty_trace
 from repro.streams.caida_like import CaidaLikeConfig, generate_caida_like_trace
 from repro.streams.cloud_like import CloudLikeConfig, generate_cloud_like_trace
+from repro.streams.drift import DriftConfig, generate_drift_trace
 from repro.streams.model import Trace
 from repro.streams.zipf import ZipfConfig, generate_zipf_trace
 
@@ -89,6 +91,32 @@ def _zipf_small(scale: int, seed: int) -> Trace:
     )
 
 
+def _drift(scale: int, seed: int) -> Trace:
+    """Phase-drifting anomaly trace (the Sec. III-B reset workload)."""
+    return generate_drift_trace(
+        DriftConfig(
+            num_items=scale,
+            num_keys=max(100, scale // 60),
+            num_phases=min(3, scale),
+            seed=seed,
+        )
+    )
+
+
+def _bursty(scale: int, seed: int) -> Trace:
+    """Burst-punctuated adversarial trace (anomalies in waves)."""
+    num_keys = max(50, scale // 50)
+    return generate_bursty_trace(
+        BurstyConfig(
+            num_items=scale,
+            num_keys=num_keys,
+            burst_length=max(1, scale // 12),
+            burst_keys=min(12, num_keys),
+            seed=seed,
+        )
+    )
+
+
 DATASETS: Dict[str, DatasetSpec] = {
     "internet": DatasetSpec(
         name="internet",
@@ -113,6 +141,18 @@ DATASETS: Dict[str, DatasetSpec] = {
         builder=_zipf_small,
         default_threshold=300.0,
         description="Synthetic Zipf trace, few keys (paper's 120K-key variant)",
+    ),
+    "drift": DatasetSpec(
+        name="drift",
+        builder=_drift,
+        default_threshold=300.0,  # background ~60, boosted anomalies ~600
+        description="Concept-drift trace (anomalous key set rotates per phase)",
+    ),
+    "bursty": DatasetSpec(
+        name="bursty",
+        builder=_bursty,
+        default_threshold=300.0,  # background ~120, burst values ~600
+        description="Bursty adversarial trace (anomalies arrive in waves)",
     ),
 }
 

@@ -1,0 +1,273 @@
+"""Persisted experiment runs: one schema-versioned JSON record per cell.
+
+A *run* is one execution of the experiment matrix (see
+:mod:`repro.experiments.matrix`) and lives as a directory::
+
+    <root>/<run_id>/
+        manifest.json          # run metadata: revision, config, hashes
+        <cell>.json            # one record per executed matrix cell
+
+Records and manifests carry ``schema_version`` so old runs stay
+readable as the format evolves: version-N records pass through the
+upgrader chain in :data:`UPGRADERS` on load.  Loading is tolerant —
+corrupt or partial files are skipped and reported in
+:attr:`RunData.problems` instead of aborting, so one bad cell never
+hides a whole run's history from the trend report.
+
+Every record separates its *deterministic* payload (cell parameters,
+item counts, accuracy) from *volatile* measurement context (wall time,
+throughput, git revision, timestamps).  :func:`record_fingerprint`
+hashes only the former, which is what the determinism audit asserts:
+same config + same seed ⇒ identical fingerprint, run to run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.common.errors import ParameterError
+
+PathLike = Union[str, Path]
+
+#: Current on-disk format version for both manifests and cell records.
+SCHEMA_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+#: Top-level record fields that vary run-to-run on identical inputs;
+#: everything else must be bit-identical for a fixed (config, seed).
+VOLATILE_FIELDS = ("run_id", "git_revision", "started_unix", "timing")
+
+
+def _upgrade_v0(record: dict) -> dict:
+    """v0 kept wall_seconds / items_per_s at top level; v1 nests them
+    under ``timing`` so the volatile split is structural."""
+    record = dict(record)
+    timing = record.setdefault("timing", {})
+    for key in ("wall_seconds", "items_per_s"):
+        if key in record:
+            timing[key] = record.pop(key)
+    record["schema_version"] = 1
+    return record
+
+
+#: version -> upgrader producing the next version.
+UPGRADERS: Dict[int, Callable[[dict], dict]] = {0: _upgrade_v0}
+
+
+def upgrade_record(record: dict) -> dict:
+    """Bring a loaded record up to :data:`SCHEMA_VERSION` (or raise)."""
+    version = record.get("schema_version")
+    if not isinstance(version, int):
+        raise ParameterError("record has no integer schema_version")
+    if version > SCHEMA_VERSION:
+        raise ParameterError(
+            f"record schema_version {version} is newer than this "
+            f"code's {SCHEMA_VERSION}"
+        )
+    while version < SCHEMA_VERSION:
+        record = UPGRADERS[version](record)
+        if record.get("schema_version") == version:
+            raise ParameterError(f"upgrader for v{version} did not advance")
+        version = record["schema_version"]
+    return record
+
+
+def record_fingerprint(record: dict) -> str:
+    """SHA-256 over the record's deterministic payload only.
+
+    Two executions of the same cell with the same seed on any machine
+    must produce identical fingerprints; wall time, throughput, git
+    revision and run identity are excluded.
+    """
+    payload = {
+        key: value for key, value in record.items()
+        if key not in VOLATILE_FIELDS
+    }
+    return hashlib.sha256(_canonical_json(payload).encode()).hexdigest()
+
+
+def config_hash(config: dict) -> str:
+    """Stable short hash of a matrix config (order-insensitive)."""
+    return hashlib.sha256(_canonical_json(config).encode()).hexdigest()[:16]
+
+
+def _canonical_json(value) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def git_revision(cwd: Optional[PathLike] = None) -> str:
+    """Current git commit hash, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd else None,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def safe_name(text: str) -> str:
+    """Collapse a cell id into a filesystem-safe file stem."""
+    return _SAFE_NAME.sub("-", text).strip("-") or "cell"
+
+
+@dataclass
+class RunData:
+    """One loaded run: manifest + per-cell records + load problems."""
+
+    run_id: str
+    manifest: dict
+    records: Dict[str, dict] = field(default_factory=dict)
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def created_unix(self) -> float:
+        return float(self.manifest.get("created_unix", 0.0))
+
+    @property
+    def revision(self) -> str:
+        return str(self.manifest.get("git_revision", "unknown"))
+
+    def sort_key(self):
+        """Total order for trend merging: creation time, then id."""
+        return (self.created_unix, self.run_id)
+
+
+class RunStore:
+    """Directory-of-runs persistence with tolerant loading."""
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def create_run(
+        self,
+        config: dict,
+        run_id: Optional[str] = None,
+        revision: Optional[str] = None,
+        created_unix: Optional[float] = None,
+    ) -> str:
+        """Allocate a run directory and write its manifest."""
+        created = time.time() if created_unix is None else created_unix
+        if run_id is None:
+            stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime(created))
+            run_id = f"{stamp}-{config_hash(config)[:6]}"
+        run_dir = self.root / run_id
+        if run_dir.exists():
+            raise ParameterError(f"run {run_id!r} already exists")
+        run_dir.mkdir(parents=True)
+        manifest = {
+            "schema_version": SCHEMA_VERSION,
+            "run_id": run_id,
+            "created_unix": created,
+            # The revision of the *code under measurement* (this source
+            # tree), not of whatever directory holds the run store —
+            # stores often live outside the checkout (CI uses /tmp).
+            "git_revision": revision or git_revision(Path(__file__).parent),
+            "config_hash": config_hash(config),
+            "config": config,
+            "cells_total": None,
+            "cells_completed": 0,
+            "wall_seconds": None,
+        }
+        self._write_json(run_dir / MANIFEST_NAME, manifest)
+        return run_id
+
+    def write_record(self, run_id: str, record: dict) -> Path:
+        """Persist one cell record (atomically) into the run directory."""
+        if "cell_id" not in record:
+            raise ParameterError("record must carry a cell_id")
+        record.setdefault("schema_version", SCHEMA_VERSION)
+        record.setdefault("run_id", run_id)
+        path = self.run_dir(run_id) / f"{safe_name(record['cell_id'])}.json"
+        self._write_json(path, record)
+        return path
+
+    def update_manifest(self, run_id: str, **fields) -> dict:
+        """Merge ``fields`` into the run's manifest (e.g. on completion)."""
+        path = self.run_dir(run_id) / MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        manifest.update(fields)
+        self._write_json(path, manifest)
+        return manifest
+
+    @staticmethod
+    def _write_json(path: Path, payload: dict) -> None:
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def run_dir(self, run_id: str) -> Path:
+        run_dir = self.root / run_id
+        if not run_dir.is_dir():
+            raise ParameterError(f"no such run: {run_id!r} under {self.root}")
+        return run_dir
+
+    def list_runs(self) -> List[str]:
+        """Run ids sorted by manifest creation time (oldest first)."""
+        return [run.run_id for run in self.load_all()]
+
+    def load_all(self) -> List[RunData]:
+        """Load every run directory, sorted oldest-first."""
+        runs = []
+        if not self.root.is_dir():
+            return runs
+        for entry in sorted(self.root.iterdir()):
+            if entry.is_dir() and (entry / MANIFEST_NAME).exists():
+                runs.append(self.load_run(entry.name))
+        runs.sort(key=RunData.sort_key)
+        return runs
+
+    def load_run(self, run_id: str) -> RunData:
+        """Load one run, skipping (and reporting) unreadable cells."""
+        run_dir = self.run_dir(run_id)
+        problems: List[str] = []
+        manifest: dict = {}
+        try:
+            manifest = json.loads((run_dir / MANIFEST_NAME).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"{MANIFEST_NAME}: {exc}")
+        data = RunData(run_id=run_id, manifest=manifest, problems=problems)
+        for path in sorted(run_dir.glob("*.json")):
+            if path.name == MANIFEST_NAME:
+                continue
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                problems.append(f"{path.name}: unreadable ({exc})")
+                continue
+            if not isinstance(record, dict):
+                problems.append(f"{path.name}: not a JSON object")
+                continue
+            try:
+                record = upgrade_record(record)
+            except ParameterError as exc:
+                problems.append(f"{path.name}: {exc}")
+                continue
+            cell_id = record.get("cell_id")
+            if not cell_id or "timing" not in record:
+                problems.append(f"{path.name}: partial record, skipped")
+                continue
+            data.records[cell_id] = record
+        return data

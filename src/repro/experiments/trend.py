@@ -1,0 +1,359 @@
+"""Cross-run trends and regression gates over persisted matrix runs.
+
+:func:`merge_runs` folds any number of loaded runs into per-cell
+series ordered by run creation time (ties broken by run id, so merging
+is order-insensitive — the property the run-store tests pin).  The
+series feed two consumers:
+
+* :func:`render_markdown` / :func:`render_html` — the trend report:
+  accuracy-vs-memory curves from the newest run, items/s trajectories
+  for every cell across recorded revisions, and the regression flags.
+* :func:`evaluate_gates` — ratio gates generalizing the throughput
+  bench's 15 % rule: a candidate run fails when any cell's throughput
+  falls below ``min_throughput_ratio`` × baseline or its F1 (overall or
+  in-band) drops more than ``max_f1_drop`` absolute.  Cells without a
+  baseline counterpart and baseline measurements poisoned by counter
+  resets (non-positive or non-finite throughput) are *notes*, not
+  failures — a new cell or a corrupted baseline must not block a PR —
+  but a non-positive candidate throughput is always a violation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.harness import format_rows
+from repro.experiments.runstore import RunData
+
+#: One trend series: ``[(run, record), ...]`` oldest run first.
+CellSeries = List[Tuple[RunData, dict]]
+
+
+def merge_runs(runs: Sequence[RunData]) -> Dict[str, CellSeries]:
+    """Per-cell history across runs, oldest first.
+
+    Input order does not matter: series are sorted by each run's
+    ``(created_unix, run_id)`` key, so histories merged from differently
+    ordered run lists are identical.
+    """
+    series: Dict[str, CellSeries] = {}
+    for run in sorted(runs, key=RunData.sort_key):
+        for cell_id, record in sorted(run.records.items()):
+            series.setdefault(cell_id, []).append((run, record))
+    return series
+
+
+def _throughput(record: dict) -> float:
+    try:
+        return float(record["timing"]["items_per_s"])
+    except (KeyError, TypeError, ValueError):
+        return float("nan")
+
+
+def _f1(record: dict, which: str = "overall") -> float:
+    try:
+        return float(record["accuracy"][which]["f1"])
+    except (KeyError, TypeError, ValueError):
+        return float("nan")
+
+
+# ----------------------------------------------------------------------
+# regression gates
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GatePolicy:
+    """Ratio thresholds a candidate run must hold against the baseline."""
+
+    min_throughput_ratio: float = 0.85
+    max_f1_drop: float = 0.05
+    max_band_f1_drop: float = 0.10
+
+    @classmethod
+    def from_config(cls, config: dict) -> "GatePolicy":
+        gate = (config or {}).get("gate", {})
+        return cls(
+            min_throughput_ratio=float(gate.get("min_throughput_ratio", 0.85)),
+            max_f1_drop=float(gate.get("max_f1_drop", 0.05)),
+            max_band_f1_drop=float(gate.get("max_band_f1_drop", 0.10)),
+        )
+
+
+@dataclass(frozen=True)
+class GateViolation:
+    """One tripped gate, with the numbers that tripped it."""
+
+    cell_id: str
+    metric: str
+    baseline: float
+    candidate: float
+    limit: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.cell_id}: {self.metric} regressed — baseline "
+            f"{self.baseline:.4g}, candidate {self.candidate:.4g} "
+            f"(limit {self.limit:.4g})"
+        )
+
+
+@dataclass
+class GateResult:
+    """Outcome of gating one candidate run against one baseline run."""
+
+    baseline_run: str
+    candidate_run: str
+    policy: GatePolicy
+    violations: List[GateViolation] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+
+def evaluate_gates(
+    baseline: RunData, candidate: RunData, policy: GatePolicy = GatePolicy()
+) -> GateResult:
+    """Apply the ratio gates cell by cell."""
+    result = GateResult(
+        baseline_run=baseline.run_id,
+        candidate_run=candidate.run_id,
+        policy=policy,
+    )
+    for cell_id, record in sorted(candidate.records.items()):
+        base = baseline.records.get(cell_id)
+        if base is None:
+            result.notes.append(
+                f"{cell_id}: no baseline cell (new in {candidate.run_id})"
+            )
+            continue
+
+        cand_tp, base_tp = _throughput(record), _throughput(base)
+        if not math.isfinite(cand_tp) or cand_tp <= 0:
+            result.violations.append(GateViolation(
+                cell_id, "items_per_s (invalid measurement)",
+                base_tp, cand_tp, 0.0,
+            ))
+        elif not math.isfinite(base_tp) or base_tp <= 0:
+            # Counter reset / corrupt baseline: nothing sane to ratio
+            # against, so record it loudly but do not fail the gate.
+            result.notes.append(
+                f"{cell_id}: baseline throughput unusable "
+                f"({base_tp!r}); throughput gate skipped"
+            )
+        elif cand_tp < policy.min_throughput_ratio * base_tp:
+            result.violations.append(GateViolation(
+                cell_id, "items_per_s", base_tp, cand_tp,
+                policy.min_throughput_ratio * base_tp,
+            ))
+
+        for which, budget in (
+            ("overall", policy.max_f1_drop),
+            ("band", policy.max_band_f1_drop),
+        ):
+            cand_f1, base_f1 = _f1(record, which), _f1(base, which)
+            if not (math.isfinite(cand_f1) and math.isfinite(base_f1)):
+                result.notes.append(
+                    f"{cell_id}: {which} f1 missing on one side; skipped"
+                )
+                continue
+            if cand_f1 < base_f1 - budget:
+                result.violations.append(GateViolation(
+                    cell_id, f"{which}_f1", base_f1, cand_f1,
+                    base_f1 - budget,
+                ))
+    for cell_id in sorted(set(baseline.records) - set(candidate.records)):
+        result.notes.append(
+            f"{cell_id}: present in baseline only (dropped cell?)"
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# trend report rendering
+# ----------------------------------------------------------------------
+def _short(revision: str) -> str:
+    return revision[:10] if revision else "unknown"
+
+
+def _runs_table(runs: Sequence[RunData]) -> List[dict]:
+    rows = []
+    for run in sorted(runs, key=RunData.sort_key):
+        rows.append({
+            "run_id": run.run_id,
+            "revision": _short(run.revision),
+            "config_hash": run.manifest.get("config_hash", "?"),
+            "cells": len(run.records),
+            "wall_s": run.manifest.get("wall_seconds", ""),
+            "problems": len(run.problems),
+        })
+    return rows
+
+
+def _accuracy_curves(latest: RunData) -> Dict[str, List[dict]]:
+    """Accuracy-vs-memory tables, one per (workload, algorithm, engine,
+    scale) group of the newest run, rows ascending in memory."""
+    groups: Dict[str, List[dict]] = {}
+    for record in latest.records.values():
+        cell = record.get("cell", {})
+        label = (
+            f"{cell.get('workload')} · {cell.get('algorithm')} "
+            f"({cell.get('engine')}) · n={cell.get('scale')}"
+        )
+        groups.setdefault(label, []).append({
+            "memory_bytes": cell.get("memory_bytes", 0),
+            "f1": _f1(record),
+            "precision": record["accuracy"]["overall"].get("precision"),
+            "recall": record["accuracy"]["overall"].get("recall"),
+            "band_f1": _f1(record, "band"),
+            "band_keys": record["accuracy"]["band"].get("band_keys"),
+            "items_per_s": _throughput(record),
+        })
+    for rows in groups.values():
+        rows.sort(key=lambda row: row["memory_bytes"])
+    return dict(sorted(groups.items()))
+
+
+def _trajectory_rows(series: Dict[str, CellSeries]) -> List[dict]:
+    rows = []
+    for cell_id, history in series.items():
+        first_tp = _throughput(history[0][1])
+        run, record = history[-1]
+        tp = _throughput(record)
+        rows.append({
+            "cell": cell_id,
+            "runs": len(history),
+            "first_items_per_s": first_tp,
+            "last_items_per_s": tp,
+            "ratio_vs_first": (
+                round(tp / first_tp, 3)
+                if math.isfinite(first_tp) and first_tp > 0 else ""
+            ),
+            "last_revision": _short(run.revision),
+            "f1_now": _f1(record),
+        })
+    return rows
+
+
+def render_markdown(
+    runs: Sequence[RunData], gate: Optional[GateResult] = None
+) -> str:
+    """The trend report: one self-contained Markdown document."""
+    runs = sorted(runs, key=RunData.sort_key)
+    if not runs:
+        return "# Matrix trend report\n\n(no persisted runs found)\n"
+    latest = runs[-1]
+    series = merge_runs(runs)
+    lines: List[str] = []
+    add = lines.append
+    add("# Matrix trend report")
+    add("")
+    add(
+        f"{len(runs)} recorded run(s), {len(series)} distinct cell(s); "
+        f"newest run `{latest.run_id}` at revision "
+        f"`{_short(latest.revision)}`."
+    )
+    add("")
+    add("## Runs")
+    add("")
+    add("```")
+    add(format_rows(_runs_table(runs)))
+    add("```")
+
+    add("")
+    add("## Regression flags")
+    add("")
+    if gate is None:
+        add("(gating skipped — fewer than two runs or gating not requested)")
+    elif gate.passed:
+        add(
+            f"**PASS** — `{gate.candidate_run}` vs baseline "
+            f"`{gate.baseline_run}` (min throughput ratio "
+            f"{gate.policy.min_throughput_ratio}, max F1 drop "
+            f"{gate.policy.max_f1_drop})."
+        )
+    else:
+        add(
+            f"**FAIL** — {len(gate.violations)} violation(s), "
+            f"`{gate.candidate_run}` vs `{gate.baseline_run}`:"
+        )
+        add("")
+        for violation in gate.violations:
+            add(f"- {violation}")
+    if gate is not None and gate.notes:
+        add("")
+        for note in gate.notes:
+            add(f"> note: {note}")
+
+    add("")
+    add("## Accuracy vs memory (newest run)")
+    for label, rows in _accuracy_curves(latest).items():
+        add("")
+        add(f"### {label}")
+        add("")
+        add("```")
+        add(format_rows(rows))
+        add("```")
+
+    add("")
+    add("## Throughput trajectories across runs")
+    add("")
+    add("```")
+    add(format_rows(_trajectory_rows(series)))
+    add("```")
+
+    problems = [
+        f"{run.run_id}: {problem}" for run in runs for problem in run.problems
+    ]
+    if problems:
+        add("")
+        add("## Load problems")
+        add("")
+        for problem in problems:
+            add(f"- {problem}")
+    add("")
+    return "\n".join(lines)
+
+
+def render_html(
+    runs: Sequence[RunData], gate: Optional[GateResult] = None
+) -> str:
+    """Minimal standalone HTML wrapper around the Markdown report."""
+    import html as _html
+
+    markdown = render_markdown(runs, gate=gate)
+    body: List[str] = []
+    in_code = False
+    for line in markdown.splitlines():
+        if line.startswith("```"):
+            body.append("</pre>" if in_code else "<pre>")
+            in_code = not in_code
+            continue
+        if in_code:
+            body.append(_html.escape(line))
+        elif line.startswith("### "):
+            body.append(f"<h3>{_html.escape(line[4:])}</h3>")
+        elif line.startswith("## "):
+            body.append(f"<h2>{_html.escape(line[3:])}</h2>")
+        elif line.startswith("# "):
+            body.append(f"<h1>{_html.escape(line[2:])}</h1>")
+        elif line.startswith("- "):
+            body.append(f"<li>{_html.escape(line[2:])}</li>")
+        elif line.startswith("> "):
+            body.append(
+                f"<blockquote>{_html.escape(line[2:])}</blockquote>"
+            )
+        else:
+            body.append(f"<p>{_html.escape(line)}</p>" if line else "")
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        "<title>Matrix trend report</title><style>"
+        "body{font-family:sans-serif;margin:2rem;max-width:70rem}"
+        "pre{background:#f6f8fa;padding:.75rem;overflow-x:auto}"
+        "blockquote{color:#57606a;margin:.2rem 0}"
+        "</style></head><body>\n"
+        + "\n".join(body)
+        + "\n</body></html>\n"
+    )

@@ -1,5 +1,9 @@
 """The ``repro`` operations CLI: ``stats``, ``watch``, ``trace``,
-``serve`` and ``health``.
+``serve``, ``health`` and ``matrix``.
+
+``repro matrix run|report|gate`` (the config-driven experiment matrix
+with persisted runs, trend reports and regression gates) is documented
+in :mod:`repro.experiments.cli`; this module forwards it there.
 
 All subcommands drive a live :class:`~repro.parallel.pipeline.
 ParallelPipeline` (workers, bounded queues, per-worker registries) over
@@ -397,6 +401,14 @@ def _cmd_health(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "matrix":
+        # The experiment-matrix family (run|report|gate) lives with the
+        # experiment harness; ``repro matrix`` is its operations-CLI door.
+        from repro.experiments.cli import matrix_main
+
+        return matrix_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "stats":
         return _cmd_stats(args)

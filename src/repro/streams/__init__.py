@@ -13,6 +13,7 @@ from repro.streams.zipf import ZipfConfig, generate_zipf_trace
 from repro.streams.caida_like import CaidaLikeConfig, generate_caida_like_trace
 from repro.streams.cloud_like import CloudLikeConfig, generate_cloud_like_trace
 from repro.streams.drift import DriftConfig, generate_drift_trace
+from repro.streams.bursty import BurstyConfig, generate_bursty_trace
 from repro.streams.trace_io import save_trace, load_trace
 from repro.streams.live import (
     batch_detect_stream,
@@ -33,6 +34,8 @@ __all__ = [
     "generate_cloud_like_trace",
     "DriftConfig",
     "generate_drift_trace",
+    "BurstyConfig",
+    "generate_bursty_trace",
     "save_trace",
     "load_trace",
     "detect_stream",

@@ -1,0 +1,145 @@
+"""Bursty / adversarial workload: anomalies arrive in concentrated waves.
+
+The drift workload changes *which* keys are anomalous; this one changes
+*when* anomalies happen.  Traffic is a stationary Zipf background, but
+the stream is punctuated by burst windows during which a small rotating
+key set floods in with values far above the threshold, then goes quiet
+again.  This is the adversarial shape for a reset-based structure: a
+burst must be caught while it lasts (its keys' Qweight accrues only
+inside the window), and the quiet periods between bursts are where a
+sketch's stale state would keep alarming.
+
+The trace's metadata records each burst window ``(start, end)`` and its
+key set, so experiments can score per-burst detection latency and
+post-burst false alarms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ParameterError
+from repro.common.rng import np_rng
+from repro.streams.model import Trace
+from repro.streams.zipf import sample_zipf_keys
+
+
+@dataclass(frozen=True)
+class BurstyConfig:
+    """Parameters of the bursty workload.
+
+    Attributes
+    ----------
+    num_items, num_keys, alpha:
+        Background traffic, as in the CAIDA-like generator.
+    num_bursts:
+        How many burst windows the stream contains (evenly spaced).
+    burst_length:
+        Items per burst window.
+    burst_keys:
+        Size of each burst's anomalous key set (fresh draw per burst).
+    burst_share:
+        Fraction of in-window items hijacked by the burst key set; the
+        rest stay background traffic, so a burst never fully masks the
+        baseline (1.0 = the adversarial extreme).
+    base_value, value_sigma:
+        Background value model ``base * lognormal(sigma)``.
+    burst_boost:
+        Multiplier on ``base_value`` for burst-key items inside their
+        window — size it so boosted values clear the threshold.
+    seed:
+        Master seed; keys, values and burst membership all derive from it.
+    """
+
+    num_items: int = 60_000
+    num_keys: int = 1_000
+    alpha: float = 1.05
+    num_bursts: int = 4
+    burst_length: int = 5_000
+    burst_keys: int = 12
+    burst_share: float = 0.7
+    base_value: float = 120.0
+    value_sigma: float = 0.6
+    burst_boost: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_bursts < 1:
+            raise ParameterError(
+                f"num_bursts must be >= 1, got {self.num_bursts}"
+            )
+        if self.num_bursts * self.burst_length > self.num_items:
+            raise ParameterError(
+                "burst windows exceed the stream: num_bursts * burst_length "
+                f"= {self.num_bursts * self.burst_length} > {self.num_items}"
+            )
+        if not 0.0 < self.burst_share <= 1.0:
+            raise ParameterError(
+                f"burst_share must be in (0, 1], got {self.burst_share}"
+            )
+        if self.burst_keys < 1 or self.burst_keys > self.num_keys:
+            raise ParameterError(
+                f"burst_keys must be in [1, num_keys], got {self.burst_keys}"
+            )
+
+
+def burst_windows(config: BurstyConfig):
+    """``(start, end)`` item index of each burst, evenly spaced.
+
+    Bursts are centred in ``num_bursts`` equal stream segments, so
+    every burst is surrounded by quiet traffic on both sides.
+
+    >>> burst_windows(BurstyConfig(num_items=100, num_bursts=2,
+    ...                            burst_length=10))
+    [(20, 30), (70, 80)]
+    """
+    segment = config.num_items // config.num_bursts
+    windows = []
+    for burst in range(config.num_bursts):
+        start = burst * segment + (segment - config.burst_length) // 2
+        windows.append((start, start + config.burst_length))
+    return windows
+
+
+def generate_bursty_trace(config: BurstyConfig = BurstyConfig()) -> Trace:
+    """Generate the burst-punctuated trace."""
+    rng = np_rng(config.seed, "bursty-trace")
+    keys = sample_zipf_keys(config.num_items, config.num_keys, config.alpha, rng)
+    values = config.base_value * rng.lognormal(
+        mean=0.0, sigma=config.value_sigma, size=config.num_items
+    )
+
+    windows = burst_windows(config)
+    burst_sets = []
+    for start, end in windows:
+        burst_set = rng.choice(
+            config.num_keys, size=config.burst_keys, replace=False
+        ).astype(np.int64)
+        burst_sets.append({int(k) for k in burst_set})
+        window = slice(start, end)
+        length = end - start
+        hijacked = rng.random(length) < config.burst_share
+        count = int(np.count_nonzero(hijacked))
+        burst_keys = rng.choice(burst_set, size=count, replace=True)
+        keys[window][hijacked] = burst_keys
+        boosted = config.base_value * config.burst_boost * rng.lognormal(
+            mean=0.0, sigma=config.value_sigma, size=count
+        )
+        values[window][hijacked] = boosted
+
+    return Trace(
+        keys=keys,
+        values=values,
+        name="bursty",
+        metadata={
+            "generator": "bursty",
+            "num_keys": config.num_keys,
+            "burst_windows": windows,
+            "burst_key_sets": [sorted(s) for s in burst_sets],
+            "burst_boost": config.burst_boost,
+            "base_value": config.base_value,
+            "seed": config.seed,
+        },
+    )

@@ -24,7 +24,10 @@ class TestPaperDefaults:
 
 class TestDatasets:
     def test_registry_contents(self):
-        assert set(DATASETS) == {"internet", "cloud", "zipf-large", "zipf-small"}
+        assert set(DATASETS) == {
+            "internet", "cloud", "zipf-large", "zipf-small",
+            "drift", "bursty",
+        }
 
     @pytest.mark.parametrize("name", sorted(DATASETS))
     def test_build_small_trace(self, name):

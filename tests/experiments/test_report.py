@@ -3,6 +3,7 @@
 from repro.experiments import figures
 from repro.experiments.report import (
     REPORT_DRIVERS,
+    matrix_appendix,
     render_report,
     run_all_figures,
     write_report,
@@ -51,6 +52,32 @@ class TestReport:
         assert path.exists()
         content = path.read_text()
         assert content.startswith("# QuantileFilter reproduction report")
+
+    def test_matrix_appendix_empty_store(self, tmp_path):
+        assert matrix_appendix(tmp_path / "none") == ""
+
+    def test_report_appends_matrix_trends(self, tmp_path):
+        from repro.experiments import RunStore, run_matrix
+
+        config = {
+            "matrix": {"name": "rpt", "seed": 0},
+            "axes": {
+                "algorithms": ["quantilefilter"],
+                "engines": ["scalar"],
+                "workloads": ["internet"],
+                "memory_bytes": [16384],
+                "scales": [1000],
+            },
+        }
+        store = RunStore(tmp_path / "runs")
+        run_matrix(config, store, run_id="rpt-run")
+        path = write_report(
+            tmp_path / "REPORT.md", scale=1_500, seed=0,
+            drivers=FAST_DRIVERS, matrix_runs=tmp_path / "runs",
+        )
+        content = path.read_text()
+        assert "## Matrix trend report" in content  # demoted heading
+        assert "rpt-run" in content
 
     def test_cli_report_command(self, tmp_path, capsys):
         from repro.experiments.cli import main

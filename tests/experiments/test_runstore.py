@@ -1,0 +1,215 @@
+"""Tests for the persisted run store (schema, tolerance, merging)."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ParameterError
+from repro.experiments.runstore import (
+    SCHEMA_VERSION,
+    RunData,
+    RunStore,
+    config_hash,
+    record_fingerprint,
+    safe_name,
+    upgrade_record,
+)
+from repro.experiments.trend import merge_runs
+
+
+def make_record(cell_id="internet/quantilefilter/scalar/m1024/n100",
+                f1=1.0, items_per_s=1000.0, **extra):
+    record = {
+        "schema_version": SCHEMA_VERSION,
+        "cell_id": cell_id,
+        "cell": {"workload": "internet", "memory_bytes": 1024},
+        "items": 100,
+        "actual_bytes": 1024,
+        "reported_keys": 3,
+        "accuracy": {
+            "overall": {"precision": 1.0, "recall": f1, "f1": f1},
+            "band": {"band_keys": 2, "precision": 1.0, "recall": 1.0,
+                     "f1": 1.0},
+        },
+        "timing": {"wall_seconds": 0.1, "items_per_s": items_per_s},
+    }
+    record.update(extra)
+    return record
+
+
+class TestRoundTrip:
+    def test_write_load_round_trip(self, tmp_path):
+        store = RunStore(tmp_path)
+        config = {"axes": {"workloads": ["internet"]}}
+        run_id = store.create_run(config, run_id="r1", revision="abc123")
+        record = make_record()
+        store.write_record(run_id, dict(record))
+        loaded = store.load_run(run_id)
+        assert loaded.problems == []
+        got = loaded.records[record["cell_id"]]
+        assert got["schema_version"] == SCHEMA_VERSION
+        assert got["accuracy"] == record["accuracy"]
+        assert got["run_id"] == "r1"
+        assert loaded.revision == "abc123"
+        assert loaded.manifest["config_hash"] == config_hash(config)
+
+    def test_duplicate_run_id_rejected(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.create_run({}, run_id="r1")
+        with pytest.raises(ParameterError):
+            store.create_run({}, run_id="r1")
+
+    def test_record_requires_cell_id(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.create_run({}, run_id="r1")
+        with pytest.raises(ParameterError):
+            store.write_record("r1", {"items": 1})
+
+    def test_v0_record_upgrades_on_load(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.create_run({}, run_id="r1")
+        v0 = make_record()
+        timing = v0.pop("timing")
+        v0.update(timing)  # v0 kept timing fields at top level
+        v0["schema_version"] = 0
+        path = tmp_path / "r1" / "old-cell.json"
+        path.write_text(json.dumps(v0))
+        loaded = store.load_run("r1")
+        assert loaded.problems == []
+        got = loaded.records[v0["cell_id"]]
+        assert got["schema_version"] == SCHEMA_VERSION
+        assert got["timing"]["items_per_s"] == timing["items_per_s"]
+        assert "items_per_s" not in got  # moved, not duplicated
+
+    def test_future_schema_is_skipped_not_fatal(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.create_run({}, run_id="r1")
+        record = make_record(schema_version=SCHEMA_VERSION + 1)
+        (tmp_path / "r1" / "future.json").write_text(json.dumps(record))
+        loaded = store.load_run("r1")
+        assert loaded.records == {}
+        assert any("newer" in problem for problem in loaded.problems)
+
+    def test_upgrade_rejects_missing_version(self):
+        with pytest.raises(ParameterError):
+            upgrade_record({"cell_id": "x"})
+
+
+class TestTolerantLoading:
+    def _store_with_good_record(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.create_run({}, run_id="r1")
+        store.write_record("r1", make_record())
+        return store
+
+    def test_corrupt_json_is_reported_not_fatal(self, tmp_path):
+        store = self._store_with_good_record(tmp_path)
+        (tmp_path / "r1" / "corrupt.json").write_text("{not json!")
+        loaded = store.load_run("r1")
+        assert len(loaded.records) == 1
+        assert any("corrupt.json" in problem for problem in loaded.problems)
+
+    def test_partial_record_is_reported_not_fatal(self, tmp_path):
+        store = self._store_with_good_record(tmp_path)
+        partial = {"schema_version": SCHEMA_VERSION, "cell_id": "partial/x"}
+        (tmp_path / "r1" / "partial.json").write_text(json.dumps(partial))
+        loaded = store.load_run("r1")
+        assert "partial/x" not in loaded.records
+        assert any("partial" in problem for problem in loaded.problems)
+
+    def test_non_object_record_is_reported(self, tmp_path):
+        store = self._store_with_good_record(tmp_path)
+        (tmp_path / "r1" / "list.json").write_text("[1, 2, 3]")
+        loaded = store.load_run("r1")
+        assert any("not a JSON object" in p for p in loaded.problems)
+
+    def test_corrupt_manifest_still_loads_records(self, tmp_path):
+        store = self._store_with_good_record(tmp_path)
+        (tmp_path / "r1" / "manifest.json").write_text("oops")
+        loaded = store.load_run("r1")
+        assert len(loaded.records) == 1
+        assert any("manifest.json" in problem for problem in loaded.problems)
+
+    def test_missing_run_raises(self, tmp_path):
+        with pytest.raises(ParameterError):
+            RunStore(tmp_path).load_run("nope")
+
+    def test_empty_root_lists_nothing(self, tmp_path):
+        assert RunStore(tmp_path / "absent").list_runs() == []
+
+
+class TestFingerprint:
+    def test_volatile_fields_excluded(self):
+        a = make_record()
+        b = make_record()
+        b["timing"] = {"wall_seconds": 99.0, "items_per_s": 1.0}
+        b["run_id"] = "other"
+        b["git_revision"] = "fff"
+        b["started_unix"] = 1.0
+        assert record_fingerprint(a) == record_fingerprint(b)
+
+    def test_deterministic_fields_included(self):
+        a = make_record()
+        b = make_record(f1=0.5)
+        assert record_fingerprint(a) != record_fingerprint(b)
+
+    def test_config_hash_order_insensitive(self):
+        assert config_hash({"a": 1, "b": [2, 3]}) == \
+            config_hash({"b": [2, 3], "a": 1})
+
+    def test_safe_name(self):
+        assert safe_name("a/b c:d") == "a-b-c-d"
+        assert safe_name("///") == "cell"
+
+
+class TestOrdering:
+    """Trend merging must not depend on load or creation order."""
+
+    @given(st.permutations(list(range(6))))
+    def test_merge_is_order_insensitive(self, order):
+        runs = []
+        for index in range(6):
+            run = RunData(
+                run_id=f"r{index}",
+                manifest={"created_unix": float(index // 2)},  # ties!
+                records={"cell/a": make_record("cell/a",
+                                               items_per_s=float(index))},
+            )
+            runs.append(run)
+        reference = merge_runs(runs)
+        shuffled = merge_runs([runs[i] for i in order])
+        assert [
+            (run.run_id, record["timing"]["items_per_s"])
+            for run, record in reference["cell/a"]
+        ] == [
+            (run.run_id, record["timing"]["items_per_s"])
+            for run, record in shuffled["cell/a"]
+        ]
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0, max_value=1e9),
+                      st.integers(min_value=0, max_value=10**6)),
+            min_size=1, max_size=8, unique=True,
+        )
+    )
+    def test_series_sorted_by_creation_then_id(self, stamps):
+        runs = [
+            RunData(
+                run_id=f"run-{suffix:06d}",
+                manifest={"created_unix": created},
+                records={"cell/a": make_record("cell/a")},
+            )
+            for created, suffix in stamps
+        ]
+        series = merge_runs(runs)["cell/a"]
+        keys = [run.sort_key() for run, _record in series]
+        assert keys == sorted(keys)
+        assert len(series) == len(stamps)
+
+    def test_store_lists_by_creation_time(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.create_run({}, run_id="newer", created_unix=2000.0)
+        store.create_run({}, run_id="older", created_unix=1000.0)
+        assert store.list_runs() == ["older", "newer"]

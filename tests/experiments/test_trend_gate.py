@@ -1,0 +1,189 @@
+"""Tests for regression gating and trend report rendering."""
+
+from repro.experiments.runstore import RunData
+from repro.experiments.trend import (
+    GatePolicy,
+    evaluate_gates,
+    merge_runs,
+    render_html,
+    render_markdown,
+)
+from tests.experiments.test_runstore import make_record
+
+
+def run_with(records, run_id="run", created=0.0, revision="rev"):
+    return RunData(
+        run_id=run_id,
+        manifest={
+            "created_unix": created, "git_revision": revision,
+            "config_hash": "cfg", "wall_seconds": 1.0,
+        },
+        records={record["cell_id"]: record for record in records},
+    )
+
+
+CELL = "internet/quantilefilter/scalar/m1024/n100"
+
+
+class TestGateTripping:
+    def test_identical_runs_pass(self):
+        base = run_with([make_record(CELL)], "base", 0.0)
+        cand = run_with([make_record(CELL)], "cand", 1.0)
+        result = evaluate_gates(base, cand)
+        assert result.passed
+        assert result.violations == []
+
+    def test_small_slowdown_passes(self):
+        base = run_with([make_record(CELL, items_per_s=1000.0)], "base")
+        cand = run_with([make_record(CELL, items_per_s=900.0)], "cand", 1.0)
+        assert evaluate_gates(base, cand).passed
+
+    def test_big_slowdown_trips(self):
+        base = run_with([make_record(CELL, items_per_s=1000.0)], "base")
+        cand = run_with([make_record(CELL, items_per_s=100.0)], "cand", 1.0)
+        result = evaluate_gates(base, cand)
+        assert not result.passed
+        assert result.violations[0].metric == "items_per_s"
+        assert result.violations[0].baseline == 1000.0
+
+    def test_gate_threshold_is_configurable(self):
+        base = run_with([make_record(CELL, items_per_s=1000.0)], "base")
+        cand = run_with([make_record(CELL, items_per_s=700.0)], "cand", 1.0)
+        assert not evaluate_gates(base, cand).passed
+        lax = GatePolicy(min_throughput_ratio=0.5)
+        assert evaluate_gates(base, cand, lax).passed
+
+    def test_f1_drop_trips(self):
+        base = run_with([make_record(CELL, f1=0.95)], "base")
+        cand = run_with([make_record(CELL, f1=0.70)], "cand", 1.0)
+        result = evaluate_gates(base, cand)
+        assert [v.metric for v in result.violations] == ["overall_f1"]
+
+    def test_band_f1_drop_trips_its_own_gate(self):
+        record = make_record(CELL)
+        record["accuracy"]["band"]["f1"] = 0.5
+        base = run_with([make_record(CELL)], "base")
+        cand = run_with([record], "cand", 1.0)
+        result = evaluate_gates(base, cand)
+        assert [v.metric for v in result.violations] == ["band_f1"]
+
+    def test_speedup_and_f1_gain_pass(self):
+        base = run_with([make_record(CELL, f1=0.9, items_per_s=100.0)],
+                        "base")
+        cand = run_with([make_record(CELL, f1=1.0, items_per_s=500.0)],
+                        "cand", 1.0)
+        assert evaluate_gates(base, cand).passed
+
+    def test_policy_from_config(self):
+        policy = GatePolicy.from_config(
+            {"gate": {"min_throughput_ratio": 0.5, "max_f1_drop": 0.2}}
+        )
+        assert policy.min_throughput_ratio == 0.5
+        assert policy.max_f1_drop == 0.2
+        assert policy.max_band_f1_drop == 0.10  # default survives
+        assert GatePolicy.from_config({}) == GatePolicy()
+
+
+class TestGateEdgeCases:
+    def test_missing_baseline_cell_is_note_not_violation(self):
+        base = run_with([make_record(CELL)], "base")
+        new_cell = make_record("cloud/quantilefilter/scalar/m1024/n100")
+        cand = run_with([make_record(CELL), new_cell], "cand", 1.0)
+        result = evaluate_gates(base, cand)
+        assert result.passed
+        assert any("no baseline" in note for note in result.notes)
+
+    def test_dropped_cell_is_note(self):
+        base = run_with([make_record(CELL),
+                         make_record("cloud/qf/scalar/m1/n1")], "base")
+        cand = run_with([make_record(CELL)], "cand", 1.0)
+        result = evaluate_gates(base, cand)
+        assert result.passed
+        assert any("baseline only" in note for note in result.notes)
+
+    def test_counter_reset_baseline_skips_throughput_gate(self):
+        # A counter reset mid-run can persist items_per_s == 0 (or a
+        # negative artefact); there is nothing sane to ratio against.
+        for poisoned in (0.0, -12.0, float("nan"), float("inf")):
+            base = run_with([make_record(CELL, items_per_s=poisoned)],
+                            "base")
+            cand = run_with([make_record(CELL, items_per_s=500.0)],
+                            "cand", 1.0)
+            result = evaluate_gates(base, cand)
+            assert result.passed, poisoned
+            assert any("unusable" in note for note in result.notes)
+
+    def test_counter_reset_candidate_is_violation(self):
+        base = run_with([make_record(CELL, items_per_s=1000.0)], "base")
+        cand = run_with([make_record(CELL, items_per_s=0.0)], "cand", 1.0)
+        result = evaluate_gates(base, cand)
+        assert not result.passed
+        assert "invalid" in result.violations[0].metric
+
+    def test_missing_f1_is_note(self):
+        broken = make_record(CELL)
+        del broken["accuracy"]["overall"]["f1"]
+        base = run_with([broken], "base")
+        cand = run_with([make_record(CELL)], "cand", 1.0)
+        result = evaluate_gates(base, cand)
+        assert result.passed
+        assert any("f1 missing" in note for note in result.notes)
+
+
+class TestRendering:
+    def _two_runs(self):
+        base = run_with([make_record(CELL, items_per_s=1000.0)],
+                        "run-a", 0.0, "aaaaaaaaaaaa")
+        cand = run_with([make_record(CELL, items_per_s=400.0)],
+                        "run-b", 1.0, "bbbbbbbbbbbb")
+        return base, cand
+
+    def test_markdown_report_sections(self):
+        base, cand = self._two_runs()
+        gate = evaluate_gates(base, cand)
+        text = render_markdown([base, cand], gate=gate)
+        assert "# Matrix trend report" in text
+        assert "## Runs" in text
+        assert "## Regression flags" in text
+        assert "**FAIL**" in text and "items_per_s regressed" in text
+        assert "## Accuracy vs memory" in text
+        assert "## Throughput trajectories" in text
+        assert "run-a" in text and "run-b" in text
+        assert "aaaaaaaaaa" in text  # short revision
+
+    def test_markdown_pass_verdict(self):
+        base, _ = self._two_runs()
+        cand = run_with([make_record(CELL, items_per_s=1000.0)],
+                        "run-b", 1.0)
+        text = render_markdown([base, cand],
+                               gate=evaluate_gates(base, cand))
+        assert "**PASS**" in text
+
+    def test_markdown_without_gate(self):
+        base, _cand = self._two_runs()
+        text = render_markdown([base])
+        assert "gating skipped" in text
+
+    def test_markdown_empty(self):
+        assert "no persisted runs" in render_markdown([])
+
+    def test_load_problems_surface_in_report(self):
+        base, cand = self._two_runs()
+        cand.problems.append("cell.json: unreadable")
+        text = render_markdown([base, cand])
+        assert "## Load problems" in text
+        assert "unreadable" in text
+
+    def test_html_report_is_standalone(self):
+        base, cand = self._two_runs()
+        html = render_html([base, cand], gate=evaluate_gates(base, cand))
+        assert html.startswith("<!doctype html>")
+        assert "Matrix trend report" in html
+        assert "<pre>" in html and "</html>" in html
+
+    def test_trajectory_ratio_uses_first_run(self):
+        base, cand = self._two_runs()
+        series = merge_runs([cand, base])  # deliberately reversed input
+        text = render_markdown([base, cand])
+        assert series[CELL][0][0].run_id == "run-a"
+        assert "0.4" in text  # 400 / 1000 ratio

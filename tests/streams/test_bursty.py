@@ -1,0 +1,110 @@
+"""Tests for the bursty adversarial workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.streams.bursty import (
+    BurstyConfig,
+    burst_windows,
+    generate_bursty_trace,
+)
+
+TINY = BurstyConfig(
+    num_items=6_000, num_keys=200, num_bursts=3, burst_length=600,
+    burst_keys=8, seed=1,
+)
+
+
+class TestConfigValidation:
+    def test_bursts_must_fit_the_stream(self):
+        with pytest.raises(ParameterError):
+            BurstyConfig(num_items=100, num_bursts=4, burst_length=50)
+
+    def test_burst_share_bounds(self):
+        with pytest.raises(ParameterError):
+            BurstyConfig(burst_share=0.0)
+        with pytest.raises(ParameterError):
+            BurstyConfig(burst_share=1.5)
+
+    def test_burst_keys_bounds(self):
+        with pytest.raises(ParameterError):
+            BurstyConfig(num_keys=10, burst_keys=11)
+        with pytest.raises(ParameterError):
+            BurstyConfig(burst_keys=0)
+
+    def test_at_least_one_burst(self):
+        with pytest.raises(ParameterError):
+            BurstyConfig(num_bursts=0)
+
+
+class TestWindows:
+    def test_windows_are_disjoint_and_in_range(self):
+        windows = burst_windows(TINY)
+        assert len(windows) == TINY.num_bursts
+        for (start, end), (next_start, _next_end) in zip(windows, windows[1:]):
+            assert end <= next_start
+        assert windows[0][0] >= 0
+        assert windows[-1][1] <= TINY.num_items
+
+    def test_every_window_has_burst_length(self):
+        for start, end in burst_windows(TINY):
+            assert end - start == TINY.burst_length
+
+
+class TestTraceShape:
+    def test_basic_shape_and_metadata(self):
+        trace = generate_bursty_trace(TINY)
+        assert len(trace) == TINY.num_items
+        assert trace.name == "bursty"
+        assert trace.keys.dtype == np.int64
+        meta = trace.metadata
+        assert meta["generator"] == "bursty"
+        assert len(meta["burst_windows"]) == TINY.num_bursts
+        assert len(meta["burst_key_sets"]) == TINY.num_bursts
+        for key_set in meta["burst_key_sets"]:
+            assert len(key_set) == TINY.burst_keys
+
+    def test_bursts_concentrate_exceedances(self):
+        trace = generate_bursty_trace(TINY)
+        threshold = 300.0
+        in_burst = np.zeros(len(trace), dtype=bool)
+        for start, end in trace.metadata["burst_windows"]:
+            in_burst[start:end] = True
+        burst_rate = float(np.mean(trace.values[in_burst] > threshold))
+        quiet_rate = float(np.mean(trace.values[~in_burst] > threshold))
+        assert burst_rate > 0.4
+        assert quiet_rate < 0.15
+        assert burst_rate > 3 * quiet_rate
+
+    def test_burst_keys_dominate_their_window(self):
+        trace = generate_bursty_trace(TINY)
+        windows = trace.metadata["burst_windows"]
+        for (start, end), key_set in zip(
+            windows, trace.metadata["burst_key_sets"]
+        ):
+            window_keys = trace.keys[start:end]
+            share = float(np.isin(window_keys, list(key_set)).mean())
+            assert share == pytest.approx(TINY.burst_share, abs=0.1)
+
+    def test_deterministic_per_seed(self):
+        a = generate_bursty_trace(TINY)
+        b = generate_bursty_trace(TINY)
+        assert np.array_equal(a.keys, b.keys)
+        assert np.array_equal(a.values, b.values)
+        assert a.metadata["burst_key_sets"] == b.metadata["burst_key_sets"]
+
+    def test_seed_changes_trace(self):
+        a = generate_bursty_trace(TINY)
+        b = generate_bursty_trace(
+            BurstyConfig(
+                num_items=6_000, num_keys=200, num_bursts=3,
+                burst_length=600, burst_keys=8, seed=2,
+            )
+        )
+        assert not np.array_equal(a.values, b.values)
+
+    def test_default_config_builds(self):
+        trace = generate_bursty_trace()
+        assert len(trace) == BurstyConfig().num_items
+        assert trace.distinct_keys > 100

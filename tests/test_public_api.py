@@ -36,14 +36,16 @@ PUBLIC_MODULES = [
     "repro.observability.health", "repro.observability.server",
     "repro.streams", "repro.streams.model", "repro.streams.zipf",
     "repro.streams.caida_like", "repro.streams.cloud_like",
-    "repro.streams.drift", "repro.streams.trace_io", "repro.streams.live",
+    "repro.streams.drift", "repro.streams.bursty",
+    "repro.streams.trace_io", "repro.streams.live",
     "repro.metrics", "repro.metrics.accuracy", "repro.metrics.throughput",
     "repro.metrics.latency",
     "repro.analysis", "repro.analysis.theory", "repro.analysis.sizing",
     "repro.experiments", "repro.experiments.config",
     "repro.experiments.harness", "repro.experiments.figures",
     "repro.experiments.scaling", "repro.experiments.report",
-    "repro.experiments.cli",
+    "repro.experiments.cli", "repro.experiments.matrix",
+    "repro.experiments.runstore", "repro.experiments.trend",
     "repro.parallel", "repro.parallel.sharded", "repro.parallel.pipeline",
 ]
 
