@@ -43,6 +43,7 @@ from repro.observability import (
 from repro.common.errors import ReproError, ParameterError
 from repro.detection.ground_truth import GroundTruthDetector, compute_ground_truth
 from repro.detection.shadow import ShadowAccuracyEstimator
+from repro.detection.threshold import ThresholdControlLoop, ThresholdController
 from repro.metrics.accuracy import DetectionScore, score_sets
 
 __version__ = "1.0.0"
@@ -65,6 +66,8 @@ __all__ = [
     "serve_filter",
     "serve_pipeline",
     "ShadowAccuracyEstimator",
+    "ThresholdController",
+    "ThresholdControlLoop",
     "save_filter",
     "load_filter",
     "ReproError",

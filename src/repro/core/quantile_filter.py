@@ -188,6 +188,7 @@ class QuantileFilter:
         self.vague_reports = 0
         self.resets = 0
         self.merges = 0
+        self.retargets = 0
         self.items_at_last_reset = 0
         self.collect_provenance = collect_provenance
         #: No-op-by-default structural event hook (tracing attaches here).
@@ -324,6 +325,10 @@ class QuantileFilter:
                     crit.report_threshold if crit is not None
                     else self.criteria.report_threshold
                 ),
+                value_threshold=(
+                    crit.threshold if crit is not None
+                    else self.criteria.threshold
+                ),
                 bucket_occupancy=self.candidate.bucket_occupancy(bucket),
                 replacements=self.swaps,
                 items_since_reset=self.items_processed
@@ -385,6 +390,26 @@ class QuantileFilter:
         self.vague.clear()
         self.resets += 1
         self.items_at_last_reset = self.items_processed
+
+    def retarget(self, threshold: float) -> Criteria:
+        """Move the default criteria's value threshold ``T`` in place.
+
+        The adaptive-threshold control path
+        (:class:`~repro.detection.threshold.ThresholdControlLoop`):
+        only the criteria object is swapped — candidate entries, vague
+        counters and reported-key history all survive, so accumulated
+        Qweight evidence keeps counting under the new ``T``.  Items
+        already absorbed were weighted under the old threshold; the
+        deliberate alternative to a destructive rebuild, argued in
+        ``docs/adaptive-thresholds.md`` (a :meth:`reset` right after
+        retargeting gives clean-slate semantics when preferred).
+
+        Per-key criteria overrides are configuration, not state, and
+        are untouched.  Returns the new default criteria.
+        """
+        self.criteria = self.criteria.with_updates(threshold=float(threshold))
+        self.retargets += 1
+        return self.criteria
 
     # ------------------------------------------------------------------
     # per-key criteria (Sec. III-C)
@@ -464,6 +489,7 @@ class QuantileFilter:
         self.candidate_reports += other.candidate_reports
         self.vague_reports += other.vague_reports
         self.resets += other.resets
+        self.retargets += other.retargets
         self.merges += other.merges + 1
         self.reported_keys |= other.reported_keys
         for key, criteria in other._key_criteria.items():

@@ -179,6 +179,7 @@ class BatchQuantileFilter:
         # Reports are rare, so the by-source split is always maintained.
         self.candidate_reports = 0
         self.vague_reports = 0
+        self.retargets = 0
 
     # ------------------------------------------------------------------
     # public API
@@ -205,6 +206,20 @@ class BatchQuantileFilter:
             start += size
             size = min(size * 2, self.chunk_size)
         return self.reported_keys
+
+    def retarget(self, threshold: float) -> Criteria:
+        """Move the value threshold ``T``, preserving all sketch state.
+
+        Same semantics as
+        :meth:`~repro.core.quantile_filter.QuantileFilter.retarget`.
+        Every chunk reads ``self.criteria`` once at its start
+        (:meth:`_process_chunk`), so a retarget between :meth:`process`
+        calls — the adaptive-controller cadence — takes effect exactly
+        at the next chunk boundary, never mid-chunk.
+        """
+        self.criteria = self.criteria.with_updates(threshold=float(threshold))
+        self.retargets += 1
+        return self.criteria
 
     @property
     def _report_threshold_eff(self) -> float:

@@ -119,6 +119,29 @@ class WindowedQuantileFilter:
             self.resets += 1
             self._since_reset = 0
 
+    def retarget(self, threshold: float) -> Criteria:
+        """Move the value threshold ``T`` on every pane, state intact.
+
+        Same semantics as
+        :meth:`~repro.core.quantile_filter.QuantileFilter.retarget`;
+        the clearing policy additionally bounds how long pre-retarget
+        Qweight evidence can linger (one window).  Returns the new
+        criteria.
+        """
+        self.criteria = self.criteria.with_updates(threshold=float(threshold))
+        if self.mode == "tumbling":
+            self._filter.retarget(threshold)
+        else:
+            for pane in self._panes:
+                pane.retarget(threshold)
+        return self.criteria
+
+    @property
+    def retargets(self) -> int:
+        """Retargets applied (panes always move together)."""
+        inner = self._filter if self.mode == "tumbling" else self._panes[0]
+        return inner.retargets
+
     # ------------------------------------------------------------------
     # queries and accounting
     # ------------------------------------------------------------------

@@ -18,6 +18,15 @@ from repro.detection.shadow import (
     ShadowScore,
     wilson_interval,
 )
+from repro.detection.threshold import (
+    ESTIMATOR_BACKENDS,
+    KLLQuantileEstimator,
+    P2QuantileEstimator,
+    ThresholdControlLoop,
+    ThresholdController,
+    ThresholdDecision,
+    make_estimator,
+)
 
 __all__ = [
     "Detector",
@@ -29,4 +38,11 @@ __all__ = [
     "ShadowAccuracyEstimator",
     "ShadowScore",
     "wilson_interval",
+    "ESTIMATOR_BACKENDS",
+    "P2QuantileEstimator",
+    "KLLQuantileEstimator",
+    "make_estimator",
+    "ThresholdController",
+    "ThresholdControlLoop",
+    "ThresholdDecision",
 ]

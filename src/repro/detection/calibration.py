@@ -15,6 +15,13 @@ applies the new T prospectively (new items are weighed against the new
 T) and optionally performs a structure reset when the threshold moved
 by more than ``reset_on_relative_change``.  Gradual drift therefore
 recalibrates for free; regime changes trigger one clean reset.
+
+This module is the minimal single-filter convenience.  The generalised
+control loop — interchangeable P²/KLL estimator backends, deadband and
+dwell guards against thrashing, a bounded freshness horizon, and a
+``retarget()`` path spanning the scalar, batch, sharded, windowed and
+pipeline engines — lives in :mod:`repro.detection.threshold`; see
+``docs/adaptive-thresholds.md`` for how the two relate.
 """
 
 from __future__ import annotations

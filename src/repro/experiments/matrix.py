@@ -16,10 +16,18 @@ one-off drivers.  A matrix config (TOML or JSON) names the axes::
     workloads = ["internet", "cloud", "drift", "bursty"]
     memory_bytes = [16384, 65536]
     scales = [20000]
+    controllers = ["fixed", "p2"]   # adaptive-threshold axis
 
     [pipeline]
     shards = 2
     chunk_items = 8192
+
+    [controller]                    # adaptive cells only
+    deadband = 0.05
+    min_dwell_items = 2048
+    warmup_items = 1024
+    window_items = 2048
+    horizon_items = 8192            # 0 = cumulative (never restart)
 
     [gate]
     min_throughput_ratio = 0.85
@@ -51,9 +59,16 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
+import numpy as np
+
 from repro.common.errors import ParameterError
 from repro.core.criteria import Criteria
 from repro.detection.shadow import ShadowAccuracyEstimator
+from repro.detection.threshold import (
+    ESTIMATOR_BACKENDS,
+    ThresholdControlLoop,
+    ThresholdController,
+)
 from repro.experiments.config import DATASETS, PAPER, build_trace
 from repro.experiments.harness import build_detector
 from repro.experiments.runstore import (
@@ -78,11 +93,20 @@ ENGINES = ("scalar", "batch", "pipeline-shm")
 #: algorithm axis (all run through the scalar detector adapters).
 BASELINES = ("squad", "sketchpolymer", "histsketch", "naive", "perkey-gk")
 
+#: Threshold-control axis values: a fixed T, or one of the adaptive
+#: estimator backends from :mod:`repro.detection.threshold`.
+CONTROLLERS = ("fixed",) + ESTIMATOR_BACKENDS
+
 #: Default run-directory root, relative to the repo checkout.
 DEFAULT_RUNS_ROOT = "benchmarks/results/runs"
 
 #: Chunk size for feeding the shadow estimators (vectorised path).
 _SHADOW_CHUNK = 65_536
+
+#: Items between controller observations in controlled cells — finer
+#: than the measurement window so reaction lag at a regime switch
+#: mis-calibrates a fraction of a window, not all of it.
+_CONTROL_CADENCE = 256
 
 
 # ----------------------------------------------------------------------
@@ -129,13 +153,25 @@ class CellSpec:
     shadow_sample_rate: int
     shards: int = 1
     chunk_items: int = 8_192
+    # Adaptive-threshold control (docs/adaptive-thresholds.md).  The
+    # default "fixed" keeps every pre-existing cell id and behaviour
+    # unchanged; "p2"/"kll" close the loop on T with that estimator.
+    controller: str = "fixed"
+    controller_deadband: float = 0.05
+    controller_dwell: int = 2_048
+    controller_warmup: int = 1_024
+    controller_window: int = 2_048
+    controller_horizon: int = 8_192  # 0 = cumulative (never restart)
 
     @property
     def cell_id(self) -> str:
-        return (
+        base = (
             f"{self.workload}/{self.algorithm}/{self.engine}"
             f"/m{self.memory_bytes}/n{self.scale}"
         )
+        if self.controller != "fixed":
+            base += f"/c-{self.controller}"
+        return base
 
     def criteria(self) -> Criteria:
         return Criteria(
@@ -155,12 +191,14 @@ def expand_cells(config: dict) -> List[CellSpec]:
     axes = config.get("axes", {})
     pipeline = config.get("pipeline", {})
     criteria_cfg = config.get("criteria", {})
+    controller_cfg = config.get("controller", {})
 
     workloads = list(axes.get("workloads", ["internet"]))
     algorithms = list(axes.get("algorithms", ["quantilefilter"]))
     engines = list(axes.get("engines", ["scalar"]))
     memory_points = [int(m) for m in axes.get("memory_bytes", [1 << 16])]
     scales = [int(s) for s in axes.get("scales", [20_000])]
+    controllers = list(axes.get("controllers", ["fixed"]))
 
     for workload in workloads:
         if workload not in DATASETS:
@@ -178,6 +216,11 @@ def expand_cells(config: dict) -> List[CellSpec]:
                 f"unknown algorithm {algorithm!r}; choose from "
                 f"{('quantilefilter',) + BASELINES}"
             )
+    for controller in controllers:
+        if controller not in CONTROLLERS:
+            raise ParameterError(
+                f"unknown controller {controller!r}; choose from {CONTROLLERS}"
+            )
 
     common = dict(
         seed=int(matrix.get("seed", 0)),
@@ -187,6 +230,11 @@ def expand_cells(config: dict) -> List[CellSpec]:
         shadow_sample_rate=int(matrix.get("shadow_sample_rate", 1)),
         shards=int(pipeline.get("shards", 2)),
         chunk_items=int(pipeline.get("chunk_items", 8_192)),
+        controller_deadband=float(controller_cfg.get("deadband", 0.05)),
+        controller_dwell=int(controller_cfg.get("min_dwell_items", 2_048)),
+        controller_warmup=int(controller_cfg.get("warmup_items", 1_024)),
+        controller_window=int(controller_cfg.get("window_items", 2_048)),
+        controller_horizon=int(controller_cfg.get("horizon_items", 8_192)),
     )
 
     cells: List[CellSpec] = []
@@ -203,10 +251,22 @@ def expand_cells(config: dict) -> List[CellSpec]:
                 for algorithm in algorithms:
                     if algorithm == "quantilefilter":
                         for engine in engines:
-                            cells.append(CellSpec(
-                                algorithm=algorithm, engine=engine, **point
-                            ))
+                            for controller in controllers:
+                                # The adaptive loop drives retarget()
+                                # on in-process engines; the pipeline
+                                # broadcast path has its own
+                                # integration test rather than a
+                                # matrix sweep, so skip that combo
+                                # instead of crossing it.
+                                if (controller != "fixed"
+                                        and engine == "pipeline-shm"):
+                                    continue
+                                cells.append(CellSpec(
+                                    algorithm=algorithm, engine=engine,
+                                    controller=controller, **point,
+                                ))
                     else:
+                        # Baselines have no retarget path: fixed only.
                         cells.append(CellSpec(
                             algorithm=algorithm, engine="scalar", **point
                         ))
@@ -272,8 +332,141 @@ _ENGINE_RUNNERS: Dict[str, Callable] = {
 }
 
 
+def _build_quantilefilter(spec: CellSpec):
+    """The engine instance a controlled cell drives via ``retarget()``."""
+    if spec.engine == "batch":
+        from repro.core.vectorized import BatchQuantileFilter
+
+        return BatchQuantileFilter(
+            spec.criteria(),
+            spec.memory_bytes,
+            bucket_size=PAPER.bucket_size,
+            depth=PAPER.depth,
+            candidate_fraction=PAPER.candidate_fraction,
+            fp_bits=PAPER.fp_bits,
+            seed=spec.seed,
+        )
+    from repro.core.quantile_filter import QuantileFilter
+
+    return QuantileFilter(
+        spec.criteria(),
+        spec.memory_bytes,
+        bucket_size=PAPER.bucket_size,
+        depth=PAPER.depth,
+        candidate_fraction=PAPER.candidate_fraction,
+        fp_bits=PAPER.fp_bits,
+        seed=spec.seed,
+    )
+
+
+def _run_controlled(spec: CellSpec, trace: Trace):
+    """Run a cell with the adaptive threshold controller in the loop.
+
+    The stream is fed in control-cadence chunks (``_CONTROL_CADENCE``
+    items, capped by the measurement window): the filter processes each
+    chunk against the ``T`` currently in force, then the controller
+    observes the same chunk and may retarget before the next one — the
+    chunk-boundary semantics every ``retarget()`` implementation
+    guarantees.  Each chunk's exceedance fraction ``P(v > T)`` against
+    its live ``T`` — the quantity quantile tracking actually controls —
+    is then aggregated into ``controller_window``-item measurement
+    windows; the calibration gate checks the post-warmup windowed rate
+    stays near the target rate ``1 − q*`` under drift.  Cadence is
+    deliberately finer than the window so reaction lag at a regime
+    switch mis-calibrates a fraction of a window, not all of it.
+    """
+    controller = ThresholdController(
+        initial_threshold=spec.threshold,
+        target_quantile=spec.delta,
+        backend=spec.controller,
+        deadband=spec.controller_deadband,
+        min_dwell_items=spec.controller_dwell,
+        warmup_items=spec.controller_warmup,
+        horizon_items=spec.controller_horizon or None,
+        seed=spec.seed,
+    )
+    filt = _build_quantilefilter(spec)
+    loop = ThresholdControlLoop(controller, filt)
+    reported = set()
+    chunks = []
+    cadence = max(1, min(_CONTROL_CADENCE, spec.controller_window))
+    scalar = spec.engine == "scalar"
+    start = time.perf_counter()
+    for keys, values in trace.iter_chunks(cadence):
+        live_threshold = controller.threshold
+        if scalar:
+            insert = filt.insert
+            for key, value in zip(keys.tolist(), values.tolist()):
+                report = insert(key, value)
+                if report is not None:
+                    reported.add(report.key)
+        else:
+            reported.update(filt.process(keys, values))
+        loop.observe_many(values)
+        chunks.append((
+            live_threshold,
+            float(np.mean(values > live_threshold)),
+            int(values.shape[0]),
+        ))
+    seconds = time.perf_counter() - start
+
+    # Aggregate cadence chunks into measurement windows (exceedance is
+    # the item-weighted mean of each chunk's rate against its live T).
+    windows = []
+    per_window = max(1, spec.controller_window // cadence)
+    for at in range(0, len(chunks), per_window):
+        group = chunks[at:at + per_window]
+        items = sum(c[2] for c in group)
+        windows.append({
+            "threshold": group[-1][0],
+            "exceedance": sum(c[1] * c[2] for c in group) / max(1, items),
+            "items": items,
+        })
+
+    target_rate = controller.target_rate
+    warmup = spec.controller_warmup
+    seen = 0
+    post_warmup = []
+    for window in windows:
+        seen += window["items"]
+        if seen > warmup:
+            post_warmup.append(window["exceedance"])
+    mean_rate = float(np.mean(post_warmup)) if post_warmup else float("nan")
+    median_rate = (
+        float(np.median(post_warmup)) if post_warmup else float("nan")
+    )
+    tolerance = 0.25
+    within = [
+        rate for rate in post_warmup
+        if abs(rate - target_rate) <= tolerance * target_rate
+    ]
+    info = {
+        "backend": spec.controller,
+        "target_quantile": spec.delta,
+        "target_rate": target_rate,
+        "initial_threshold": spec.threshold,
+        "final_threshold": controller.threshold,
+        "retargets": controller.retargets,
+        "window_items": spec.controller_window,
+        "warmup_items": warmup,
+        "horizon_items": spec.controller_horizon,
+        "estimator_restarts": controller.restarts,
+        "deadband": spec.controller_deadband,
+        "min_dwell_items": spec.controller_dwell,
+        "windows": windows,
+        "post_warmup_mean_rate": mean_rate,
+        "post_warmup_median_rate": median_rate,
+        "rate_tolerance": tolerance,
+        "within_tolerance_fraction": (
+            len(within) / len(post_warmup) if post_warmup else 0.0
+        ),
+    }
+    return reported, seconds, filt.nbytes, info
+
+
 def band_accuracy(
-    spec: CellSpec, trace: Trace, reported
+    spec: CellSpec, trace: Trace, reported,
+    criteria: Optional[Criteria] = None,
 ) -> dict:
     """Overall and near-threshold accuracy via shadow estimators.
 
@@ -283,8 +476,13 @@ def band_accuracy(
     the strict one — exactly the keys whose verdict a small threshold
     perturbation flips — and the band score restricts both sides of the
     comparison to them.
+
+    ``criteria`` overrides the cell's static criteria: adaptive-
+    controller cells pass criteria at the *final* retargeted ``T`` so
+    the band brackets the threshold actually in force, not the one the
+    run started from.
     """
-    criteria = spec.criteria()
+    criteria = criteria if criteria is not None else spec.criteria()
     beta = spec.band_fraction
     rate, seed = spec.shadow_sample_rate, spec.seed
     mid = ShadowAccuracyEstimator(criteria, sample_rate=rate, seed=seed)
@@ -323,27 +521,53 @@ def band_accuracy(
 def run_cell(spec: CellSpec) -> dict:
     """Execute one cell and return its (unpersisted) record."""
     trace = build_trace(spec.workload, scale=spec.scale, seed=spec.seed)
-    try:
-        runner = _ENGINE_RUNNERS[spec.engine]
-    except KeyError:
+    if spec.engine not in _ENGINE_RUNNERS:
         raise ParameterError(
             f"unknown engine {spec.engine!r}; choose from {ENGINES}"
-        ) from None
-    reported, seconds, actual_bytes = runner(spec, trace)
+        )
+    controller_info = None
+    score_criteria = None
+    if spec.controller != "fixed":
+        if spec.algorithm != "quantilefilter":
+            raise ParameterError(
+                f"controller {spec.controller!r} needs a retarget() path; "
+                f"baseline {spec.algorithm!r} has none"
+            )
+        if spec.engine == "pipeline-shm":
+            raise ParameterError(
+                "controlled matrix cells run on in-process engines "
+                "('scalar'/'batch'); the pipeline broadcast path is "
+                "covered by its integration test"
+            )
+        reported, seconds, actual_bytes, controller_info = _run_controlled(
+            spec, trace
+        )
+        # Score the band around the T actually in force at the end.
+        score_criteria = spec.criteria().with_updates(
+            threshold=controller_info["final_threshold"]
+        )
+    else:
+        runner = _ENGINE_RUNNERS[spec.engine]
+        reported, seconds, actual_bytes = runner(spec, trace)
     items = len(trace)
-    return {
+    record = {
         "schema_version": SCHEMA_VERSION,
         "cell_id": spec.cell_id,
         "cell": asdict(spec),
         "items": items,
         "actual_bytes": int(actual_bytes),
         "reported_keys": len({int(key) for key in reported}),
-        "accuracy": band_accuracy(spec, trace, reported),
+        "accuracy": band_accuracy(
+            spec, trace, reported, criteria=score_criteria
+        ),
         "timing": {
             "wall_seconds": round(seconds, 6),
             "items_per_s": round(items / seconds, 1) if seconds > 0 else 0.0,
         },
     }
+    if controller_info is not None:
+        record["controller"] = controller_info
+    return record
 
 
 def run_matrix(

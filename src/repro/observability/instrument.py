@@ -76,6 +76,9 @@ FILTER_METRIC_HELP = {
     "qf_estimated_bytes": "Modelled memory footprint in bytes.",
     "qf_window_resets_total": "Window clears (tumbling resets / rotations).",
     "qf_window_fill": "Progress through the current clearing period.",
+    "qf_threshold": "Value threshold T currently in force.",
+    "qf_retargets_total":
+        "Threshold retargets applied (retarget() calls, state preserved).",
 }
 
 #: Latency-histogram families registered by the pipeline and its
@@ -98,6 +101,9 @@ _MEAN_GAUGES = {
     "qf_candidate_hit_rate",
     "qf_vague_saturation",
     "qf_window_fill",
+    # All shards retarget together, so averaging (not summing) their
+    # identical thresholds reproduces the live T in aggregate views.
+    "qf_threshold",
 }
 
 
@@ -179,6 +185,8 @@ def observe_filter(
     counter("qf_items_total", lambda: filt.items_processed)
     gauge("qf_reported_keys", lambda: len(filt.reported_keys))
     gauge("qf_estimated_bytes", lambda: filt.nbytes)
+    gauge("qf_threshold", lambda: filt.criteria.threshold)
+    counter("qf_retargets_total", lambda: getattr(filt, "retargets", 0))
 
     if hasattr(filt, "candidate_reports"):
         # Scalar QuantileFilter or BatchQuantileFilter.

@@ -25,7 +25,7 @@ True
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Hashable
+from typing import Hashable, Optional
 
 
 @dataclass(frozen=True)
@@ -46,8 +46,16 @@ class ReportProvenance:
     qweight:
         The Qweight estimate at threshold crossing.
     threshold:
-        The report threshold in force for this key at emission
-        (per-key criteria make this vary between reports).
+        The report threshold (``epsilon / (1 - delta)``) in force for
+        this key at emission (per-key criteria make this vary between
+        reports).
+    value_threshold:
+        The value threshold ``T`` in force at emission.  Under the
+        adaptive-threshold controller
+        (:mod:`repro.detection.threshold`) this is the audit trail of
+        *which* ``T`` a report was judged against; ``None`` on records
+        predating the field (``None`` rather than NaN keeps dumped
+        records JSON round-trippable).
     bucket_occupancy:
         Occupied slots in the key's bucket at emission — a full bucket
         means the vague part (and its collision noise) was in play.
@@ -71,6 +79,7 @@ class ReportProvenance:
     replacements: int
     items_since_reset: int
     resets: int
+    value_threshold: Optional[float] = None
 
     def as_dict(self) -> dict:
         """Plain-dict form (JSON-ready) for provenance dumps."""

@@ -290,6 +290,11 @@ def _worker_main(
                     ("reports", chunk_id, shard_id, list(fresh),
                      time.perf_counter(), slot_id)
                 )
+            elif kind == "retarget":
+                # Rides the same FIFO as the chunks, so the new T takes
+                # effect at a consistent between-chunks cut per shard.
+                _, new_threshold = message
+                filt.retarget(new_threshold)
             elif kind == "snapshot":
                 _, sync_id = message
                 if engine == "batch":
@@ -543,6 +548,16 @@ class ParallelPipeline:
             "pipeline_stats_views_total",
             help="Telemetry views collected from worker registries.",
         )
+        self._retargets_counter = self.stats.counter(
+            "pipeline_retargets_total",
+            help="Threshold retargets broadcast to all shard workers.",
+        )
+        self.stats.gauge_fn(
+            "qf_threshold",
+            lambda: self.criteria.threshold,
+            help="Value threshold T currently in force.",
+            agg="mean",
+        )
         self.stats.gauge_fn(
             "pipeline_reported_keys",
             lambda: len(self._reported),
@@ -713,6 +728,44 @@ class ParallelPipeline:
                     "chunks": self._chunk_id - first_chunk,
                 },
             )
+
+    def retarget(self, threshold: float) -> Criteria:
+        """Broadcast a value-threshold change to every shard worker.
+
+        The adaptive-threshold control path for pipelines
+        (:class:`~repro.detection.threshold.ThresholdControlLoop`).
+        The message rides each worker's input queue *behind* any chunks
+        already enqueued — the same delivery rule as snapshot and stats
+        requests — so every shard applies the change at a consistent
+        between-chunks cut and no chunk ever sees a mid-chunk swap.
+        Shard state (candidate entries, vague counters, report history)
+        is preserved.
+
+        The master's own criteria move too, keeping later merged views
+        merge-compatible with the shard snapshots, and the change shows
+        up in telemetry as ``pipeline_retargets_total`` and the
+        ``qf_threshold`` gauge.  Returns the new criteria.
+        """
+        if self._finished:
+            raise PipelineError(
+                "pipeline already finished; cannot retarget"
+            )
+        if not self._started:
+            self.start()
+        self.criteria = self.criteria.with_updates(threshold=float(threshold))
+        self._config["criteria"] = self.criteria
+        for shard_id in range(self.num_shards):
+            self._put(shard_id, ("retarget", float(threshold)))
+        self._retargets_counter.inc()
+        LOGGER.info(
+            "threshold retargeted",
+            extra={
+                "event": "retarget",
+                "threshold": float(threshold),
+                "items_fed": self.items_fed,
+            },
+        )
+        return self.criteria
 
     def finish(self) -> PipelineResult:
         """Stop the workers, drain all results, and join cleanly."""

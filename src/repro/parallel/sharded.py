@@ -279,6 +279,24 @@ class ShardedQuantileFilter:
         self._require_scalar("clear_key_criteria")
         self.shards[self.router.shard_of(key)].clear_key_criteria(key)
 
+    def retarget(self, threshold: float) -> Criteria:
+        """Broadcast a value-threshold change to every shard.
+
+        Works on both engines (retargeting is a criteria swap, not a
+        structural operation).  All shards move together, so the merge
+        path's criteria-equality check keeps holding.  Returns the new
+        shared criteria.
+        """
+        self.criteria = self.criteria.with_updates(threshold=float(threshold))
+        for shard in self.shards:
+            shard.retarget(threshold)
+        return self.criteria
+
+    @property
+    def retargets(self) -> int:
+        """Retargets applied (every broadcast touches every shard once)."""
+        return self.shards[0].retargets if self.shards else 0
+
     def reset(self) -> None:
         """Clear every shard's structure (periodic reset)."""
         if self.engine == "scalar":
@@ -401,6 +419,7 @@ def batch_filter_to_scalar(batch: BatchQuantileFilter) -> QuantileFilter:
     scalar.swaps = batch.swaps
     scalar.candidate_reports = batch.candidate_reports
     scalar.vague_reports = batch.vague_reports
+    scalar.retargets = batch.retargets
     return scalar
 
 

@@ -112,3 +112,32 @@ class TestValidation:
     def test_bad_mode(self):
         with pytest.raises(ParameterError):
             WindowedQuantileFilter(CRIT, 8_192, window_items=10, mode="hopping")
+
+
+class TestRetarget:
+    @pytest.mark.parametrize("mode", ["tumbling", "rotating"])
+    def test_moves_threshold_on_every_pane(self, mode):
+        wf = WindowedQuantileFilter(CRIT, 8_192, window_items=1_000,
+                                    mode=mode)
+        for i in range(500):
+            wf.insert(i % 7, 50.0)
+        processed = wf.items_processed
+        wf.retarget(40.0)
+        assert wf.criteria.threshold == 40.0
+        assert wf.retargets == 1
+        assert wf.items_processed == processed
+        panes = [wf._filter] if mode == "tumbling" else wf._panes
+        for pane in panes:
+            assert pane.criteria.threshold == 40.0
+
+    def test_new_threshold_survives_rotation(self):
+        wf = WindowedQuantileFilter(CRIT, 8_192, window_items=100,
+                                    mode="rotating")
+        wf.retarget(10.0)
+        report = None
+        for i in range(400):
+            report = wf.insert("hot", 50.0) or report
+        # 50 > 10 == T, so the key becomes outstanding under the new
+        # criteria even though the panes rotated several times.
+        assert report is not None
+        assert wf.resets >= 2

@@ -125,7 +125,13 @@ class TestConfigLoading:
         default = load_matrix_config(root / "default.toml")
         cells = expand_cells(default)
         # 6 workloads x (3 qf engines + 3 baselines) x 3 memory points
-        assert len(cells) == 6 * 6 * 3
+        # fixed cells, plus the controllers axis (p2, kll) rerunning
+        # the scalar/batch quantilefilter cells adaptively.
+        fixed = [c for c in cells if c.controller == "fixed"]
+        adaptive = [c for c in cells if c.controller != "fixed"]
+        assert len(fixed) == 6 * 6 * 3
+        assert len(adaptive) == 6 * 2 * 3 * 2
+        assert all(c.algorithm == "quantilefilter" for c in adaptive)
 
 
 class TestRunCell:

@@ -25,7 +25,12 @@ def tiny_config_path(tmp_path):
             "memory_bytes": [16384],
             "scales": [1500],
         },
-        "gate": {"min_throughput_ratio": 0.85, "max_f1_drop": 0.05},
+        # Loose throughput tolerance on purpose: these cells time in
+        # single-digit milliseconds, and back-to-back runs on a busy
+        # single-core CI box routinely diverge by 25%+ from scheduler
+        # noise alone.  The injected regression below is 10x (ratio
+        # 0.1), so 0.3 still separates signal from noise cleanly.
+        "gate": {"min_throughput_ratio": 0.3, "max_f1_drop": 0.05},
     }
     path = tmp_path / "matrix.json"
     path.write_text(json.dumps(config))
@@ -107,11 +112,11 @@ class TestRunReportGate:
         ]
         for path in record_paths:
             record = json.loads(path.read_text())
-            record["timing"]["items_per_s"] *= 0.5
+            record["timing"]["items_per_s"] *= 0.1
             path.write_text(json.dumps(record))
         assert _run(["gate", "--runs", runs]) == 1
         assert _run(["gate", "--runs", runs,
-                     "--min-throughput-ratio", "0.1"]) == 0
+                     "--min-throughput-ratio", "0.02"]) == 0
 
     def test_gate_needs_two_runs(self, tmp_path, tiny_config_path):
         runs = tmp_path / "runs"

@@ -56,6 +56,13 @@ class TestFastExamples:
         assert "triggering signal named in reasons: True" in output
         assert "qf_health_status 1" in output
 
+    def test_threshold_demo(self, capsys):
+        load_example("threshold_demo").main()
+        output = capsys.readouterr().out
+        assert "controller retargeted under drift:     True" in output
+        assert "controlled rate within 25% of target:  True" in output
+        assert "fixed-threshold rate off by over 50%:  True" in output
+
     def test_cpu_utilization_scaled_down(self, capsys):
         module = load_example("cpu_utilization")
         module.TICKS = 1_200

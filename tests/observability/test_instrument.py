@@ -146,3 +146,39 @@ def test_observability_doctests_all_pass():
         assert result.failed == 0, (
             f"{mod.__name__}: {result.failed} doctest failures")
         assert result.attempted > 0, f"{mod.__name__}: no doctests collected"
+
+
+class TestThresholdMetrics:
+    def test_gauge_tracks_retargets(self):
+        qf = QuantileFilter(CRIT, num_buckets=8, vague_width=16)
+        stats = observe_filter(qf)
+        snap = stats.snapshot()
+        assert snap["qf_threshold"] == CRIT.threshold
+        assert snap["qf_retargets_total"] == 0.0
+        qf.retarget(25.0)
+        snap = stats.snapshot()
+        assert snap["qf_threshold"] == 25.0
+        assert snap["qf_retargets_total"] == 1.0
+
+    def test_threshold_gauge_averages_across_shards(self):
+        from repro.observability.registry import aggregate_snapshots
+
+        snapshots = []
+        for _ in range(3):
+            filt = QuantileFilter(CRIT, num_buckets=8, vague_width=16)
+            stats = observe_filter(filt)
+            filt.retarget(40.0)
+            snapshots.append(stats.snapshot())
+        aggregate = aggregate_snapshots(snapshots)
+        # All shards hold the same T; mean aggregation reproduces it.
+        assert aggregate["qf_threshold"] == 40.0
+        assert aggregate["qf_retargets_total"] == 3.0
+
+    def test_windowed_filter_exposes_threshold(self):
+        wf = WindowedQuantileFilter(CRIT, memory_bytes=4096,
+                                    window_items=50)
+        stats = observe_filter(wf)
+        wf.retarget(33.0)
+        snap = stats.snapshot()
+        assert snap["qf_threshold"] == 33.0
+        assert snap["qf_retargets_total"] == 1.0

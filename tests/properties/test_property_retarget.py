@@ -1,0 +1,145 @@
+"""Property: retarget(T2) is equivalent to constructing at T2.
+
+Two laws, each checked on the scalar and batch engines over random
+streams and structure dimensions:
+
+* a filter retargeted T1→T2 *before any traffic* reports exactly the
+  keys a filter constructed at T2 reports, item for item;
+* a filter that processed arbitrary traffic at T1, then retargeted to
+  T2 (with a reset on the scalar engine, which exposes one), matches
+  the reference behaviour on the remaining stream — retargeting
+  carries no hidden criteria state, and the batch engine agrees with
+  the scalar filter when both retarget at the same stream position.
+
+A third law pins the "state preserved" half of the contract: the
+retarget call itself must not change candidate entries, Qweights or
+the reported-key history.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.criteria import Criteria
+from repro.core.quantile_filter import QuantileFilter
+from repro.core.vectorized import BatchQuantileFilter
+
+
+@st.composite
+def scenarios(draw):
+    num_buckets = draw(st.integers(min_value=1, max_value=16))
+    vague_width = draw(st.integers(min_value=8, max_value=64))
+    seed = draw(st.integers(min_value=0, max_value=100))
+    t1 = draw(st.sampled_from([20.0, 50.0, 500.0]))
+    t2 = draw(st.sampled_from([40.0, 80.0, 200.0]))
+    criteria = Criteria(
+        delta=draw(st.sampled_from([0.5, 0.9])),
+        threshold=t1,
+        epsilon=draw(st.sampled_from([0.0, 2.0])),
+    )
+    n = draw(st.integers(min_value=50, max_value=400))
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 12, size=n).astype(np.int64)
+    values = rng.uniform(0.0, 300.0, size=n)
+    split = draw(st.integers(min_value=0, max_value=n))
+    return dict(
+        num_buckets=num_buckets, vague_width=vague_width, seed=seed,
+        criteria=criteria, t2=t2, keys=keys, values=values, split=split,
+    )
+
+
+def _build(engine_cls, criteria, s):
+    return engine_cls(
+        criteria, num_buckets=s["num_buckets"],
+        vague_width=s["vague_width"], seed=s["seed"],
+    )
+
+
+def _feed_scalar(filt, keys, values):
+    reported = []
+    for key, value in zip(keys.tolist(), values.tolist()):
+        report = filt.insert(key, value)
+        reported.append(None if report is None else report.key)
+    return reported
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenarios())
+def test_scalar_retarget_before_traffic_equals_construction(s):
+    retargeted = _build(QuantileFilter, s["criteria"], s)
+    retargeted.retarget(s["t2"])
+    fresh = _build(
+        QuantileFilter, s["criteria"].with_updates(threshold=s["t2"]), s
+    )
+    assert (_feed_scalar(retargeted, s["keys"], s["values"])
+            == _feed_scalar(fresh, s["keys"], s["values"]))
+    assert retargeted.criteria == fresh.criteria
+    assert retargeted.retargets == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenarios())
+def test_batch_retarget_before_traffic_equals_construction(s):
+    retargeted = _build(BatchQuantileFilter, s["criteria"], s)
+    retargeted.retarget(s["t2"])
+    fresh = _build(
+        BatchQuantileFilter, s["criteria"].with_updates(threshold=s["t2"]), s
+    )
+    assert (retargeted.process(s["keys"], s["values"])
+            == fresh.process(s["keys"], s["values"]))
+    assert retargeted.criteria == fresh.criteria
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenarios())
+def test_scalar_retarget_plus_reset_equals_construction_on_suffix(s):
+    split = s["split"]
+    veteran = _build(QuantileFilter, s["criteria"], s)
+    _feed_scalar(veteran, s["keys"][:split], s["values"][:split])
+    veteran.retarget(s["t2"])
+    veteran.reset()
+    fresh = _build(
+        QuantileFilter, s["criteria"].with_updates(threshold=s["t2"]), s
+    )
+    assert (_feed_scalar(veteran, s["keys"][split:], s["values"][split:])
+            == _feed_scalar(fresh, s["keys"][split:], s["values"][split:]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenarios())
+def test_batch_matches_scalar_under_midstream_retarget(s):
+    split = s["split"]
+    scalar = QuantileFilter(
+        s["criteria"], num_buckets=s["num_buckets"],
+        vague_width=s["vague_width"], seed=s["seed"],
+        counter_kind="float",
+    )
+    batch = _build(BatchQuantileFilter, s["criteria"], s)
+    _feed_scalar(scalar, s["keys"][:split], s["values"][:split])
+    batch.process(s["keys"][:split], s["values"][:split])
+    scalar.retarget(s["t2"])
+    batch.retarget(s["t2"])
+    _feed_scalar(scalar, s["keys"][split:], s["values"][split:])
+    batch.process(s["keys"][split:], s["values"][split:])
+    assert batch.reported_keys == scalar.reported_keys
+    assert batch.report_count == scalar.report_count
+    assert batch.criteria == scalar.criteria
+    assert batch.retargets == scalar.retargets == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenarios())
+def test_retarget_preserves_candidate_state(s):
+    filt = _build(QuantileFilter, s["criteria"], s)
+    _feed_scalar(filt, s["keys"], s["values"])
+    top_before = filt.top_candidates(10)
+    reported_before = set(filt.reported_keys)
+    items_before = filt.items_processed
+    filt.retarget(s["t2"])
+    assert filt.top_candidates(10) == top_before
+    assert set(filt.reported_keys) == reported_before
+    assert filt.items_processed == items_before
+    assert filt.criteria.threshold == s["t2"]
+    # Only T moved: delta/epsilon (and so the report threshold) stand.
+    assert filt.criteria.delta == s["criteria"].delta
+    assert filt.criteria.epsilon == s["criteria"].epsilon
