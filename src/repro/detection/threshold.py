@@ -527,7 +527,7 @@ class ThresholdControlLoop:
     """
 
     def __init__(self, controller: ThresholdController, target, *,
-                 sample_every: int = 1):
+                 sample_every: int = 1, on_decision=None):
         if sample_every < 1:
             raise ParameterError(
                 f"sample_every must be >= 1, got {sample_every}"
@@ -540,6 +540,11 @@ class ThresholdControlLoop:
         self.controller = controller
         self.target = target
         self.sample_every = sample_every
+        #: Called with every evaluated :class:`ThresholdDecision`
+        #: (retargeted or not) — e.g. a flight recorder's
+        #: ``record_decision`` so incident bundles carry the controller
+        #: evaluations that preceded the incident.
+        self.on_decision = on_decision
         self._stride_phase = 0
         #: ``(items_seen, old_threshold, new_threshold)`` per applied
         #: retarget, bounded to the most recent ``4096``.
@@ -566,6 +571,8 @@ class ThresholdControlLoop:
             return None
         self._stride_phase = 0
         decision = self.controller.observe(value)
+        if self.on_decision is not None:
+            self.on_decision(decision)
         if decision.retargeted:
             self._apply(decision)
         return decision
@@ -590,6 +597,8 @@ class ThresholdControlLoop:
                 return None
             values = taken
         decision = self.controller.observe_many(values)
+        if self.on_decision is not None:
+            self.on_decision(decision)
         if decision.retargeted:
             self._apply(decision)
         return decision

@@ -48,9 +48,15 @@ The subsystem has two tiers, all zero-dependency:
   fraction; :class:`HealthMonitor` bundles both with the shadow
   accuracy estimator (:mod:`repro.detection.shadow`).
 * :mod:`~repro.observability.server` — stdlib threaded
-  :class:`HealthServer` exposing ``/metrics``, ``/healthz`` and
-  ``/health/shards`` for a filter (:func:`serve_filter`) or pipeline
-  (:func:`serve_pipeline`).
+  :class:`HealthServer` exposing ``/metrics``, ``/healthz``,
+  ``/health/shards`` and ``/incidents`` for a filter
+  (:func:`serve_filter`) or pipeline (:func:`serve_pipeline`).
+* :mod:`~repro.observability.recorder` — :class:`FlightRecorder`
+  flight recorder retaining the recent stream window plus forensic
+  snapshots in bounded memory, dumping versioned incident bundles on
+  critical verdicts / verdict flips / worker crashes
+  (:class:`TriggerPolicy`), with :func:`replay_bundle` deterministic
+  bit-identical replay.
 
 The ``repro`` CLI (:mod:`~repro.observability.cli`) exposes all of it:
 ``repro stats`` / ``repro watch`` for metrics, ``repro trace`` for a
@@ -112,6 +118,16 @@ from repro.observability.health import (
 )
 from repro.observability.logs import JsonLogFormatter, configure_json_logging
 from repro.observability.provenance import ReportProvenance, provenance_record
+from repro.observability.recorder import (
+    RECORDER_METRIC_HELP,
+    FlightRecorder,
+    ReplayResult,
+    TriggerPolicy,
+    list_incidents,
+    load_bundle,
+    observe_recorder,
+    replay_bundle,
+)
 from repro.observability.server import (
     FilterServeSource,
     HealthServer,
@@ -167,6 +183,14 @@ __all__ = [
     "configure_json_logging",
     "ReportProvenance",
     "provenance_record",
+    "RECORDER_METRIC_HELP",
+    "FlightRecorder",
+    "ReplayResult",
+    "TriggerPolicy",
+    "list_incidents",
+    "load_bundle",
+    "observe_recorder",
+    "replay_bundle",
     "FILTER_EVENTS",
     "PIPELINE_SPANS",
     "FilterTraceHook",

@@ -1,5 +1,5 @@
 """The ``repro`` operations CLI: ``stats``, ``watch``, ``trace``,
-``serve``, ``health`` and ``matrix``.
+``serve``, ``health``, ``record`` and ``matrix``.
 
 ``repro matrix run|report|gate`` (the config-driven experiment matrix
 with persisted runs, trend reports and regression gates) is documented
@@ -26,7 +26,14 @@ a registered dataset and export its telemetry:
   final snapshot after the stream ends.
 * ``repro health`` — run the stream and print the final
   :class:`~repro.observability.health.HealthReport`; the exit code is
-  2 on a critical verdict, so scripts can gate on it.
+  2 on a critical verdict, so scripts can gate on it.  With
+  ``--trace`` the pipeline also runs the tracer, and the text verdict
+  includes the per-role ring-buffer drop counters.
+* ``repro record dump|replay|list`` — flight-recorder forensics (see
+  :mod:`repro.observability.recorder`): ``dump`` runs a recorded
+  stream and writes an incident bundle, ``replay`` re-runs a bundle
+  and exits 1 unless it reproduces bit-identically, ``list`` prints
+  the bundle manifests under an incident directory.
 
 Examples::
 
@@ -35,6 +42,8 @@ Examples::
     repro trace --scale 20000 --out /tmp/run1
     repro serve --port 9133 --linger 60
     repro health --dataset cloud --format json
+    repro record dump --dataset drift --dir /tmp/incidents
+    repro record replay /tmp/incidents/incident-1700000000000.json.gz
     python -m repro stats          # equivalent entry point
 
 The parser is plain argparse:
@@ -47,8 +56,12 @@ The parser is plain argparse:
 '/tmp/t'
 >>> build_parser().parse_args(["serve", "--port", "9133"]).port
 9133
->>> build_parser().parse_args(["health"]).format
-'text'
+>>> build_parser().parse_args(["health"]).trace
+False
+>>> build_record_parser().parse_args(["dump", "--engine", "batch"]).engine
+'batch'
+>>> build_record_parser().parse_args(["replay", "/tmp/b.json.gz"]).bundle
+'/tmp/b.json.gz'
 """
 
 from __future__ import annotations
@@ -164,6 +177,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--linger", type=float, default=0.0,
         help="seconds to keep serving the final snapshot after the "
         "stream ends (default 0)",
+    )
+    health.add_argument(
+        "--trace", action="store_true",
+        help="also run the tracer so the verdict summary includes "
+        "per-role ring-buffer drop counters",
+    )
+    return parser
+
+
+def build_record_parser() -> argparse.ArgumentParser:
+    """Parser for the ``repro record`` flight-recorder family."""
+    parser = argparse.ArgumentParser(
+        prog="repro record",
+        description="Capture, list and deterministically replay "
+        "flight-recorder incident bundles.",
+    )
+    sub = parser.add_subparsers(dest="record_command", required=True)
+    dump = sub.add_parser(
+        "dump",
+        help="run a recorded stream on a standalone filter and write "
+        "an incident bundle (plus any the trigger policy fires)",
+    )
+    dump.add_argument(
+        "--dataset", default="internet",
+        help="registered dataset name (internet/cloud/drift/zipf-*)",
+    )
+    dump.add_argument("--scale", type=int, default=50_000,
+                      help="stream length")
+    dump.add_argument("--seed", type=int, default=0)
+    dump.add_argument(
+        "--engine", choices=("scalar", "batch"), default="batch",
+        help="filter engine to record (default batch)",
+    )
+    dump.add_argument(
+        "--memory-bytes", type=int, default=DEFAULT_MEMORY_BYTES,
+        help="filter byte budget",
+    )
+    dump.add_argument(
+        "--dir", default="incidents",
+        help="incident directory for the bundles (default ./incidents)",
+    )
+    dump.add_argument(
+        "--max-chunks", type=int, default=32,
+        help="raw chunks retained in the recorder ring (default 32)",
+    )
+    dump.add_argument(
+        "--chunk-items", type=int, default=4_096,
+        help="items per recorded chunk (default 4096)",
+    )
+    replay = sub.add_parser(
+        "replay",
+        help="re-run a bundle and verify it reproduces bit-identically "
+        "(exit 1 on any divergence)",
+    )
+    replay.add_argument("bundle", help="path to an incident-*.json.gz")
+    replay.add_argument(
+        "--format", choices=("text", "json"), default="text",
+    )
+    listing = sub.add_parser(
+        "list", help="print the bundle manifests under a directory",
+    )
+    listing.add_argument(
+        "--dir", default="incidents",
+        help="incident directory to scan (default ./incidents)",
+    )
+    listing.add_argument(
+        "--format", choices=("text", "json"), default="text",
     )
     return parser
 
@@ -364,21 +444,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _render_health_text(report) -> str:
+def _render_health_text(report, stats: Optional[Dict[str, float]] = None) -> str:
     lines = [f"verdict: {report.verdict} (source {report.source})"]
     for signal in report.signals:
         lines.append(
             f"  [{signal.verdict:>8}] {signal.name} = {signal.value:.4g} — "
             f"{signal.reason}"
         )
+    # Tracer ring-buffer drops are exported on /metrics; the one-shot
+    # verdict summary must show them too — silent drops would make a
+    # quiet trace look healthy.
+    if stats is not None:
+        lines.append(_render_tracer_drops(stats))
     return "\n".join(lines)
+
+
+def _render_tracer_drops(stats: Dict[str, float]) -> str:
+    import re
+
+    from repro.observability.registry import base_name
+
+    drops: Dict[str, int] = {}
+    for sample, value in stats.items():
+        if base_name(sample) != "tracer_dropped_events_total":
+            continue
+        match = re.search(r'role="([^"]+)"', sample)
+        role = match.group(1) if match else "unlabelled"
+        drops[role] = drops.get(role, 0) + int(value)
+    if not drops:
+        return "tracer drops: none recorded (tracing off)"
+    total = sum(drops.values())
+    per_role = ", ".join(
+        f"{role}={count}" for role, count in sorted(drops.items())
+    )
+    return f"tracer drops: {total} total ({per_role})"
 
 
 def _cmd_health(args: argparse.Namespace) -> int:
     from repro.observability.health import HealthMonitor
     from repro.observability.server import PipelineServeSource
 
-    pipeline, trace = _build_pipeline(args)
+    pipeline, trace = _build_pipeline(
+        args, collect_trace=getattr(args, "trace", False)
+    )
     monitor = HealthMonitor.for_criteria(pipeline.criteria)
     source = PipelineServeSource(pipeline, monitor=monitor)
     args.every = getattr(args, "every", 4)
@@ -390,13 +498,118 @@ def _cmd_health(args: argparse.Namespace) -> int:
     elif args.format == "prom":
         print(render_prometheus(monitor.health_samples()))
     else:
-        print(_render_health_text(report))
+        print(_render_health_text(report, stats=result.stats or {}))
     print(
         f"# run: {result.items} items, {result.num_shards} shards, "
         f"{len(result.reported_keys)} reported keys",
         file=sys.stderr,
     )
     return 2 if report.verdict == "critical" else 0
+
+
+def _cmd_record_dump(args: argparse.Namespace) -> int:
+    from repro.core.inspect import structural_probe
+    from repro.experiments.config import build_trace, default_criteria_for
+    from repro.observability.health import HealthMonitor
+    from repro.observability.instrument import observe_filter
+    from repro.observability.recorder import FlightRecorder
+
+    trace = build_trace(args.dataset, scale=args.scale, seed=args.seed)
+    criteria = default_criteria_for(args.dataset)
+    if args.engine == "batch":
+        from repro.core.vectorized import BatchQuantileFilter
+
+        filt = BatchQuantileFilter(
+            criteria, args.memory_bytes, seed=args.seed,
+            chunk_size=args.chunk_items,
+        )
+    else:
+        from repro.core.quantile_filter import QuantileFilter
+
+        filt = QuantileFilter(
+            criteria, args.memory_bytes, counter_kind="float",
+            seed=args.seed,
+        )
+    registry = observe_filter(filt)
+    recorder = FlightRecorder(
+        filt,
+        max_chunks=args.max_chunks,
+        chunk_items=args.chunk_items,
+        incident_dir=args.dir,
+        registry=registry,
+        config={
+            "dataset": args.dataset, "scale": args.scale,
+            "seed": args.seed, "engine": args.engine,
+            "memory_bytes": args.memory_bytes,
+        },
+    )
+    monitor = HealthMonitor.for_criteria(criteria, recorder=recorder)
+    for start in range(0, trace.keys.shape[0], args.chunk_items):
+        keys = trace.keys[start:start + args.chunk_items]
+        values = trace.values[start:start + args.chunk_items]
+        monitor.observe_batch(keys, values)
+        recorder.feed(keys, values)
+        monitor.report(
+            registry.snapshot(),
+            probe=structural_probe(filt),
+            reported_keys=set(filt.reported_keys),
+        )
+    path = recorder.dump("explicit")
+    print(path)
+    print(
+        f"# recorded {filt.items_processed} items "
+        f"({recorder.retained_items} retained), "
+        f"{recorder.dumps_total} bundle(s) written to {args.dir}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_record_replay(args: argparse.Namespace) -> int:
+    from repro.common.errors import TraceFormatError
+    from repro.observability.recorder import replay_bundle
+
+    try:
+        result = replay_bundle(args.bundle)
+    except TraceFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        print(result.summary())
+    return 0 if result.ok else 1
+
+
+def _cmd_record_list(args: argparse.Namespace) -> int:
+    from repro.observability.recorder import list_incidents
+
+    manifests = list_incidents(args.dir)
+    if args.format == "json":
+        print(json.dumps(manifests, indent=2))
+        return 0
+    if not manifests:
+        print(f"(no incident bundles under {args.dir})")
+        return 0
+    for manifest in manifests:
+        print(
+            f"{manifest.get('bundle')}  reason={manifest.get('reason')}  "
+            f"engine={manifest.get('engine')}  "
+            f"items={manifest.get('items_processed')}  "
+            f"window={manifest.get('window_items')}  "
+            f"verdict={manifest.get('verdict')}"
+        )
+    return 0
+
+
+def record_main(argv: Optional[list] = None) -> int:
+    """Entry point for the ``repro record`` family."""
+    args = build_record_parser().parse_args(argv)
+    if args.record_command == "dump":
+        return _cmd_record_dump(args)
+    if args.record_command == "replay":
+        return _cmd_record_replay(args)
+    return _cmd_record_list(args)
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -409,6 +622,8 @@ def main(argv: Optional[list] = None) -> int:
         from repro.experiments.cli import matrix_main
 
         return matrix_main(argv[1:])
+    if argv and argv[0] == "record":
+        return record_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "stats":
         return _cmd_stats(args)

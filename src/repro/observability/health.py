@@ -627,11 +627,13 @@ class HealthMonitor:
         *,
         drift: Optional[ExceedanceDriftDetector] = None,
         shadow=None,
+        recorder=None,
         labels: Optional[Mapping[str, str]] = None,
     ):
         self.model = model if model is not None else HealthModel()
         self.drift = drift
         self.shadow = shadow
+        self.recorder = recorder
         self.labels = dict(labels or {})
         self.last_report: Optional[HealthReport] = None
         self.last_shadow_score = None
@@ -648,6 +650,7 @@ class HealthMonitor:
         drift_warmup_windows: int = 3,
         shadow_sample_rate: Optional[int] = 64,
         shadow_seed: int = 0,
+        recorder=None,
         labels: Optional[Mapping[str, str]] = None,
     ) -> "HealthMonitor":
         """Build the standard monitor for a filter/pipeline's criteria.
@@ -670,7 +673,7 @@ class HealthMonitor:
         )
         return cls(
             HealthModel(thresholds), drift=drift, shadow=shadow,
-            labels=labels,
+            recorder=recorder, labels=labels,
         )
 
     @classmethod
@@ -703,7 +706,13 @@ class HealthMonitor:
         expected_workers: Optional[int] = None,
         source: str = "default",
     ) -> HealthReport:
-        """Evaluate and cache a fresh :class:`HealthReport`."""
+        """Evaluate and cache a fresh :class:`HealthReport`.
+
+        When a :class:`~repro.observability.recorder.FlightRecorder` is
+        attached, every report is forwarded to its trigger policy —
+        outside the monitor lock, so a bundle dump in flight never
+        blocks concurrent ``health_samples()`` readers or scrapes.
+        """
         with self._lock:
             shadow_score = None
             if self.shadow is not None and reported_keys is not None:
@@ -718,7 +727,9 @@ class HealthMonitor:
                 source=source,
             )
             self.last_report = report
-            return report
+        if self.recorder is not None:
+            self.recorder.observe_health(report)
+        return report
 
     def health_samples(self) -> Dict[str, float]:
         """The cached report as metric samples (for ``/metrics``).

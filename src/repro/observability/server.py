@@ -10,6 +10,10 @@ Three routes, one tiny threaded server:
   so a load balancer can act on the status code alone.
 * ``GET /health/shards`` — the per-shard report breakdown (pipelines;
   a standalone filter serves a single-entry list).
+* ``GET /incidents`` — manifests of the flight recorder's recent
+  incident bundles, newest first (empty list when no recorder or
+  incident directory is attached; see
+  :mod:`repro.observability.recorder`).
 
 The server never touches the monitored structure's hot path: a
 *serve source* adapts each deployment shape to the three routes.
@@ -71,6 +75,7 @@ class FilterServeSource:
         filt,
         monitor: Optional[HealthMonitor] = None,
         registry: Optional[StatsRegistry] = None,
+        recorder=None,
     ):
         self.filt = filt
         self.registry = (
@@ -79,8 +84,17 @@ class FilterServeSource:
             else observe_filter(filt)
         )
         self.monitor = (
-            monitor if monitor is not None else HealthMonitor.for_filter(filt)
+            monitor
+            if monitor is not None
+            else HealthMonitor.for_filter(filt, recorder=recorder)
         )
+        self.recorder = (
+            recorder if recorder is not None else self.monitor.recorder
+        )
+        if self.recorder is not None:
+            from repro.observability.recorder import observe_recorder
+
+            observe_recorder(self.recorder, self.registry)
         self._lock = threading.Lock()
 
     def refresh(self) -> HealthReport:
@@ -109,6 +123,12 @@ class FilterServeSource:
     def shard_reports(self) -> List[HealthReport]:
         return [self.refresh()]
 
+    def incidents(self) -> List[dict]:
+        """Recent incident-bundle manifests (no recorder → empty)."""
+        if self.recorder is None:
+            return []
+        return self.recorder.list_incidents()
+
 
 class PipelineServeSource:
     """Serve source for a running :class:`~repro.parallel.pipeline.
@@ -131,6 +151,9 @@ class PipelineServeSource:
         )
         self._lock = threading.Lock()
         self._shard_reports: List[HealthReport] = []
+        # Workers dump into per-shard subdirectories of this root when
+        # the pipeline was built with record=True.
+        self.incident_dir = getattr(pipeline, "incident_dir", None)
 
     def _global_snapshot(self) -> Dict[str, float]:
         if self.pipeline.last_stats is not None:
@@ -176,9 +199,17 @@ class PipelineServeSource:
         self.refresh()
         return list(self._shard_reports)
 
+    def incidents(self) -> List[dict]:
+        """Manifests across every worker's incident subdirectory."""
+        if self.incident_dir is None:
+            return []
+        from repro.observability.recorder import list_incidents
+
+        return list_incidents(self.incident_dir)
+
 
 class _HealthRequestHandler(BaseHTTPRequestHandler):
-    """Routes /metrics, /healthz, /health/shards against the source."""
+    """Routes /metrics, /healthz, /health/shards, /incidents."""
 
     server_version = "QuantileFilterHealth/1.0"
 
@@ -194,6 +225,13 @@ class _HealthRequestHandler(BaseHTTPRequestHandler):
                 report = self.server.source.refresh()
                 status = 503 if report.verdict == "critical" else 200
                 self._respond_json(status, report.as_dict())
+            elif path == "/incidents":
+                incidents = getattr(self.server.source, "incidents", None)
+                manifests = incidents() if incidents is not None else []
+                self._respond_json(
+                    200,
+                    {"count": len(manifests), "incidents": manifests},
+                )
             elif path == "/health/shards":
                 reports = self.server.source.shard_reports()
                 verdict = "ok"
@@ -212,7 +250,10 @@ class _HealthRequestHandler(BaseHTTPRequestHandler):
                     404,
                     {
                         "error": f"unknown path {path!r}",
-                        "routes": ["/metrics", "/healthz", "/health/shards"],
+                        "routes": [
+                            "/metrics", "/healthz", "/health/shards",
+                            "/incidents",
+                        ],
                     },
                 )
         except Exception as exc:  # pragma: no cover - defensive

@@ -72,6 +72,7 @@ import queue as queue_module
 import time
 import traceback
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
@@ -189,6 +190,7 @@ def _worker_main(
 ) -> None:
     """Worker loop: build the shard filter, consume chunks until stop."""
     ring = None
+    recorder = None
     try:
         engine = config["engine"]
         if shm_info is not None:
@@ -211,6 +213,18 @@ def _worker_main(
                 _append(provenance_record(report))
 
         filt = _build_worker_filter(config, on_report=on_report)
+        record_config = config.get("record")
+        if record_config:
+            from repro.observability.recorder import FlightRecorder
+
+            recorder = FlightRecorder(
+                filt,
+                max_chunks=record_config["max_chunks"],
+                incident_dir=(
+                    Path(record_config["incident_dir"]) / f"shard-{shard_id}"
+                ),
+                config={"shard": shard_id, "engine": engine},
+            )
         tracer = None
         if config.get("trace"):
             tracer = Tracer(capacity=config.get("trace_capacity", 65_536))
@@ -235,6 +249,13 @@ def _worker_main(
                     "tracer_dropped_events_total",
                     lambda: tracer.dropped,
                     help="Trace events dropped by a full ring buffer.",
+                    labels={"role": f"shard-{shard_id}"},
+                )
+            if recorder is not None:
+                from repro.observability.recorder import observe_recorder
+
+                observe_recorder(
+                    recorder, registry,
                     labels={"role": f"shard-{shard_id}"},
                 )
         known: Set = set()
@@ -264,7 +285,12 @@ def _worker_main(
                     _, chunk_id, keys, values = message
                 if keys.shape[0]:
                     insert_start = time.perf_counter()
-                    if engine == "batch":
+                    if recorder is not None:
+                        # The recorder IS the insert path while
+                        # recording: it applies the chunk through the
+                        # same engine call after capturing it.
+                        recorder.feed(keys, values)
+                    elif engine == "batch":
                         filt.process(keys, values)
                     else:
                         filt.insert_many(keys, values)
@@ -295,6 +321,10 @@ def _worker_main(
                 # effect at a consistent between-chunks cut per shard.
                 _, new_threshold = message
                 filt.retarget(new_threshold)
+                if recorder is not None:
+                    # Re-base the recorder: retargets are not replayed
+                    # as events, so no retained chunk may straddle one.
+                    recorder.note_discontinuity(f"retarget:{new_threshold}")
             elif kind == "snapshot":
                 _, sync_id = message
                 if engine == "batch":
@@ -328,7 +358,16 @@ def _worker_main(
             else:  # pragma: no cover - defensive
                 raise ParameterError(f"unknown worker message {kind!r}")
     except Exception:
-        out_queue.put(("error", shard_id, traceback.format_exc()))
+        tb_text = traceback.format_exc()
+        if recorder is not None:
+            try:
+                bundle_path = recorder.dump(
+                    "worker_crash", extra={"traceback": tb_text}
+                )
+                tb_text += f"\n[incident bundle: {bundle_path}]"
+            except Exception:  # pragma: no cover - best-effort forensics
+                pass
+        out_queue.put(("error", shard_id, tb_text))
     finally:
         if ring is not None:
             ring.close()
@@ -371,6 +410,14 @@ class ParallelPipeline:
     on_reports:
         Callback receiving each :class:`ReportBatch` as it is released
         (after ordering in ordered mode).
+    record / incident_dir / record_chunks:
+        ``record=True`` gives every shard worker a
+        :class:`~repro.observability.recorder.FlightRecorder` retaining
+        its last ``record_chunks`` chunks; each worker dumps an
+        incident bundle into ``incident_dir/shard-<id>/`` when it
+        crashes (the bundle path is appended to the error surfaced by
+        :class:`WorkerFailedError`), making the crash replayable with
+        ``repro record replay``.
     """
 
     def __init__(
@@ -402,6 +449,9 @@ class ParallelPipeline:
         on_reports: Optional[Callable[[ReportBatch], None]] = None,
         on_merge: Optional[Callable[[QuantileFilter, int], None]] = None,
         start_method: Optional[str] = None,
+        record: bool = False,
+        incident_dir=None,
+        record_chunks: int = 32,
     ):
         if num_shards < 1:
             raise ParameterError(f"num_shards must be >= 1, got {num_shards}")
@@ -432,6 +482,16 @@ class ParallelPipeline:
                 "collect_provenance needs engine='scalar': the batch "
                 "engine tracks reported keys, not Report objects"
             )
+        if record and incident_dir is None:
+            raise ParameterError(
+                "record=True needs incident_dir: worker recorders dump "
+                "crash bundles to disk (a memory-only ring dies with "
+                "the worker process)"
+            )
+        if record_chunks < 1:
+            raise ParameterError(
+                f"record_chunks must be >= 1, got {record_chunks}"
+            )
         self.criteria = criteria
         self.num_shards = num_shards
         self.engine = engine
@@ -452,6 +512,8 @@ class ParallelPipeline:
         )
         self._on_reports = on_reports
         self._on_merge = on_merge
+        self.record = record
+        self.incident_dir = Path(incident_dir) if incident_dir else None
 
         # Resolve the geometry once in the master (a throwaway template
         # filter applies the byte-budget split), then ship explicit
@@ -490,6 +552,11 @@ class ParallelPipeline:
             trace=self.collect_trace,
             trace_sample_every=trace_sample_every,
             provenance=collect_provenance,
+            record=(
+                dict(incident_dir=str(self.incident_dir),
+                     max_chunks=record_chunks)
+                if record else None
+            ),
         )
         self.router = ShardRouter(num_shards, resolved_buckets, seed=seed)
 

@@ -1,0 +1,88 @@
+"""The committed BENCH_*.json snapshots as a synthetic trend run."""
+
+import json
+
+import pytest
+
+from repro.experiments.benchseed import (
+    BENCH_FILES,
+    BENCH_SEED_RUN_ID,
+    bench_seed_run,
+    default_bench_root,
+)
+from repro.experiments.runstore import RunData
+from repro.experiments.trend import render_markdown
+
+
+@pytest.fixture()
+def bench_root(tmp_path):
+    (tmp_path / "BENCH_throughput.json").write_text(json.dumps({
+        "items": 100, "pipeline_items": 400, "memory_bytes": 4096,
+        "workload": "fig8-internet",
+        "items_per_s": {
+            "scalar": 1000.0, "batch": 8000.0, "pipeline_shm": 3000.0,
+        },
+    }))
+    (tmp_path / "BENCH_observability.json").write_text(json.dumps({
+        "items": 100, "baseline_mops": 0.25, "recorded_mops": 0.24,
+    }))
+    (tmp_path / "BENCH_controller.json").write_text(json.dumps({
+        "items": {"scalar": 100, "batch": 1600},
+        "scalar_baseline_mops": 0.3, "batch_baseline_mops": 4.0,
+    }))
+    return tmp_path
+
+
+def test_adapts_all_three_files(bench_root):
+    run = bench_seed_run(bench_root)
+    assert isinstance(run, RunData)
+    assert run.run_id == BENCH_SEED_RUN_ID
+    assert set(run.records) == {
+        "bench/throughput/scalar", "bench/throughput/batch",
+        "bench/throughput/pipeline_shm",
+        "bench/observability/baseline", "bench/observability/recorded",
+        "bench/controller/scalar", "bench/controller/batch",
+    }
+    # Pipeline cells use the pipeline stream length as their scale.
+    assert run.records["bench/throughput/pipeline_shm"]["cell"]["scale"] == 400
+    assert run.records["bench/throughput/scalar"]["cell"]["scale"] == 100
+    # mops figures become items/s so all cells share one unit.
+    rec = run.records["bench/observability/recorded"]
+    assert rec["timing"]["items_per_s"] == pytest.approx(240_000.0)
+    assert rec["accuracy"] == {"overall": {}, "band": {}}
+
+
+def test_seed_sorts_before_any_real_run(bench_root):
+    run = bench_seed_run(bench_root)
+    assert run.manifest["created_unix"] == 0.0
+    assert run.sort_key() < (1.0, "")
+
+
+def test_partial_and_missing_files(bench_root, tmp_path):
+    (bench_root / "BENCH_throughput.json").unlink()
+    (bench_root / "BENCH_controller.json").write_text("not json")
+    run = bench_seed_run(bench_root)
+    assert set(run.records) == {
+        "bench/observability/baseline", "bench/observability/recorded",
+    }
+    assert bench_seed_run(tmp_path / "empty") is None
+
+
+def test_renders_into_trend_report(bench_root):
+    text = render_markdown([bench_seed_run(bench_root)])
+    assert "bench/throughput/batch" in text
+    assert "bench-seed" in text
+
+
+def test_committed_snapshots_adapt_cleanly():
+    """The real repo files must always produce a seed run."""
+    root = default_bench_root()
+    for name in BENCH_FILES:
+        assert (root / name).is_file(), f"{name} missing from repo root"
+    run = bench_seed_run()
+    assert run is not None
+    assert "bench/throughput/batch" in run.records
+    assert "bench/observability/recorded" in run.records
+    assert "bench/controller/batch" in run.records
+    for record in run.records.values():
+        assert record["timing"]["items_per_s"] > 0

@@ -56,6 +56,19 @@ class TestFastExamples:
         assert "triggering signal named in reasons: True" in output
         assert "qf_health_status 1" in output
 
+    def test_recorded_monitoring(self, capsys, tmp_path):
+        result = load_example("recorded_monitoring").main(str(tmp_path))
+        output = capsys.readouterr().out
+        assert "baseline verdict: ok" in output
+        assert "drifted verdict: degraded" in output
+        assert "trigger: verdict_flip:ok->degraded" in output
+        assert "replay MATCH" in output
+        assert "replay matches capture bit-identically: True" in output
+        assert result.ok
+        # The flip dump landed where the caller asked.
+        assert list(tmp_path.glob("incident-*.json.gz"))
+        assert list(tmp_path.glob("incident-*.manifest.json"))
+
     def test_threshold_demo(self, capsys):
         load_example("threshold_demo").main()
         output = capsys.readouterr().out

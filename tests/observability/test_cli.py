@@ -236,3 +236,64 @@ def test_serve_command_scrapeable_while_running():
     assert result["rc"] == 0
     time.sleep(0.2)
     assert threading.active_count() <= baseline_threads
+
+
+def test_health_text_reports_tracer_drops(capsys):
+    """Satellite: the one-shot health report surfaces ring-buffer drops.
+
+    With --trace the tracer runs and its per-role drop counters are
+    summed into a visible line; without it the line says tracing was
+    off rather than implying a clean run."""
+    rc = main(["health", *STATS_ARGS, "--trace"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    match = re.search(r"tracer drops: (\d+) total \(([^)]*)\)", out)
+    assert match, f"health --trace must print a drops line, got:\n{out}"
+    roles = dict(
+        part.split("=") for part in match.group(2).split(", ")
+    )
+    assert {"master", "shard-0", "shard-1"} <= set(roles)
+    assert sum(int(v) for v in roles.values()) == int(match.group(1))
+
+
+def test_health_text_without_trace_says_tracing_off(capsys):
+    rc = main(["health", *STATS_ARGS])
+    assert rc == 0
+    assert "tracer drops: none recorded (tracing off)" \
+        in capsys.readouterr().out
+
+
+class TestRecordCommand:
+    def test_parser_defaults(self):
+        from repro.observability.cli import build_record_parser
+
+        args = build_record_parser().parse_args(["dump"])
+        assert args.record_command == "dump"
+        assert args.dataset == "internet"
+        assert args.engine == "batch"
+        assert args.max_chunks == 32
+        assert args.chunk_items == 4096
+        assert str(args.dir) == "incidents"
+        args = build_record_parser().parse_args(
+            ["replay", "bundle.json.gz", "--format", "json"]
+        )
+        assert args.record_command == "replay"
+        assert args.bundle == "bundle.json.gz"
+
+    def test_record_subcommand_routes_through_main(self, tmp_path, capsys):
+        rc = main([
+            "record", "dump", "--dataset", "internet", "--scale", "6000",
+            "--engine", "batch", "--dir", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        bundle = [
+            line for line in out.splitlines()
+            if line.endswith(".json.gz")
+        ][-1]
+        assert main(["record", "replay", bundle]) == 0
+        assert "replay MATCH" in capsys.readouterr().out
+        assert main(["record", "list", "--dir", str(tmp_path)]) == 0
+        listing = capsys.readouterr().out
+        assert "engine=batch" in listing
+        assert "reason=explicit" in listing

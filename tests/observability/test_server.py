@@ -281,3 +281,86 @@ class TestPipelineSource:
         assert not pipeline.running
         assert len(pipeline.last_per_shard_stats) == 2
         assert pipeline.reported_keys == set(pipeline.reported_keys)
+
+
+class TestIncidents:
+    def test_route_empty_without_recorder(self):
+        with serve_filter(fed_filter()) as server:
+            status, payload = get_json(server.url + "/incidents")
+        assert status == 200
+        assert payload == {"count": 0, "incidents": []}
+
+    def test_route_lists_dumped_bundles(self, tmp_path):
+        from repro.observability.recorder import FlightRecorder
+
+        filt = fed_filter()
+        recorder = FlightRecorder(filt, incident_dir=tmp_path)
+        recorder.feed([1, 2, 3], [5.0, 6.0, 7.0])
+        recorder.dump("explicit")
+        source = FilterServeSource(filt, recorder=recorder)
+        with HealthServer(source).start() as server:
+            status, payload = get_json(server.url + "/incidents")
+            _, metrics, _ = get(server.url + "/metrics")
+        assert status == 200
+        assert payload["count"] == 1
+        manifest = payload["incidents"][0]
+        assert manifest["reason"] == "explicit"
+        assert manifest["engine"] == "scalar"
+        # The recorder's gauges ride the same registry as the filter's.
+        assert "qf_recorder_dumps_total 1" in metrics
+        assert "qf_recorder_retained_items 3" in metrics
+
+    def test_concurrent_scrapes_while_dump_in_flight(self, tmp_path):
+        """Satellite: scrapes must never block on a recorder dump.
+
+        The monitor forwards health reports to the recorder OUTSIDE its
+        own lock, and the recorder's feed/dump lock is never taken by
+        the read-only routes — so /healthz, /metrics and /incidents
+        stay responsive while bundles are being written.
+        """
+        from repro.observability.recorder import FlightRecorder
+
+        filt = fed_filter()
+        recorder = FlightRecorder(
+            filt, max_chunks=4, incident_dir=tmp_path, max_incidents=64,
+        )
+        source = FilterServeSource(filt, recorder=recorder)
+        rng = np.random.default_rng(1)
+        errors = []
+        scraped = []
+
+        with HealthServer(source).start() as server:
+            stop = threading.Event()
+
+            def scrape():
+                try:
+                    while not stop.is_set():
+                        status, _, _ = get(server.url + "/metrics")
+                        assert status == 200
+                        status, payload = get_json(server.url + "/healthz")
+                        assert status in (200, 503)
+                        status, listing = get_json(server.url + "/incidents")
+                        assert status == 200
+                        scraped.append(listing["count"])
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=scrape) for _ in range(3)]
+            for t in threads:
+                t.start()
+            # Feed and dump continuously while the scrapers hammer the
+            # read-only routes.
+            for _ in range(10):
+                keys = rng.integers(0, 80, size=512).tolist()
+                values = rng.lognormal(4.0, 0.6, size=512).tolist()
+                recorder.feed(keys, values)
+                recorder.dump("stress")
+            stop.set()
+            for t in threads:
+                t.join()
+
+        assert errors == []
+        assert scraped, "scrapers must have completed at least one pass"
+        assert recorder.dumps_total == 10
+        # Every listing observed a consistent prefix of the dumps.
+        assert all(0 <= count <= 10 for count in scraped)
