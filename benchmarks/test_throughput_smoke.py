@@ -8,7 +8,11 @@ configurations this package ships —
   (``vectorize=False``: the per-item chunk loop),
 * ``batch``            — batch engine with the vectorised fast tier,
 * ``pipeline_pickle`` / ``pipeline_shm`` — 4-shard process pipeline
-  under both chunk transports —
+  under both chunk transports,
+* ``threads_2w`` / ``threads_4w`` — the thread-parallel shared-sketch
+  engine at 2 and 4 updater threads, head-to-head against the process
+  pipeline at the same worker counts (``pipeline_shm_2w`` /
+  ``pipeline_shm``) on the same stream and per-structure byte budget —
 
 and records them in ``BENCH_throughput.json`` at the repo root.
 
@@ -39,6 +43,10 @@ REGRESSION_PCT = 15.0
 #: broken regardless of what the committed baseline says.
 MIN_BATCH_SPEEDUP = 1.7
 MIN_SHM_SPEEDUP = 1.2
+#: The threads engine's whole pitch is skipping the per-chunk
+#: serialize/copy/deserialize transport tax, so at equal worker count
+#: it must at least match the shm pipeline.
+MIN_THREADS_SPEEDUP = 1.0
 #: Per-filter / per-shard byte budget (a fig8 memory point).
 MEMORY_BYTES = 1 << 18
 NUM_SHARDS = 4
@@ -97,9 +105,19 @@ def test_throughput_smoke():
         k: v for k, v in dims.items() if k != "candidate_fraction"
     }
 
-    def run_pipeline(transport):
+    def run_pipeline(transport, workers=NUM_SHARDS):
         pipe = ParallelPipeline(
-            criteria, NUM_SHARDS, engine="batch", transport=transport,
+            criteria, workers, engine="batch", transport=transport,
+            memory_bytes=MEMORY_BYTES, chunk_items=PIPELINE_CHUNK_ITEMS,
+            **pipeline_dims,
+        )
+        return pipe.run(pipeline_trace.keys, pipeline_trace.values)
+
+    def run_threads(workers):
+        # Same per-structure byte budget as one shm shard: the N
+        # updater threads share a single set of planes.
+        pipe = ParallelPipeline(
+            criteria, workers, engine="threads",
             memory_bytes=MEMORY_BYTES, chunk_items=PIPELINE_CHUNK_ITEMS,
             **pipeline_dims,
         )
@@ -138,12 +156,28 @@ def test_throughput_smoke():
         pipeline_best[transport] = seconds
     assert pipeline_reports["shm"] == pipeline_reports["pickle"]
 
+    # Equal-core head-to-head: threads vs the shm pipeline at the same
+    # worker count (pipeline_best["shm"] above IS the 4-worker run).
+    headtohead_best = {}
+    for name, run in (
+        ("pipeline_shm_2w", lambda: run_pipeline("shm", workers=2)),
+        ("threads_2w", lambda: run_threads(2)),
+        ("threads_4w", lambda: run_threads(4)),
+    ):
+        seconds = float("inf")
+        for _ in range(ROUNDS):
+            seconds = min(seconds, run().seconds)
+        headtohead_best[name] = seconds
+
     items_per_s = {
         "scalar": scale / best["scalar"],
         "batch_legacy": scale / best["batch_legacy"],
         "batch": scale / best["batch"],
         "pipeline_pickle": 4 * scale / pipeline_best["pickle"],
         "pipeline_shm": 4 * scale / pipeline_best["shm"],
+        "pipeline_shm_2w": 4 * scale / headtohead_best["pipeline_shm_2w"],
+        "threads_2w": 4 * scale / headtohead_best["threads_2w"],
+        "threads_4w": 4 * scale / headtohead_best["threads_4w"],
     }
     ratios = {
         "batch_speedup_vs_legacy": (
@@ -154,6 +188,12 @@ def test_throughput_smoke():
         ),
         "shm_speedup_vs_pickle": (
             items_per_s["pipeline_shm"] / items_per_s["pipeline_pickle"]
+        ),
+        "threads_speedup_vs_shm": (
+            items_per_s["threads_4w"] / items_per_s["pipeline_shm"]
+        ),
+        "threads_speedup_vs_shm_2w": (
+            items_per_s["threads_2w"] / items_per_s["pipeline_shm_2w"]
         ),
     }
 
@@ -178,6 +218,11 @@ def test_throughput_smoke():
     assert ratios["shm_speedup_vs_pickle"] >= MIN_SHM_SPEEDUP, (
         f"shm transport only {ratios['shm_speedup_vs_pickle']:.2f}x over "
         f"pickle (floor {MIN_SHM_SPEEDUP}x)"
+    )
+    assert ratios["threads_speedup_vs_shm"] >= MIN_THREADS_SPEEDUP, (
+        f"threads engine only {ratios['threads_speedup_vs_shm']:.2f}x over "
+        f"the shm pipeline at 4 workers (floor {MIN_THREADS_SPEEDUP}x): "
+        "the zero-transport commit path is no longer paying for itself"
     )
 
     if BASELINE_PATH.exists():

@@ -230,9 +230,15 @@ class BatchQuantileFilter:
     # ------------------------------------------------------------------
     # chunk machinery
     # ------------------------------------------------------------------
-    def _process_chunk(self, keys: np.ndarray, values: np.ndarray) -> None:
+    def _chunk_parts(self, keys: np.ndarray, values: np.ndarray):
+        """Lock-free per-chunk precompute: fingerprints, buckets, weights.
+
+        Pure functions of the inputs and the (immutable) hash families —
+        no filter state is read or written, so concurrent callers (the
+        thread-parallel engine in :mod:`repro.parallel.concurrent`) may
+        run this outside any lock.
+        """
         crit = self.criteria
-        n = int(keys.shape[0])
         canon = canonical_keys(keys)
         fps = self._fp_hasher.fingerprints_batch(canon)
         buckets = (
@@ -241,17 +247,24 @@ class BatchQuantileFilter:
         weights = np.where(
             values > crit.threshold, crit.positive_weight, -1.0
         )
+        return fps, buckets, weights
 
-        if not self.vectorize:
-            self._scalar_pass(keys, fps, buckets, weights, np.arange(n))
-            self.items_processed += n
-            return
+    def _classify_chunk(self, fps: np.ndarray, buckets: np.ndarray):
+        """Split a (sub)chunk into the fast and scalar tiers.
 
-        # Classify against chunk-start candidate state.  A "hit" is a
-        # fingerprint already resident in its bucket; the first miss in
-        # a bucket can mutate that bucket's slots (vacancy fill or
-        # replacement), so only the hit-prefix of each bucket — items
-        # strictly before the bucket's first miss — is provably pure.
+        Classifies against chunk-start candidate state.  A "hit" is a
+        fingerprint already resident in its bucket; the first miss in
+        a bucket can mutate that bucket's slots (vacancy fill or
+        replacement), so only the hit-prefix of each bucket — items
+        strictly before the bucket's first miss — is provably pure.
+        Reads the candidate planes: callers that share the planes across
+        threads must hold the owning bucket-stripe lock.
+
+        Returns ``(hit, fast_idx, slow_idx)``: the per-slot hit matrix
+        and the index arrays of the two tiers (both in ascending, i.e.
+        stream, order).
+        """
+        n = int(fps.shape[0])
         bucket_rows = self._cand_fps[buckets]
         hit = bucket_rows == fps[:, None]
         hit_any = hit.any(axis=1)
@@ -262,7 +275,18 @@ class BatchQuantileFilter:
             fast_mask = hit_any & (np.arange(n) < first_miss[buckets])
         else:
             fast_mask = hit_any
-        fast_idx = np.flatnonzero(fast_mask)
+        return hit, np.flatnonzero(fast_mask), np.flatnonzero(~fast_mask)
+
+    def _process_chunk(self, keys: np.ndarray, values: np.ndarray) -> None:
+        n = int(keys.shape[0])
+        fps, buckets, weights = self._chunk_parts(keys, values)
+
+        if not self.vectorize:
+            self._scalar_pass(keys, fps, buckets, weights, np.arange(n))
+            self.items_processed += n
+            return
+
+        hit, fast_idx, slow_idx = self._classify_chunk(fps, buckets)
 
         # The two tiers commute: fast items touch only candidate slots
         # of buckets whose chunk prefix is hit-pure, and the scalar tier
@@ -270,10 +294,8 @@ class BatchQuantileFilter:
         # whole vectorised tier first preserves stream-order semantics.
         if fast_idx.size:
             self._fast_candidate_pass(keys, buckets, weights, hit, fast_idx)
-        if fast_idx.size != n:
-            self._scalar_pass(
-                keys, fps, buckets, weights, np.flatnonzero(~fast_mask)
-            )
+        if slow_idx.size:
+            self._scalar_pass(keys, fps, buckets, weights, slow_idx)
         self.items_processed += n
 
     def _fast_candidate_pass(
@@ -283,8 +305,14 @@ class BatchQuantileFilter:
         weights: np.ndarray,
         hit: np.ndarray,
         fast_idx: np.ndarray,
+        sink=None,
     ) -> None:
         """Grouped per-slot Qweight accumulation for pure candidate hits.
+
+        ``sink`` receives the event tallies and reported keys; it
+        defaults to the filter itself and exists so the thread-parallel
+        engine can direct each bucket stripe's tallies at a
+        lock-protected per-stripe accumulator.
 
         A slot is *clean* when its starting Qweight plus the sum of the
         chunk's positive weights provably stays below the report
@@ -298,9 +326,11 @@ class BatchQuantileFilter:
         item-by-item in stream order — slot-local state, so replay
         order relative to other slots is irrelevant.
         """
+        if sink is None:
+            sink = self
         report_threshold = self._report_threshold_eff
         qws_flat = self._cand_qws.reshape(-1)
-        reported = self.reported_keys
+        reported = sink.reported_keys
 
         slots = np.argmax(hit[fast_idx], axis=1)
         gslot = buckets[fast_idx] * self.bucket_size + slots
@@ -338,15 +368,15 @@ class BatchQuantileFilter:
                 if new_qw >= report_threshold:
                     qweight = 0.0
                     reported.add(replay_keys[pos])
-                    self.report_count += 1
-                    self.candidate_reports += 1
+                    sink.report_count += 1
+                    sink.candidate_reports += 1
                 else:
                     qweight = new_qw
             if current_slot >= 0:
                 qws_flat[current_slot] = qweight
 
-        if self.stats_tallies:
-            self.candidate_hits += int(fast_idx.size)
+        if sink.stats_tallies:
+            sink.candidate_hits += int(fast_idx.size)
 
     def _scalar_pass(
         self,
@@ -355,6 +385,7 @@ class BatchQuantileFilter:
         buckets: np.ndarray,
         weights: np.ndarray,
         idx: np.ndarray,
+        sink=None,
     ) -> None:
         """Algorithm 2's exact per-item branch over the ``idx`` subset.
 
@@ -363,9 +394,15 @@ class BatchQuantileFilter:
         vague-part touch.  Touched buckets are staged into Python lists
         (fast scalar indexing) and written back afterwards; vague
         addressing is computed vectorised for just the subset.
+
+        ``sink`` plays the same role as in :meth:`_fast_candidate_pass`:
+        tallies and reported keys go to it instead of ``self`` when the
+        thread-parallel engine supplies a per-stripe accumulator.
         """
         if idx.size == 0:
             return
+        if sink is None:
+            sink = self
         report_threshold = self._report_threshold_eff
         key_list = keys[idx].tolist()
         fp_list = fps[idx].tolist()
@@ -396,8 +433,8 @@ class BatchQuantileFilter:
         depth = self.depth
         bucket_size = self.bucket_size
         should_replace = self.strategy.should_replace
-        reported = self.reported_keys
-        track = self.stats_tallies
+        reported = sink.reported_keys
+        track = sink.stats_tallies
         n_hits = n_vague = n_swaps = 0
 
         for i in range(len(key_list)):
@@ -419,8 +456,8 @@ class BatchQuantileFilter:
                     if new_qw >= report_threshold:
                         bucket_qws[slot] = 0.0
                         reported.add(key_list[i])
-                        self.report_count += 1
-                        self.candidate_reports += 1
+                        sink.report_count += 1
+                        sink.candidate_reports += 1
                     else:
                         bucket_qws[slot] = new_qw
                     matched = True
@@ -436,8 +473,8 @@ class BatchQuantileFilter:
                 if weight >= report_threshold:
                     bucket_qws[free] = 0.0
                     reported.add(key_list[i])
-                    self.report_count += 1
-                    self.candidate_reports += 1
+                    sink.report_count += 1
+                    sink.candidate_reports += 1
                 else:
                     bucket_qws[free] = weight
                 continue
@@ -460,8 +497,8 @@ class BatchQuantileFilter:
                 for r in range(depth):
                     rows[r][col_rows[r][i]] -= sign_rows[r][i] * estimate
                 reported.add(key_list[i])
-                self.report_count += 1
-                self.vague_reports += 1
+                sink.report_count += 1
+                sink.vague_reports += 1
                 estimate = 0.0
 
             # Candidate election against the bucket minimum.
@@ -494,9 +531,9 @@ class BatchQuantileFilter:
         )
 
         if track:
-            self.candidate_hits += n_hits
-            self.vague_inserts += n_vague
-            self.swaps += n_swaps
+            sink.candidate_hits += n_hits
+            sink.vague_inserts += n_vague
+            sink.swaps += n_swaps
 
     # ------------------------------------------------------------------
     # accounting

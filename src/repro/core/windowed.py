@@ -106,6 +106,27 @@ class WindowedQuantileFilter:
             self.report_count += 1
         return report
 
+    def insert_many(self, keys, values) -> list:
+        """Insert a batch of items; returns the emitted reports in order.
+
+        Semantically identical to calling :meth:`insert` per item — the
+        clearing policy still fires at exactly the same item positions,
+        including mid-batch.  Numpy inputs are unboxed to plain Python
+        scalars once via ``tolist`` instead of once per item, matching
+        :meth:`QuantileFilter.insert_many
+        <repro.core.quantile_filter.QuantileFilter.insert_many>`.
+        """
+        if hasattr(keys, "tolist"):
+            keys = keys.tolist()
+        if hasattr(values, "tolist"):
+            values = values.tolist()
+        insert = self.insert
+        return [
+            report
+            for report in map(insert, keys, values)
+            if report is not None
+        ]
+
     def _maybe_rotate(self) -> None:
         if self.mode == "tumbling":
             if self._since_reset >= self.window_items:

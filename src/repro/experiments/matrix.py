@@ -12,7 +12,7 @@ one-off drivers.  A matrix config (TOML or JSON) names the axes::
 
     [axes]
     algorithms = ["quantilefilter", "squad"]
-    engines = ["scalar", "batch", "pipeline-shm"]   # quantilefilter only
+    engines = ["scalar", "batch", "pipeline-shm", "threads"]  # quantilefilter only
     workloads = ["internet", "cloud", "drift", "bursty"]
     memory_bytes = [16384, 65536]
     scales = [20000]
@@ -87,7 +87,12 @@ except ModuleNotFoundError:  # pragma: no cover - version-dependent
 PathLike = Union[str, Path]
 
 #: QuantileFilter implementations the engine axis can select.
-ENGINES = ("scalar", "batch", "pipeline-shm")
+ENGINES = ("scalar", "batch", "pipeline-shm", "threads")
+
+#: Engine-axis values that spin up a parallel deployment (worker
+#: processes or updater threads); only meaningful for quantilefilter
+#: cells, and excluded from the adaptive-controller cross.
+_PARALLEL_ENGINES = ("pipeline-shm", "threads")
 
 #: Baseline algorithms allowed next to "quantilefilter" on the
 #: algorithm axis (all run through the scalar detector adapters).
@@ -221,6 +226,14 @@ def expand_cells(config: dict) -> List[CellSpec]:
             raise ParameterError(
                 f"unknown controller {controller!r}; choose from {CONTROLLERS}"
             )
+    if "quantilefilter" not in algorithms:
+        parallel = [e for e in engines if e in _PARALLEL_ENGINES]
+        if parallel:
+            raise ParameterError(
+                f"engines {parallel} apply only to 'quantilefilter' cells; "
+                "baseline algorithms always run on the scalar engine — add "
+                "'quantilefilter' to axes.algorithms or drop those engines"
+            )
 
     common = dict(
         seed=int(matrix.get("seed", 0)),
@@ -259,7 +272,7 @@ def expand_cells(config: dict) -> List[CellSpec]:
                                 # matrix sweep, so skip that combo
                                 # instead of crossing it.
                                 if (controller != "fixed"
-                                        and engine == "pipeline-shm"):
+                                        and engine in _PARALLEL_ENGINES):
                                     continue
                                 cells.append(CellSpec(
                                     algorithm=algorithm, engine=engine,
@@ -325,10 +338,32 @@ def _run_pipeline_shm(spec: CellSpec, trace: Trace):
     return outcome.reported_keys, outcome.seconds, 0
 
 
+def _run_threads(spec: CellSpec, trace: Trace):
+    # Unlike pipeline-shm the memory budget is NOT divided by the shard
+    # count: all updater threads share one set of filter planes, so the
+    # whole budget buys one full-size structure.
+    from repro.parallel.pipeline import ParallelPipeline
+
+    pipeline = ParallelPipeline(
+        spec.criteria(),
+        spec.shards,
+        engine="threads",
+        memory_bytes=max(1 << 10, spec.memory_bytes),
+        chunk_items=spec.chunk_items,
+        seed=spec.seed,
+        bucket_size=PAPER.bucket_size,
+        depth=PAPER.depth,
+        fp_bits=PAPER.fp_bits,
+    )
+    outcome = pipeline.run(trace.keys, trace.values)
+    return outcome.reported_keys, outcome.seconds, pipeline.filter.nbytes
+
+
 _ENGINE_RUNNERS: Dict[str, Callable] = {
     "scalar": _run_scalar,
     "batch": _run_batch,
     "pipeline-shm": _run_pipeline_shm,
+    "threads": _run_threads,
 }
 
 
@@ -345,6 +380,14 @@ def _build_quantilefilter(spec: CellSpec):
             candidate_fraction=PAPER.candidate_fraction,
             fp_bits=PAPER.fp_bits,
             seed=spec.seed,
+        )
+    if spec.engine != "scalar":
+        # Fail loudly rather than silently falling back to the scalar
+        # engine (a hand-built CellSpec can reach here with any string).
+        raise ParameterError(
+            f"controlled cells drive an in-process filter; engine "
+            f"{spec.engine!r} is not supported here (use 'scalar' or "
+            f"'batch')"
         )
     from repro.core.quantile_filter import QuantileFilter
 
@@ -533,11 +576,12 @@ def run_cell(spec: CellSpec) -> dict:
                 f"controller {spec.controller!r} needs a retarget() path; "
                 f"baseline {spec.algorithm!r} has none"
             )
-        if spec.engine == "pipeline-shm":
+        if spec.engine in _PARALLEL_ENGINES:
             raise ParameterError(
                 "controlled matrix cells run on in-process engines "
-                "('scalar'/'batch'); the pipeline broadcast path is "
-                "covered by its integration test"
+                "('scalar'/'batch'); the pipeline broadcast and "
+                "thread-rendezvous retarget paths are covered by their "
+                "integration tests"
             )
         reported, seconds, actual_bytes, controller_info = _run_controlled(
             spec, trace

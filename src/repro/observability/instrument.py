@@ -79,6 +79,9 @@ FILTER_METRIC_HELP = {
     "qf_threshold": "Value threshold T currently in force.",
     "qf_retargets_total":
         "Threshold retargets applied (retarget() calls, state preserved).",
+    "qf_thread_flushes_total":
+        "Striped sub-chunk commits completed by updater threads "
+        "(thread-parallel engine).",
 }
 
 #: Latency-histogram families registered by the pipeline and its
@@ -93,6 +96,9 @@ HISTOGRAM_METRIC_HELP = {
     "pipeline_report_queue_delay_seconds":
         "Delay between a worker posting a report batch and the master "
         "draining it.",
+    "qf_lock_wait_seconds":
+        "Stripe-lock acquisition wait per flush sub-chunk "
+        "(thread-parallel engine).",
 }
 
 #: Gauge families that average (rather than sum) across shards.
@@ -215,6 +221,18 @@ def observe_filter(
             gauge("qf_candidate_occupancy", filt.occupancy)
             gauge("qf_vague_saturation", lambda: 0.0)
             filt.stats_tallies = True
+            if hasattr(filt, "thread_flushes"):
+                # Thread-parallel shared-sketch engine: commit volume
+                # plus the lock-wait distribution its flush path
+                # records (adopted live via hist=, not copied).
+                counter("qf_thread_flushes_total",
+                        lambda: filt.thread_flushes)
+                registry.histogram(
+                    "qf_lock_wait_seconds",
+                    help=HISTOGRAM_METRIC_HELP["qf_lock_wait_seconds"],
+                    labels=labels,
+                    hist=filt.lock_wait,
+                )
     else:
         # WindowedQuantileFilter: reports are not split by part, and the
         # interesting extra signals are the clearing-policy ones.

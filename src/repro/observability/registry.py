@@ -282,6 +282,7 @@ class StatsRegistry:
         name: str,
         help: str = "",
         labels: Optional[Mapping[str, str]] = None,
+        hist=None,
         **geometry,
     ):
         """Get or create a mergeable log-bucket histogram.
@@ -293,8 +294,21 @@ class StatsRegistry:
         ``<name>_bucket{le=...}`` samples plus ``<name>_count`` /
         ``<name>_sum``, all of which aggregate across shards by
         summing.
+
+        ``hist`` wraps an existing
+        :class:`~repro.observability.histogram.LogHistogram` instead of
+        creating a fresh one — the pull-model analogue of
+        :meth:`counter_fn`: the owner keeps recording into its own
+        histogram (e.g. a concurrent filter's lock-wait distribution)
+        and snapshots read it live.
         """
         from repro.observability.histogram import Histogram, LogHistogram
+
+        if hist is not None and geometry:
+            raise ParameterError(
+                "pass either hist= (adopt an existing LogHistogram) or "
+                "geometry kwargs (build a fresh one), not both"
+            )
 
         full = sample_name(name, labels)
         existing = self._metrics.get(full)
@@ -315,7 +329,11 @@ class StatsRegistry:
             spec = MetricSpec(name=name, kind="histogram", help=help, agg="sum")
             self._specs[name] = spec
             SPEC_INDEX.setdefault(name, spec)
-        metric = Histogram(name, LogHistogram(**geometry), labels=labels)
+        metric = Histogram(
+            name,
+            hist if hist is not None else LogHistogram(**geometry),
+            labels=labels,
+        )
         self._metrics[full] = metric
         return metric
 

@@ -9,6 +9,11 @@ Two layers:
   ``multiprocessing`` pipeline placing one shard per worker process,
   with bounded queues, ordered/unordered report delivery, periodic
   merged views and crash surfacing.
+* :class:`~repro.parallel.concurrent.ConcurrentQuantileFilter` — one
+  shared set of filter planes updated by N threads through thread-local
+  ingest buffers and striped bucket-range locks (the Quancurrent
+  direction); ``ParallelPipeline(engine="threads")`` runs it behind the
+  same pipeline API with zero chunk transport.
 
 Both share one partition rule (:class:`~repro.parallel.sharded.
 ShardRouter`), so the process-backed pipeline reports exactly the same
@@ -25,8 +30,14 @@ from repro.parallel.sharded import (
     batch_filter_to_scalar,
     sharded_reported_union,
 )
+from repro.parallel.concurrent import (
+    ConcurrentQuantileFilter,
+    ThreadIngest,
+    replay_witness,
+)
 from repro.parallel.pipeline import (
     DEFAULT_CHUNK_ITEMS,
+    PIPELINE_ENGINES,
     ParallelPipeline,
     PipelineError,
     PipelineResult,
@@ -38,6 +49,10 @@ from repro.parallel.pipeline import (
 
 __all__ = [
     "ENGINES",
+    "ConcurrentQuantileFilter",
+    "ThreadIngest",
+    "replay_witness",
+    "PIPELINE_ENGINES",
     "ShardRouter",
     "ShardedQuantileFilter",
     "batch_filter_to_scalar",

@@ -69,6 +69,7 @@ import copy
 import logging
 import multiprocessing
 import queue as queue_module
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -85,6 +86,7 @@ from repro.observability.instrument import observe_filter
 from repro.observability.provenance import provenance_record
 from repro.observability.registry import StatsRegistry, aggregate_snapshots
 from repro.observability.tracing import Tracer, attach_filter_tracing
+from repro.parallel.concurrent import ConcurrentQuantileFilter
 from repro.parallel.sharded import ENGINES, ShardRouter, batch_filter_to_scalar
 from repro.parallel.transport import ShmSlotRing
 
@@ -98,6 +100,12 @@ DEFAULT_CHUNK_ITEMS = 16_384
 #: Supported chunk transports (see the module docstring and
 #: ``docs/performance.md``).
 TRANSPORTS = ("pickle", "shm")
+
+#: Engines the pipeline can run: the process-per-shard engines plus the
+#: in-process thread engine (one shared
+#: :class:`~repro.parallel.concurrent.ConcurrentQuantileFilter`, one
+#: updater thread per "shard", no chunk transport at all).
+PIPELINE_ENGINES = ENGINES + ("threads",)
 
 #: Placeholder array for empty shm chunk slices (never read beyond its
 #: zero length, so one instance serves both keys and values).
@@ -373,8 +381,98 @@ def _worker_main(
             ring.close()
 
 
+def _thread_worker_main(
+    shard_id: int,
+    filt: ConcurrentQuantileFilter,
+    in_queue,
+    out_queue,
+    known: Set,
+    known_lock,
+) -> None:
+    """Updater-thread loop for ``engine="threads"``.
+
+    Same message protocol as the process workers, minus transport:
+    chunk arrays arrive by reference through a plain ``queue.Queue``
+    and flush straight into the shared filter via a thread-local
+    :class:`~repro.parallel.concurrent.ThreadIngest`.  Fresh-report
+    extraction diffs the shared report set against a shared ``known``
+    set under ``known_lock`` — each reported key is claimed by exactly
+    one thread, so batches never duplicate a key.  The diff (a copy of
+    every stripe's report set) only runs when the filter's report
+    count moved since this thread last looked, and empty batches post
+    no message at all: threads mode is unordered-only, so the master
+    needs no per-chunk acks.
+    """
+    try:
+        ingest = filt.ingest()
+        items = 0
+        claimed = 0
+        seen_reports = 0
+        while True:
+            message = in_queue.get()
+            kind = message[0]
+            if kind == "chunk":
+                _, chunk_id, keys, values = message
+                if keys.shape[0]:
+                    ingest.insert_many(keys, values)
+                    items += int(keys.shape[0])
+                fresh = ()
+                count = filt.report_count
+                if count != seen_reports:
+                    seen_reports = count
+                    with known_lock:
+                        fresh = filt.reported_keys - known
+                        known |= fresh
+                if fresh:
+                    claimed += len(fresh)
+                    out_queue.put(
+                        ("reports", chunk_id, shard_id, list(fresh),
+                         time.perf_counter(), -1)
+                    )
+            elif kind == "retarget":
+                # Barrier protocol: flush, ack on the result queue (the
+                # master drains while it waits, so a full queue cannot
+                # deadlock the rendezvous), park until the master has
+                # applied the new T on the shared filter.
+                _, sync_id, release = message
+                ingest.flush()
+                out_queue.put(("barrier", sync_id, shard_id))
+                release.wait()
+            elif kind == "stop":
+                ingest.flush()
+                with known_lock:
+                    fresh = filt.reported_keys - known
+                    known |= fresh
+                if fresh:
+                    claimed += len(fresh)
+                    out_queue.put(
+                        ("reports", -1, shard_id, list(fresh),
+                         time.perf_counter(), -1)
+                    )
+                out_queue.put(
+                    ("done", shard_id, items, claimed, None, None, None)
+                )
+                return
+            else:  # pragma: no cover - defensive
+                raise ParameterError(f"unknown worker message {kind!r}")
+    except Exception:
+        out_queue.put(("error", shard_id, traceback.format_exc()))
+
+
 class ParallelPipeline:
     """Process-per-shard QuantileFilter pipeline over integer-keyed streams.
+
+    ``engine="threads"`` swaps the process workers for updater threads
+    sharing one :class:`~repro.parallel.concurrent.
+    ConcurrentQuantileFilter` (exposed as :attr:`filter`): same
+    ``feed``/``finish``/``retarget`` API, but chunks cross no process
+    boundary at all — no pickle, no shared-memory ring, no per-chunk
+    copy, and no master-side key hashing either: whole chunks go to
+    one updater round-robin, because the shared filter's stripe locks
+    make any-thread/any-key safe (see the equal-core head-to-head in
+    ``benchmarks/test_throughput_smoke.py``).  Ordered
+    delivery, tracing, provenance and flight recording stay
+    process-engine features and raise ``ParameterError`` up front.
 
     Use as a one-shot ``run(keys, values)`` or stream explicitly::
 
@@ -452,11 +550,39 @@ class ParallelPipeline:
         record: bool = False,
         incident_dir=None,
         record_chunks: int = 32,
+        num_stripes: Optional[int] = None,
     ):
         if num_shards < 1:
             raise ParameterError(f"num_shards must be >= 1, got {num_shards}")
-        if engine not in ENGINES:
-            raise ParameterError(f"unknown engine {engine!r}; choose from {ENGINES}")
+        if engine not in PIPELINE_ENGINES:
+            raise ParameterError(
+                f"unknown engine {engine!r}; choose from {PIPELINE_ENGINES}"
+            )
+        self._threads = engine == "threads"
+        if self._threads:
+            unsupported = [
+                ("mode='ordered'", mode == "ordered"),
+                ("transport='shm'", transport == "shm"),
+                ("collect_trace", collect_trace or tracer is not None),
+                ("collect_provenance", collect_provenance),
+                ("record", record),
+            ]
+            bad = [name for name, flagged in unsupported if flagged]
+            if bad:
+                raise ParameterError(
+                    f"engine='threads' does not support {', '.join(bad)}: "
+                    "updater threads share one filter in this process, so "
+                    "there is no chunk transport to choose, report "
+                    "delivery is inherently unordered (commits race), and "
+                    "the per-worker trace/provenance/recorder hooks are "
+                    "process-engine features — use engine='batch' or "
+                    "engine='scalar' for those"
+                )
+        elif num_stripes is not None:
+            raise ParameterError(
+                "num_stripes only applies to engine='threads' (it is the "
+                "shared filter's lock-stripe count)"
+            )
         if mode not in ("unordered", "ordered"):
             raise ParameterError(
                 f"mode must be 'unordered' or 'ordered', got {mode!r}"
@@ -527,7 +653,31 @@ class ParallelPipeline:
             strategy=strategy,
             seed=seed,
         )
-        if engine == "batch":
+        self.filter: Optional[ConcurrentQuantileFilter] = None
+        self._filter_registry = None
+        if self._threads:
+            # The shared filter IS the template: one structure, built
+            # here, updated in place by every worker thread.  Chunks
+            # are handed out round-robin (any thread may touch any
+            # bucket), so the stripe count trades lock granularity
+            # against per-flush sub-chunk overhead; a small multiple
+            # of the thread count keeps racing flushes mostly on
+            # different stripes.
+            self.filter = ConcurrentQuantileFilter(
+                criteria,
+                memory_bytes,
+                flush_items=chunk_items,
+                num_stripes=(
+                    num_stripes if num_stripes is not None
+                    else 2 * num_shards
+                ),
+                **template_kwargs,
+            )
+            resolved_buckets = self.filter.num_buckets
+            resolved_width = self.filter.width
+            if collect_stats:
+                self._filter_registry = observe_filter(self.filter)
+        elif engine == "batch":
             template = BatchQuantileFilter(
                 criteria, memory_bytes, **template_kwargs
             )
@@ -591,6 +741,7 @@ class ParallelPipeline:
         self._done: Dict[int, Tuple] = {}
         self._snapshots: Dict[int, List] = {}
         self._stat_views: Dict[int, Dict[int, dict]] = {}
+        self._barrier_acks: Dict[int, Set[int]] = {}
 
         # Master-side telemetry: always registered (the counters are a
         # few adds per *chunk*, not per item), rendered by repro stats.
@@ -660,6 +811,8 @@ class ParallelPipeline:
         """Spawn the shard workers; idempotent until :meth:`finish`."""
         if self._started:
             return self
+        if self._threads:
+            return self._start_threads()
         self._out_queue = self._ctx.Queue(
             maxsize=max(8, 2 * self.num_shards * self.queue_capacity)
         )
@@ -725,6 +878,49 @@ class ParallelPipeline:
         )
         return self
 
+    def _start_threads(self) -> "ParallelPipeline":
+        """Spawn the updater threads sharing :attr:`filter`."""
+        self._out_queue = queue_module.Queue(
+            maxsize=max(8, 2 * self.num_shards * self.queue_capacity)
+        )
+        known: Set = set()
+        known_lock = threading.Lock()
+        for shard_id in range(self.num_shards):
+            in_queue = queue_module.Queue(maxsize=self.queue_capacity)
+            worker = threading.Thread(
+                target=_thread_worker_main,
+                args=(
+                    shard_id, self.filter, in_queue, self._out_queue,
+                    known, known_lock,
+                ),
+                daemon=True,
+                name=f"qf-thread-{shard_id}",
+            )
+            worker.start()
+            self._in_queues.append(in_queue)
+            self.workers.append(worker)
+            self.stats.gauge_fn(
+                "pipeline_queue_depth",
+                (lambda s=shard_id: self._queue_depth(s)),
+                help="Chunks waiting in this shard's input queue.",
+                labels={"shard": str(shard_id)},
+            )
+        self._started = True
+        LOGGER.info(
+            "pipeline started",
+            extra={
+                "event": "start",
+                "shards": self.num_shards,
+                "engine": self.engine,
+                "mode": self.mode,
+                "transport": "none",
+                "chunk_items": self.chunk_items,
+                "trace": self.collect_trace,
+                "provenance": self.collect_provenance,
+            },
+        )
+        return self
+
     def _queue_depth(self, shard_id: int) -> int:
         """Best-effort input-queue depth (0 where qsize is unsupported)."""
         if shard_id >= len(self._in_queues):
@@ -763,25 +959,40 @@ class ParallelPipeline:
             chunk_values = values[start:start + self.chunk_items]
             chunk_id = self._chunk_id
             self._chunk_id += 1
-            slices = self.router.split(chunk_keys, chunk_values)
-            # Every shard gets a (possibly empty) slice of every chunk:
-            # uniform acks keep ordered-mode accounting trivial.
-            for shard_id, (sub_keys, sub_values) in enumerate(slices):
-                if self._rings is not None:
-                    length = int(sub_keys.shape[0])
-                    slot_id = -1
-                    if length:
-                        slot_id = self._acquire_slot(shard_id)
-                        self._rings[shard_id].write(
-                            slot_id, sub_keys, sub_values
+            if self._threads:
+                # The shared filter accepts any key from any thread
+                # (the stripe locks own correctness), so threads mode
+                # needs no key hashing at all: hand the whole chunk to
+                # one updater round-robin.  One queue put per chunk
+                # instead of num_shards, and the master never touches
+                # the key array.
+                self._put(
+                    chunk_id % self.num_shards,
+                    ("chunk", chunk_id, chunk_keys, chunk_values),
+                )
+            else:
+                slices = self.router.split(chunk_keys, chunk_values)
+                # Every shard gets a (possibly empty) slice of every
+                # chunk: uniform acks keep ordered-mode accounting
+                # trivial.
+                for shard_id, (sub_keys, sub_values) in enumerate(slices):
+                    if self._rings is not None:
+                        length = int(sub_keys.shape[0])
+                        slot_id = -1
+                        if length:
+                            slot_id = self._acquire_slot(shard_id)
+                            self._rings[shard_id].write(
+                                slot_id, sub_keys, sub_values
+                            )
+                        self._put(
+                            shard_id,
+                            ("chunk_shm", chunk_id, slot_id, length),
                         )
-                    self._put(
-                        shard_id, ("chunk_shm", chunk_id, slot_id, length)
-                    )
-                else:
-                    self._put(
-                        shard_id, ("chunk", chunk_id, sub_keys, sub_values)
-                    )
+                    else:
+                        self._put(
+                            shard_id,
+                            ("chunk", chunk_id, sub_keys, sub_values),
+                        )
             self.items_fed += int(chunk_keys.shape[0])
             self._chunks_counter.inc()
             self._items_counter.inc(int(chunk_keys.shape[0]))
@@ -821,8 +1032,38 @@ class ParallelPipeline:
             self.start()
         self.criteria = self.criteria.with_updates(threshold=float(threshold))
         self._config["criteria"] = self.criteria
-        for shard_id in range(self.num_shards):
-            self._put(shard_id, ("retarget", float(threshold)))
+        if self._threads:
+            # Rendezvous: every thread flushes its ingest buffer and
+            # acks over the result queue (the master keeps draining, so
+            # a full queue cannot deadlock the barrier), the master
+            # applies the retarget once on the shared filter, then
+            # releases the threads.  No chunk flush straddles the swap.
+            sync_id = self._sync_id
+            self._sync_id += 1
+            release = threading.Event()
+            for shard_id in range(self.num_shards):
+                self._put(shard_id, ("retarget", sync_id, release))
+            deadline = time.monotonic() + self.stall_timeout
+            try:
+                while len(self._barrier_acks.get(sync_id, ())) < self.num_shards:
+                    if self._drain(block=True):
+                        deadline = time.monotonic() + self.stall_timeout
+                    else:
+                        self._check_workers()
+                        if time.monotonic() > deadline:
+                            self._fail(
+                                PipelineStallError(
+                                    f"retarget sync {sync_id} incomplete "
+                                    f"after {self.stall_timeout}s"
+                                )
+                            )
+                self._barrier_acks.pop(sync_id, None)
+                self.filter.retarget(float(threshold))
+            finally:
+                release.set()
+        else:
+            for shard_id in range(self.num_shards):
+                self._put(shard_id, ("retarget", float(threshold)))
         self._retargets_counter.inc()
         LOGGER.info(
             "threshold retargeted",
@@ -875,7 +1116,12 @@ class ParallelPipeline:
             per_reports = [self._done[s][1] for s in range(self.num_shards)]
             per_stats = aggregate = None
             if self.collect_stats:
-                per_stats = [self._done[s][2] for s in range(self.num_shards)]
+                if self._threads:
+                    per_stats = [self._filter_registry.snapshot()]
+                else:
+                    per_stats = [
+                        self._done[s][2] for s in range(self.num_shards)
+                    ]
                 aggregate = self._aggregate_worker_stats(per_stats)
             trace_events = None
             if self.tracer is not None:
@@ -947,6 +1193,21 @@ class ParallelPipeline:
         Safe to call multiple times and from error paths; after a clean
         :meth:`finish` it only reaps already-exited processes.
         """
+        if self._threads:
+            # Daemon threads cannot be terminated; nudge any that are
+            # still parked on their queue with a stop and give them a
+            # moment — after a clean finish they are already gone.
+            for in_queue in self._in_queues:
+                try:
+                    in_queue.put_nowait(("stop",))
+                except queue_module.Full:  # pragma: no cover - stalled
+                    pass
+            for worker in self.workers:
+                if worker.is_alive():
+                    worker.join(timeout=1.0)
+            self._in_queues = []
+            self._out_queue = None
+            return
         for worker in self.workers:
             if worker.is_alive():
                 worker.terminate()
@@ -1064,6 +1325,9 @@ class ParallelPipeline:
             elif kind == "snapshot":
                 _, sync_id, shard_id, snapshot = message
                 self._snapshots.setdefault(sync_id, []).append(snapshot)
+            elif kind == "barrier":
+                _, sync_id, shard_id = message
+                self._barrier_acks.setdefault(sync_id, set()).add(shard_id)
             elif kind == "stats":
                 _, sync_id, shard_id, stats_snap = message
                 self._stat_views.setdefault(sync_id, {})[shard_id] = stats_snap
@@ -1119,6 +1383,24 @@ class ParallelPipeline:
 
     def _collect_merged_view(self) -> QuantileFilter:
         """Request shard snapshots and merge them into one global filter."""
+        if self._threads:
+            # The shared filter already IS the global view; snapshot it
+            # consistently (all stripe locks + vague lock) and convert
+            # to the mergeable scalar form the process path returns.
+            merged = batch_filter_to_scalar(self.filter.as_batch())
+            self.last_merged = merged
+            self._merges_counter.inc()
+            LOGGER.info(
+                "merged global view collected",
+                extra={
+                    "event": "merge_view",
+                    "sync": self._sync_id,
+                    "items_fed": self.items_fed,
+                },
+            )
+            if self._on_merge is not None:
+                self._on_merge(merged, self.items_fed)
+            return merged
         merge_start = time.perf_counter() if self.tracer is not None else 0.0
         sync_id = self._sync_id
         self._sync_id += 1
@@ -1187,6 +1469,13 @@ class ParallelPipeline:
             )
         if not self._started:
             raise PipelineError("pipeline is not running")
+        if self._threads:
+            # One registry observes the one shared filter; scrapes are
+            # seqlock reads, so no worker round-trip is needed.
+            self._stat_views_counter.inc()
+            return self._aggregate_worker_stats(
+                [self._filter_registry.snapshot()]
+            )
         sync_id = self._sync_id
         self._sync_id += 1
         for shard_id in range(self.num_shards):
@@ -1229,6 +1518,12 @@ class ParallelPipeline:
             self._drain(block=False)
             if shard_id in self._done:
                 continue
+            if self._threads:
+                self._fail(
+                    WorkerCrashError(
+                        f"updater thread {shard_id} died before finishing"
+                    )
+                )
             self._fail(
                 WorkerCrashError(
                     f"shard {shard_id} worker (pid {worker.pid}) died with "

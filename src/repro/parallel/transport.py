@@ -61,6 +61,8 @@ class ShmSlotRing:
     ):
         self._shm = shm
         self._owner = owner
+        self._closed = False
+        self._unlinked = False
         self.num_slots = num_slots
         self.slot_items = slot_items
         self.name = shm.name
@@ -148,7 +150,16 @@ class ShmSlotRing:
         return self.num_slots * self.slot_items * BYTES_PER_ITEM
 
     def close(self) -> None:
-        """Drop this process's mapping (both sides; idempotent)."""
+        """Drop this process's mapping (both sides; idempotent).
+
+        Pipeline shutdown can reach here twice — an explicit
+        ``pipeline.close()`` and the master's atexit sweep — so a
+        latch makes the second call a strict no-op instead of
+        re-running the teardown against an already-released mapping.
+        """
+        if self._closed:
+            return
+        self._closed = True
         # The numpy planes hold exported pointers into shm.buf; release
         # them first or SharedMemory.close() raises BufferError.
         self._keys = None
@@ -159,9 +170,16 @@ class ShmSlotRing:
             pass
 
     def unlink(self) -> None:
-        """Destroy the block (master only; harmless if already gone)."""
-        if not self._owner:
+        """Destroy the block (master only; harmless if already gone).
+
+        Idempotent like :meth:`close`, and valid in any order with it:
+        ``SharedMemory.unlink`` works by name, not by mapping, so
+        ``close()`` first is fine, and a block someone else already
+        unlinked is treated as gone rather than an error.
+        """
+        if not self._owner or self._unlinked:
             return
+        self._unlinked = True
         try:
             self._shm.unlink()
         except FileNotFoundError:  # pragma: no cover - double close paths

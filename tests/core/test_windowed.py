@@ -44,6 +44,36 @@ class TestTumbling:
             wf.insert("k", 1.0)
         assert wf.window_fill == pytest.approx(0.5)
 
+    def test_insert_many_matches_per_item_inserts(self):
+        """insert_many ≡ insert per item, including mid-batch resets."""
+        import numpy as np
+
+        rng = random.Random(7)
+        keys = [rng.randrange(20) for _ in range(500)]
+        values = [rng.choice([1.0, 500.0]) for _ in range(500)]
+
+        loop = WindowedQuantileFilter(CRIT, 16_384, window_items=64,
+                                      mode="tumbling", seed=1)
+        loop_reports = [
+            r for r in (loop.insert(k, v) for k, v in zip(keys, values))
+            if r is not None
+        ]
+        bulk = WindowedQuantileFilter(CRIT, 16_384, window_items=64,
+                                      mode="tumbling", seed=1)
+        bulk_reports = bulk.insert_many(
+            np.asarray(keys, dtype=np.int64),
+            np.asarray(values, dtype=np.float64),
+        )
+        assert [r.key for r in bulk_reports] == \
+            [r.key for r in loop_reports]
+        assert bulk.resets == loop.resets
+        assert bulk.items_processed == loop.items_processed
+        assert bulk.reported_keys == loop.reported_keys
+        assert all(
+            bulk.query(k) == pytest.approx(loop.query(k))
+            for k in set(keys)
+        )
+
     def test_old_anomaly_forgotten(self):
         """A key hot only in an old window must not alert later from
         stale Qweight."""

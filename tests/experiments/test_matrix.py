@@ -56,10 +56,34 @@ class TestExpansion:
 
     def test_baselines_never_sweep_engines(self):
         config = tiny_config()
-        config["axes"]["engines"] = ["scalar", "batch", "pipeline-shm"]
+        config["axes"]["engines"] = [
+            "scalar", "batch", "pipeline-shm", "threads"
+        ]
         for cell in expand_cells(config):
             if cell.algorithm != "quantilefilter":
                 assert cell.engine == "scalar"
+
+    def test_parallel_engines_without_quantilefilter_fail_fast(self):
+        # A config whose engine axis can never apply should error with a
+        # clear message, not silently collapse every cell to scalar.
+        config = tiny_config()
+        config["axes"]["algorithms"] = ["squad"]
+        config["axes"]["engines"] = ["threads"]
+        with pytest.raises(ParameterError, match="quantilefilter"):
+            expand_cells(config)
+
+    def test_controllers_skip_parallel_engines(self):
+        config = tiny_config()
+        config["axes"]["algorithms"] = ["quantilefilter"]
+        config["axes"]["engines"] = ["batch", "pipeline-shm", "threads"]
+        config["axes"]["controllers"] = ["fixed", "p2"]
+        combos = {
+            (c.engine, c.controller) for c in expand_cells(config)
+        }
+        assert ("batch", "p2") in combos
+        assert ("pipeline-shm", "p2") not in combos
+        assert ("threads", "p2") not in combos
+        assert ("threads", "fixed") in combos
 
     def test_threshold_defaults_per_workload(self):
         config = tiny_config()
@@ -124,12 +148,12 @@ class TestConfigLoading:
             return
         default = load_matrix_config(root / "default.toml")
         cells = expand_cells(default)
-        # 6 workloads x (3 qf engines + 3 baselines) x 3 memory points
+        # 6 workloads x (4 qf engines + 3 baselines) x 3 memory points
         # fixed cells, plus the controllers axis (p2, kll) rerunning
         # the scalar/batch quantilefilter cells adaptively.
         fixed = [c for c in cells if c.controller == "fixed"]
         adaptive = [c for c in cells if c.controller != "fixed"]
-        assert len(fixed) == 6 * 6 * 3
+        assert len(fixed) == 6 * 7 * 3
         assert len(adaptive) == 6 * 2 * 3 * 2
         assert all(c.algorithm == "quantilefilter" for c in adaptive)
 
@@ -162,6 +186,24 @@ class TestRunCell:
     def test_unknown_engine_rejected(self):
         with pytest.raises(ParameterError):
             run_cell(tiny_cell(engine="gpu"))
+
+    def test_threads_engine_runs_and_matches_batch(self):
+        threaded = run_cell(tiny_cell(engine="threads"))
+        batch = run_cell(tiny_cell(engine="batch"))
+        assert threaded["reported_keys"] == batch["reported_keys"]
+        # One shared structure gets the whole budget (not split per
+        # shard the way pipeline-shm divides it).
+        assert threaded["actual_bytes"] > 0
+
+    def test_controlled_threads_cell_rejected(self):
+        with pytest.raises(ParameterError, match="in-process engines"):
+            run_cell(tiny_cell(engine="threads", controller="p2"))
+
+    def test_build_quantilefilter_rejects_unknown_engine(self):
+        from repro.experiments.matrix import _build_quantilefilter
+
+        with pytest.raises(ParameterError, match="not supported"):
+            _build_quantilefilter(tiny_cell(engine="threads"))
 
 
 class TestBandAccuracy:

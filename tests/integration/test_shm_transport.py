@@ -136,3 +136,39 @@ def test_slot_ring_roundtrip_and_validation():
 def test_transport_validation():
     with pytest.raises(ParameterError):
         ParallelPipeline(CRITERIA, 2, transport="carrier-pigeon", **GEOMETRY)
+
+
+def test_slot_ring_shutdown_is_idempotent():
+    """Double close()/unlink() in any interleaving must be a no-op.
+
+    Pipeline shutdown can reach the ring twice (explicit close plus the
+    master's atexit sweep), and historically the second pass re-ran the
+    teardown against an already-released mapping.
+    """
+    ring = ShmSlotRing.create(num_slots=2, slot_items=4)
+    name = ring.name
+    ring.close()
+    ring.close()          # second close: latched no-op
+    ring.unlink()
+    ring.unlink()         # second unlink: latched no-op
+    ring.close()          # close after unlink still fine
+    assert not os.path.exists(f"/dev/shm/{name.lstrip('/')}")
+
+    # unlink-before-close ordering (atexit sweep beating close()).
+    ring2 = ShmSlotRing.create(num_slots=2, slot_items=4)
+    ring2.unlink()
+    ring2.close()
+    ring2.unlink()
+
+    # An attached (non-owner) peer must never unlink the block.
+    ring3 = ShmSlotRing.create(num_slots=2, slot_items=4)
+    try:
+        peer = ShmSlotRing.attach(ring3.name, 2, 4)
+        peer.unlink()
+        peer.unlink()
+        assert os.path.exists(f"/dev/shm/{ring3.name.lstrip('/')}")
+        peer.close()
+        peer.close()
+    finally:
+        ring3.close()
+        ring3.unlink()

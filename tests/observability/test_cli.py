@@ -38,7 +38,10 @@ def documented_families():
             continue
         m = re.match(r"\| `([a-z0-9_]+)[`{]", line)
         if m:
-            families[m.group(1)] = "Windowed filters only" in line
+            families[m.group(1)] = (
+                "Windowed filters only" in line
+                or "Thread-parallel engine only" in line
+            )
     return families
 
 
@@ -107,8 +110,8 @@ class TestStatsCommand:
             for suffix in ("_bucket", "_count", "_sum"):
                 if family.endswith(suffix):
                     present.add(family[: -len(suffix)])
-        for family, windowed_only in documented_families().items():
-            if windowed_only:
+        for family, other_engine_only in documented_families().items():
+            if other_engine_only:
                 continue
             assert family in present, (
                 f"{family} documented in docs/observability.md but missing "

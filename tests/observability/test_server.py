@@ -130,6 +130,65 @@ class TestLifecycle:
         server.stop()
         assert errors == []
 
+    def test_concurrent_scrapes_while_threaded_filter_mid_flush(self):
+        """Scrapes against a live thread-parallel engine never error.
+
+        The seqlock read path means /metrics and /healthz observe the
+        shared planes while updater threads are committing striped
+        flushes — every scrape must return parseable output and the
+        thread-engine families must be present.
+        """
+        from repro.parallel.concurrent import (
+            ConcurrentQuantileFilter,
+            ThreadIngest,
+        )
+
+        cqf = ConcurrentQuantileFilter(
+            CRIT, num_buckets=64, vague_width=512, bucket_size=4,
+            flush_items=256, seed=0,
+        )
+        server = serve_filter(cqf)
+        stop = threading.Event()
+        errors = []
+
+        def update(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                ingest = ThreadIngest(cqf, flush_items=256)
+                while not stop.is_set():
+                    keys = rng.integers(0, 500, size=256)
+                    values = rng.lognormal(4.0, 0.6, size=256)
+                    ingest.insert_many(keys, values)
+                ingest.flush()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def scrape():
+            try:
+                for _ in range(8):
+                    status, body, _ = get(server.url + "/metrics")
+                    assert status == 200
+                    assert "qf_thread_flushes_total" in body
+                    assert "qf_lock_wait_seconds_count" in body
+                    get_json(server.url + "/healthz")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        updaters = [
+            threading.Thread(target=update, args=(seed,)) for seed in (1, 2)
+        ]
+        scrapers = [threading.Thread(target=scrape) for _ in range(3)]
+        for t in updaters + scrapers:
+            t.start()
+        for t in scrapers:
+            t.join()
+        stop.set()
+        for t in updaters:
+            t.join()
+        server.stop()
+        assert errors == []
+        assert cqf.thread_flushes > 0
+
 
 class TestVerdictFlips:
     def test_drift_stream_flips_healthz_to_degraded(self):

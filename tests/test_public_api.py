@@ -47,6 +47,7 @@ PUBLIC_MODULES = [
     "repro.experiments.cli", "repro.experiments.matrix",
     "repro.experiments.runstore", "repro.experiments.trend",
     "repro.parallel", "repro.parallel.sharded", "repro.parallel.pipeline",
+    "repro.parallel.concurrent",
 ]
 
 
