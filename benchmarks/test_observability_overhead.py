@@ -33,6 +33,16 @@ so its budget is held against a chunk-fed control pair:
   ``insert_many``.  ``recorded_overhead_pct`` (recorded vs chunked) is
   gated at the same ≤3% budget.
 
+PR 10's time-series collector and alert engine also run at chunk
+cadence (the serving loop's ``tick()``), so they gate against the same
+control:
+
+* ``alerted``    — the identical strides, each followed by one full
+  alerting tick: registry snapshot → ``MetricStore.collect`` →
+  ``AlertEngine.evaluate`` over the shipped default rule pack.
+  ``alerts_overhead_pct`` (alerted vs chunked) is gated at the same
+  ≤3% budget.
+
 Rounds interleave configurations; the recorded ``*_mops`` figures use
 the per-config *minimum* wall time (the standard "how fast can this
 code path go" estimator), but every **gated** comparison is scored as
@@ -114,10 +124,11 @@ TIMING_REPEATS = 2
 
 
 def _time_chunked_loop(config, keys, values):
-    """Chunk-fed control pair: ``chunked`` vs ``recorded``."""
+    """Chunk-fed controls: ``chunked`` vs ``recorded`` / ``alerted``."""
     elapsed = float("inf")
     for _ in range(TIMING_REPEATS):
         filt = QuantileFilter(CRIT, **GEOMETRY)
+        tick = None
         if config == "recorded":
             from repro.observability.recorder import FlightRecorder
 
@@ -125,6 +136,26 @@ def _time_chunked_loop(config, keys, values):
                 filt, max_chunks=RECORD_MAX_CHUNKS,
                 chunk_items=RECORD_STRIDE,
             ).feed
+        elif config == "alerted":
+            from repro.observability.alerts import (
+                AlertEngine,
+                default_rules,
+            )
+            from repro.observability.instrument import observe_filter
+            from repro.observability.timeseries import MetricStore
+
+            registry = observe_filter(filt)
+            clock = {"t": 0.0}
+            store = MetricStore(clock=lambda: clock["t"])
+            engine = AlertEngine(store, default_rules())
+            feed = filt.insert_many
+
+            def tick():
+                # One serving-loop alerting step per stride, on a
+                # synthetic clock so windows span the run.
+                clock["t"] += 1.0
+                store.collect(registry.snapshot(), now=clock["t"])
+                engine.evaluate(now=clock["t"])
         else:
             feed = filt.insert_many
         gc.collect()
@@ -136,6 +167,8 @@ def _time_chunked_loop(config, keys, values):
                     keys[begin:begin + RECORD_STRIDE],
                     values[begin:begin + RECORD_STRIDE],
                 )
+                if tick is not None:
+                    tick()
             elapsed = min(elapsed, time.perf_counter() - start)
         finally:
             gc.enable()
@@ -164,7 +197,7 @@ def _time_insert_loop(config, keys, values):
 def test_disabled_tracing_overhead_within_budget(bench_scale):
     keys, values = make_stream(max(bench_scale, 50_000))
     timings = {"baseline": [], "disabled": [], "traced": [], "health": [],
-               "chunked": [], "recorded": []}
+               "chunked": [], "recorded": [], "alerted": []}
     reported = {}
     per_item = ("baseline", "disabled", "traced", "health")
     for config in timings:  # warm-up every code path once
@@ -220,6 +253,9 @@ def test_disabled_tracing_overhead_within_budget(bench_scale):
         "recorded": paired_overhead_pct(
             "recorded", "chunked", _time_chunked_loop
         ),
+        "alerted": paired_overhead_pct(
+            "alerted", "chunked", _time_chunked_loop
+        ),
     }
 
     # Instrumentation must never change detection behaviour.
@@ -230,6 +266,7 @@ def test_disabled_tracing_overhead_within_budget(bench_scale):
     # recording must not perturb it.
     assert reported["chunked"] == reported["baseline"]
     assert reported["recorded"] == reported["chunked"]
+    assert reported["alerted"] == reported["chunked"]
 
     best = {config: min(times) for config, times in timings.items()}
     items = len(keys)
@@ -252,10 +289,12 @@ def test_disabled_tracing_overhead_within_budget(bench_scale):
         "health_mops": round(mops["health"], 4),
         "chunked_mops": round(mops["chunked"], 4),
         "recorded_mops": round(mops["recorded"], 4),
+        "alerted_mops": round(mops["alerted"], 4),
         "disabled_overhead_pct": round(gated["disabled"], 3),
         "traced_overhead_pct": round(overhead_pct("traced"), 3),
         "health_overhead_pct": round(gated["health"], 3),
         "recorded_overhead_pct": round(gated["recorded"], 3),
+        "alerts_overhead_pct": round(gated["alerted"], 3),
         "best_seconds": {k: round(v, 6) for k, v in best.items()},
     }
     RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
@@ -278,4 +317,10 @@ def test_disabled_tracing_overhead_within_budget(bench_scale):
         f"slower than the recorder-free chunk feed (paired-median over "
         f"{PAIR_ROUNDS} adjacent rounds; budget {OVERHEAD_BUDGET_PCT}%); "
         f"see {RESULT_PATH}"
+    )
+    assert gated["alerted"] <= OVERHEAD_BUDGET_PCT, (
+        f"per-stride metric collection + default-rule evaluation is "
+        f"{gated['alerted']:.2f}% slower than the alert-free chunk "
+        f"feed (paired-median over {PAIR_ROUNDS} adjacent rounds; "
+        f"budget {OVERHEAD_BUDGET_PCT}%); see {RESULT_PATH}"
     )

@@ -54,14 +54,32 @@ The subsystem has two tiers, all zero-dependency:
 * :mod:`~repro.observability.recorder` — :class:`FlightRecorder`
   flight recorder retaining the recent stream window plus forensic
   snapshots in bounded memory, dumping versioned incident bundles on
-  critical verdicts / verdict flips / worker crashes
-  (:class:`TriggerPolicy`), with :func:`replay_bundle` deterministic
-  bit-identical replay.
+  critical verdicts / verdict flips / worker crashes / firing critical
+  alerts (:class:`TriggerPolicy`), with :func:`replay_bundle`
+  deterministic bit-identical replay.
+
+**Time series & alerting** (history, rules, operator dashboard):
+
+* :mod:`~repro.observability.timeseries` — :class:`MetricStore`
+  collects any snapshot source into bounded per-series ring buffers
+  (fine ring + downsampled coarse tier + eviction accounting) and
+  derives ``rate()`` / ``delta()`` / ``mean()`` / ``max()`` /
+  percentiles over the retained window.
+* :mod:`~repro.observability.alerts` — declarative
+  :class:`AlertRule` grammar (``fn(metric[window]) > T`` with ``for:``
+  durations and resolve hysteresis) evaluated by an
+  :class:`AlertEngine` state machine
+  (inactive→pending→firing→resolved); :func:`default_rules` is the
+  shipped pack, :func:`load_rules` reads TOML/JSON packs.
+* :mod:`~repro.observability.term` / :mod:`~repro.observability.
+  dashboard` — flicker-free ANSI :class:`LiveScreen`, sparklines, and
+  the ``repro top`` frame renderer (degrades to plain text off-TTY).
 
 The ``repro`` CLI (:mod:`~repro.observability.cli`) exposes all of it:
 ``repro stats`` / ``repro watch`` for metrics, ``repro trace`` for a
 fully instrumented run, ``repro serve`` / ``repro health`` for the
-health layer.
+health layer, ``repro top`` for the live dashboard and ``repro alerts
+check|list`` for one-shot rule evaluation.
 
 >>> from repro.observability import StatsRegistry, render_prometheus
 >>> reg = StatsRegistry()
@@ -76,6 +94,23 @@ operational healthy/degraded reading of each signal, and the tracing &
 provenance guide.
 """
 
+from repro.observability.alerts import (
+    ALERT_METRIC_HELP,
+    AlertEngine,
+    AlertRule,
+    AlertTransition,
+    default_rules,
+    load_rules,
+    parse_condition,
+    parse_rules,
+)
+from repro.observability.dashboard import Dashboard
+from repro.observability.term import LiveScreen, ansi_capable, sparkline
+from repro.observability.timeseries import (
+    STORE_METRIC_HELP,
+    MetricStore,
+    Series,
+)
 from repro.observability.registry import (
     Counter,
     Gauge,
@@ -103,7 +138,9 @@ from repro.observability.histogram import (
 from repro.observability.instrument import (
     FILTER_METRIC_HELP,
     HISTOGRAM_METRIC_HELP,
+    PROCESS_METRIC_HELP,
     observe_filter,
+    observe_process,
 )
 from repro.observability.health import (
     HEALTH_METRIC_HELP,
@@ -144,6 +181,23 @@ from repro.observability.tracing import (
 )
 
 __all__ = [
+    "ALERT_METRIC_HELP",
+    "AlertEngine",
+    "AlertRule",
+    "AlertTransition",
+    "default_rules",
+    "load_rules",
+    "parse_condition",
+    "parse_rules",
+    "Dashboard",
+    "LiveScreen",
+    "ansi_capable",
+    "sparkline",
+    "STORE_METRIC_HELP",
+    "MetricStore",
+    "Series",
+    "PROCESS_METRIC_HELP",
+    "observe_process",
     "Counter",
     "Gauge",
     "MetricSpec",

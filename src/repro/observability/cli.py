@@ -1,5 +1,5 @@
 """The ``repro`` operations CLI: ``stats``, ``watch``, ``trace``,
-``serve``, ``health``, ``record`` and ``matrix``.
+``serve``, ``health``, ``top``, ``alerts``, ``record`` and ``matrix``.
 
 ``repro matrix run|report|gate`` (the config-driven experiment matrix
 with persisted runs, trend reports and regression gates) is documented
@@ -29,6 +29,18 @@ a registered dataset and export its telemetry:
   2 on a critical verdict, so scripts can gate on it.  With
   ``--trace`` the pipeline also runs the tracer, and the text verdict
   includes the per-role ring-buffer drop counters.
+* ``repro top`` — live operator dashboard: throughput/report-rate
+  sparklines, the threshold T, the health verdict and active alert
+  states, redrawn in place on an ANSI terminal (see
+  :mod:`repro.observability.term`) and degraded to plain appended
+  frames when stdout is not a TTY or ``TERM=dumb``; ``--once`` prints
+  a single final frame.
+* ``repro alerts check|list`` — one-shot alert evaluation over a
+  dataset run (``check`` exits 2 when any critical rule is firing at
+  the end, 1 for warnings) and a rule-pack linter/printer (``list``).
+  Rules default to the shipped pack
+  (:func:`repro.observability.alerts.default_rules`); ``--rules``
+  loads a TOML/JSON pack.
 * ``repro record dump|replay|list`` — flight-recorder forensics (see
   :mod:`repro.observability.recorder`): ``dump`` runs a recorded
   stream and writes an incident bundle, ``replay`` re-runs a bundle
@@ -42,6 +54,8 @@ Examples::
     repro trace --scale 20000 --out /tmp/run1
     repro serve --port 9133 --linger 60
     repro health --dataset cloud --format json
+    repro top --dataset drift --throttle 0.2
+    repro alerts check --dataset drift --format json
     repro record dump --dataset drift --dir /tmp/incidents
     repro record replay /tmp/incidents/incident-1700000000000.json.gz
     python -m repro stats          # equivalent entry point
@@ -58,6 +72,12 @@ The parser is plain argparse:
 9133
 >>> build_parser().parse_args(["health"]).trace
 False
+>>> build_parser().parse_args(["top", "--once"]).once
+True
+>>> build_alerts_parser().parse_args(["check", "--tick", "10"]).tick
+10.0
+>>> build_alerts_parser().parse_args(["list"]).format
+'text'
 >>> build_record_parser().parse_args(["dump", "--engine", "batch"]).engine
 'batch'
 >>> build_record_parser().parse_args(["replay", "/tmp/b.json.gz"]).bundle
@@ -114,9 +134,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a pipeline and print the final health report "
         "(exit code 2 on a critical verdict)",
     )
+    top = sub.add_parser(
+        "top",
+        help="run a pipeline under a live operator dashboard "
+        "(in-place ANSI refresh on a TTY, plain frames otherwise)",
+    )
     for sub_parser, default_format in (
         (stats, "prom"), (watch, "json"), (trace, "text"),
-        (serve, "prom"), (health, "text"),
+        (serve, "prom"), (health, "text"), (top, "text"),
     ):
         sub_parser.add_argument(
             "--dataset", default="internet",
@@ -182,6 +207,91 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true",
         help="also run the tracer so the verdict summary includes "
         "per-role ring-buffer drop counters",
+    )
+    top.add_argument(
+        "--every", type=int, default=4,
+        help="chunks between dashboard frames (default 4)",
+    )
+    top.add_argument(
+        "--throttle", type=float, default=0.0,
+        help="seconds to sleep between feed strides (slows the demo "
+        "stream down to a watchable pace)",
+    )
+    top.add_argument(
+        "--rules", default=None,
+        help="alert rule pack (.toml/.json); default: the shipped pack",
+    )
+    top.add_argument(
+        "--no-alerts", action="store_true",
+        help="run the dashboard without the alert engine",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print a single final frame (no live refresh) and exit",
+    )
+    top.add_argument(
+        "--window", type=float, default=120.0,
+        help="trailing seconds the sparklines summarise (default 120)",
+    )
+    return parser
+
+
+def build_alerts_parser() -> argparse.ArgumentParser:
+    """Parser for the ``repro alerts`` rule-evaluation family."""
+    parser = argparse.ArgumentParser(
+        prog="repro alerts",
+        description="Evaluate declarative alert rules against a "
+        "dataset run, or lint/print a rule pack.",
+    )
+    sub = parser.add_subparsers(dest="alerts_command", required=True)
+    check = sub.add_parser(
+        "check",
+        help="run a pipeline, evaluate the rules each stride, and exit "
+        "2 if any critical rule is firing at the end (1 for warnings)",
+    )
+    check.add_argument(
+        "--dataset", default="internet",
+        help="registered dataset name (internet/cloud/drift/zipf-*)",
+    )
+    check.add_argument("--scale", type=int, default=50_000,
+                       help="stream length")
+    check.add_argument("--shards", type=int, default=2,
+                       help="worker process count")
+    check.add_argument(
+        "--memory-bytes", type=int, default=DEFAULT_MEMORY_BYTES,
+        help="per-shard byte budget",
+    )
+    check.add_argument(
+        "--chunk-items", type=int, default=8_192,
+        help="items per pipeline chunk",
+    )
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument(
+        "--every", type=int, default=4,
+        help="chunks between alert evaluations (default 4)",
+    )
+    check.add_argument(
+        "--rules", default=None,
+        help="alert rule pack (.toml/.json); default: the shipped pack",
+    )
+    check.add_argument(
+        "--tick", type=float, default=5.0,
+        help="synthetic seconds each evaluation advances the alert "
+        "clock by, so for:/window durations elapse during a fast "
+        "offline run (default 5)",
+    )
+    check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+    )
+    listing = sub.add_parser(
+        "list", help="parse a rule pack and print every rule",
+    )
+    listing.add_argument(
+        "--rules", default=None,
+        help="alert rule pack (.toml/.json); default: the shipped pack",
+    )
+    listing.add_argument(
+        "--format", choices=("text", "json"), default="text",
     )
     return parser
 
@@ -299,22 +409,47 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     if args.every < 1:
         print(f"--every must be >= 1, got {args.every}", file=sys.stderr)
         return 2
+    from repro.observability.term import LiveScreen, ansi_capable
+
     pipeline, trace = _build_pipeline(args)
     stride = args.chunk_items * args.every
-    with pipeline:
-        for start in range(0, trace.keys.shape[0], stride):
-            pipeline.feed(
-                trace.keys[start:start + stride],
-                trace.values[start:start + stride],
-            )
-            view = pipeline.collect_stats_view()
+    # On an ANSI-capable TTY the prom/text formats redraw one snapshot
+    # in place (cursor-home + erase-to-right per line — no full-screen
+    # clear, so no flicker).  JSON always appends one object per tick:
+    # it is the format to pipe into a file, and a live repaint would
+    # corrupt the stream.  Non-TTY / TERM=dumb degrade the same way.
+    live = args.format != "json" and ansi_capable(sys.stdout)
+    screen = LiveScreen(sys.stdout) if live else None
+    try:
+        with pipeline:
+            for start in range(0, trace.keys.shape[0], stride):
+                pipeline.feed(
+                    trace.keys[start:start + stride],
+                    trace.values[start:start + stride],
+                )
+                view = pipeline.collect_stats_view()
+                text = _render(view, args.format, items=pipeline.items_fed)
+                header = f"# --- after {pipeline.items_fed} items ---"
+                if screen is not None:
+                    screen.render(f"{header}\n{text}")
+                else:
+                    if args.format == "prom":
+                        print(header)
+                    print(text)
+            result = pipeline.finish()
+        final = _render(
+            result.stats, args.format, items=result.items, final=True
+        )
+        if screen is not None:
+            screen.render(f"# --- final ---\n{final}")
+        else:
             if args.format == "prom":
-                print(f"# --- after {pipeline.items_fed} items ---")
-            print(_render(view, args.format, items=pipeline.items_fed))
-        result = pipeline.finish()
-    if args.format == "prom":
-        print("# --- final ---")
-    print(_render(result.stats, args.format, items=result.items, final=True))
+                print("# --- final ---")
+            print(final)
+    finally:
+        if screen is not None:
+            screen.close()
+            print()
     return 0
 
 
@@ -507,6 +642,192 @@ def _cmd_health(args: argparse.Namespace) -> int:
     return 2 if report.verdict == "critical" else 0
 
 
+def _load_rules_arg(path: Optional[str]):
+    """The shipped pack, or the pack at ``path`` (.toml/.json)."""
+    from repro.observability.alerts import default_rules, load_rules
+
+    if path is None:
+        return default_rules()
+    return load_rules(path)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    if args.every < 1:
+        print(f"--every must be >= 1, got {args.every}", file=sys.stderr)
+        return 2
+    import time
+
+    from repro.common.errors import ParameterError
+    from repro.observability.dashboard import Dashboard
+    from repro.observability.health import HealthMonitor
+    from repro.observability.server import PipelineServeSource
+    from repro.observability.term import LiveScreen, ansi_capable
+    from repro.observability.timeseries import MetricStore
+
+    try:
+        rules = [] if args.no_alerts else _load_rules_arg(args.rules)
+    except (ParameterError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    pipeline, trace = _build_pipeline(args)
+    monitor = HealthMonitor.for_criteria(pipeline.criteria)
+    # An explicit store so the dashboard has history even with alerts
+    # off; step 0 collects on every tick the loop drives.
+    store = MetricStore(step_seconds=0.0)
+    source = PipelineServeSource(
+        pipeline, monitor=monitor, rules=rules or None, store=store
+    )
+    live = ansi_capable(sys.stdout) and not args.once
+    dash = Dashboard(
+        store,
+        engine=source.alerts,
+        title=f"repro top · {args.dataset}",
+        window_seconds=args.window,
+        ascii_only=not live,
+    )
+    screen = LiveScreen(sys.stdout) if live else None
+    stride = args.chunk_items * args.every
+    try:
+        with pipeline:
+            pipeline.start()
+            for start in range(0, trace.keys.shape[0], stride):
+                keys = trace.keys[start:start + stride]
+                values = trace.values[start:start + stride]
+                monitor.observe_batch(keys, values)
+                pipeline.feed(keys, values)
+                pipeline.collect_stats_view()
+                source.tick()
+                if screen is not None or not args.once:
+                    frame = dash.render(
+                        report=monitor.last_report,
+                        status=f"{pipeline.items_fed} items fed",
+                    )
+                    if screen is not None:
+                        screen.render(frame)
+                    else:
+                        print(frame)
+                        print()
+                if args.throttle:
+                    time.sleep(args.throttle)
+            pipeline.collect_stats_view()
+            source.tick()
+            result = pipeline.finish()
+        final = dash.render(
+            report=monitor.last_report,
+            status=f"done · {result.items} items · {result.mops:.2f} MOPS",
+        )
+        if screen is not None:
+            screen.render(final)
+        else:
+            print(final)
+    finally:
+        if screen is not None:
+            screen.close()
+            print()
+    return 0
+
+
+def _cmd_alerts_check(args: argparse.Namespace) -> int:
+    if args.every < 1:
+        print(f"--every must be >= 1, got {args.every}", file=sys.stderr)
+        return 3
+    from repro.common.errors import ParameterError
+    from repro.observability.health import HealthMonitor
+    from repro.observability.server import PipelineServeSource
+    from repro.observability.timeseries import MetricStore
+
+    try:
+        rules = _load_rules_arg(args.rules)
+    except (ParameterError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    pipeline, trace = _build_pipeline(args)
+    monitor = HealthMonitor.for_criteria(pipeline.criteria)
+    # A synthetic clock (--tick seconds per evaluation) so for:/window
+    # durations elapse over an offline run that finishes in wall-clock
+    # milliseconds per stride.
+    now = 0.0
+    store = MetricStore(step_seconds=0.0, clock=lambda: now)
+    source = PipelineServeSource(
+        pipeline, monitor=monitor, rules=rules, store=store
+    )
+    transitions = []
+    stride = args.chunk_items * args.every
+    with pipeline:
+        pipeline.start()
+        for start in range(0, trace.keys.shape[0], stride):
+            keys = trace.keys[start:start + stride]
+            values = trace.values[start:start + stride]
+            monitor.observe_batch(keys, values)
+            pipeline.feed(keys, values)
+            pipeline.collect_stats_view()
+            transitions.extend(source.tick(now=now))
+            now += args.tick
+        pipeline.collect_stats_view()
+        transitions.extend(source.tick(now=now))
+        pipeline.finish()
+    payload = source.alerts_payload()
+    firing = [
+        status for status in payload["alerts"]
+        if status["state"] == "firing"
+    ]
+    firing_critical = [
+        status for status in firing
+        if status["rule"]["severity"] == "critical"
+    ]
+    if args.format == "json":
+        payload["transitions"] = [str(t) for t in transitions]
+        print(json.dumps(payload, indent=2))
+    else:
+        for transition in transitions:
+            print(transition)
+        if not firing:
+            print(f"ok: no firing alerts ({payload['rules']} rules "
+                  f"evaluated over {now:g} synthetic seconds)")
+        for status in firing:
+            rule = status["rule"]
+            print(
+                f"FIRING [{rule['severity']}] {rule['name']}: "
+                f"{rule['expr']} (value {status['last_value']})"
+            )
+    if firing_critical:
+        return 2
+    return 1 if firing else 0
+
+
+def _cmd_alerts_list(args: argparse.Namespace) -> int:
+    from repro.common.errors import ParameterError
+
+    try:
+        rules = _load_rules_arg(args.rules)
+    except (ParameterError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    if args.format == "json":
+        print(json.dumps([rule.as_dict() for rule in rules], indent=2))
+        return 0
+    for rule in rules:
+        for_text = (
+            f" for {rule.for_seconds:g}s" if rule.for_seconds else ""
+        )
+        resolve_text = (
+            f" resolve {rule.resolve:g}" if rule.resolve is not None else ""
+        )
+        print(f"[{rule.severity:>8}] {rule.name}: {rule.expr}"
+              f"{for_text}{resolve_text}")
+        if rule.description:
+            print(f"           {rule.description}")
+    return 0
+
+
+def alerts_main(argv: Optional[list] = None) -> int:
+    """Entry point for the ``repro alerts`` family."""
+    args = build_alerts_parser().parse_args(argv)
+    if args.alerts_command == "check":
+        return _cmd_alerts_check(args)
+    return _cmd_alerts_list(args)
+
+
 def _cmd_record_dump(args: argparse.Namespace) -> int:
     from repro.core.inspect import structural_probe
     from repro.experiments.config import build_trace, default_criteria_for
@@ -624,6 +945,8 @@ def main(argv: Optional[list] = None) -> int:
         return matrix_main(argv[1:])
     if argv and argv[0] == "record":
         return record_main(argv[1:])
+    if argv and argv[0] == "alerts":
+        return alerts_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "stats":
         return _cmd_stats(args)
@@ -633,6 +956,8 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_serve(args)
     if args.command == "health":
         return _cmd_health(args)
+    if args.command == "top":
+        return _cmd_top(args)
     return _cmd_watch(args)
 
 

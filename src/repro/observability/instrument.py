@@ -41,6 +41,8 @@ fill level instead of the per-part event split):
 
 from __future__ import annotations
 
+import sys
+import time
 from typing import Mapping, Optional
 
 from repro.common.errors import ParameterError
@@ -50,6 +52,11 @@ from repro.observability.registry import (
     StatsRegistry,
     sample_name,
 )
+
+try:  # Unix only; Windows has no resource module.
+    import resource as _resource
+except ImportError:  # pragma: no cover - platform-dependent
+    _resource = None
 
 #: Help text for every filter-level metric family (also the canonical
 #: list documented in ``docs/observability.md``).
@@ -101,6 +108,21 @@ HISTOGRAM_METRIC_HELP = {
         "(thread-parallel engine).",
 }
 
+#: Process-level families exported by :func:`observe_process` —
+#: stdlib-only (``resource`` + ``gc``), documented in the metric
+#: catalogue alongside the filter families.
+PROCESS_METRIC_HELP = {
+    "qf_process_rss_bytes":
+        "Peak resident set size of this process (ru_maxrss, normalised "
+        "to bytes; 0 where the resource module is unavailable).",
+    "qf_uptime_seconds":
+        "Seconds since this process registered its observability "
+        "(monotonic clock).",
+    "qf_gc_collections_total":
+        "Cyclic garbage collections completed, summed across all "
+        "generations.",
+}
+
 #: Gauge families that average (rather than sum) across shards.
 _MEAN_GAUGES = {
     "qf_candidate_occupancy",
@@ -132,13 +154,76 @@ for _name, _help in HISTOGRAM_METRIC_HELP.items():
         _name,
         MetricSpec(name=_name, kind="histogram", help=_help, agg="sum"),
     )
+for _name, _help in PROCESS_METRIC_HELP.items():
+    # RSS sums across processes (total footprint); uptime takes the
+    # max (the oldest process); the gc counter sums like any counter.
+    _kind = "counter" if _name.endswith("_total") else "gauge"
+    SPEC_INDEX.setdefault(
+        _name,
+        MetricSpec(
+            name=_name, kind=_kind, help=_help,
+            agg="max" if _name == "qf_uptime_seconds" else "sum",
+        ),
+    )
 del _name, _help, _kind
+
+
+def _rss_bytes() -> float:
+    """Peak RSS in bytes (0.0 when the resource module is missing).
+
+    ``ru_maxrss`` is kibibytes on Linux but bytes on macOS — the one
+    platform quirk this helper normalises.
+    """
+    if _resource is None:  # pragma: no cover - platform-dependent
+        return 0.0
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    scale = 1 if sys.platform == "darwin" else 1024
+    return float(peak) * scale
+
+
+def observe_process(
+    registry: Optional[StatsRegistry] = None,
+    labels: Optional[Mapping[str, str]] = None,
+) -> StatsRegistry:
+    """Register process-level gauges (RSS, uptime, GC) on a registry.
+
+    Stdlib only: peak RSS via ``resource.getrusage``, uptime from a
+    monotonic anchor taken at registration, and cumulative cyclic-GC
+    collections from ``gc.get_stats()``.  Idempotent per registry —
+    calling again with the same labels returns it unchanged, so serve
+    sources and ``observe_filter(process=True)`` can share one.
+    """
+    import gc
+
+    if registry is None:
+        registry = StatsRegistry()
+    if sample_name("qf_process_rss_bytes", labels) in registry:
+        return registry
+    started = time.monotonic()
+    registry.gauge_fn(
+        "qf_process_rss_bytes", _rss_bytes,
+        help=PROCESS_METRIC_HELP["qf_process_rss_bytes"],
+        labels=labels, agg="sum",
+    )
+    registry.gauge_fn(
+        "qf_uptime_seconds", lambda: time.monotonic() - started,
+        help=PROCESS_METRIC_HELP["qf_uptime_seconds"],
+        labels=labels, agg="max",
+    )
+    registry.counter_fn(
+        "qf_gc_collections_total",
+        lambda: float(sum(s["collections"] for s in gc.get_stats())),
+        help=PROCESS_METRIC_HELP["qf_gc_collections_total"],
+        labels=labels,
+    )
+    return registry
 
 
 def observe_filter(
     filt,
     registry: Optional[StatsRegistry] = None,
     labels: Optional[Mapping[str, str]] = None,
+    process: bool = False,
 ) -> StatsRegistry:
     """Register pull-model telemetry for ``filt``; returns the registry.
 
@@ -160,9 +245,15 @@ def observe_filter(
         ``labels`` set or the sample names collide.
     labels:
         Extra labels (e.g. ``{"shard": "3"}``) applied to every sample.
+    process:
+        Also register the process-level gauges
+        (:func:`observe_process`) on the same registry, unlabelled —
+        they describe the process, not this filter.
     """
     existing = getattr(filt, "_stats_registry", None)
     if existing is not None:
+        if process:
+            observe_process(existing)
         return existing
     if registry is None:
         registry = StatsRegistry()
@@ -240,5 +331,7 @@ def observe_filter(
         counter("qf_window_resets_total", lambda: filt.resets)
         gauge("qf_window_fill", lambda: filt.window_fill)
 
+    if process:
+        observe_process(registry)
     filt._stats_registry = registry
     return registry

@@ -122,10 +122,16 @@ class TriggerPolicy:
     ``on_flip`` fires on every verdict change (including critical
     transitions, which then carry the flip reason).  Both are deduped:
     a verdict that merely *stays* critical never re-dumps.
+
+    ``on_alert`` extends the same contract to the declarative alert
+    engine (:meth:`FlightRecorder.observe_alerts`): a critical rule
+    *entering* the firing state dumps one bundle; a rule that stays
+    firing never re-dumps because the engine only reports transitions.
     """
 
     on_critical: bool = True
     on_flip: bool = True
+    on_alert: bool = True
 
 
 def _persistence():
@@ -452,6 +458,37 @@ class FlightRecorder:
             if reason is None:
                 return None
             return self.dump(reason, health=report.as_dict())
+
+    def observe_alerts(self, transitions) -> List[Path]:
+        """Feed alert-engine transitions; dump per critical rule firing.
+
+        Takes the list returned by
+        :meth:`~repro.observability.alerts.AlertEngine.evaluate` and
+        writes one bundle (reason ``alert:<rule>``) for every
+        *critical* rule that entered the firing state this tick.
+        Deduplication is structural: the engine reports each edge once,
+        so a rule that stays firing cannot re-trigger until it has
+        resolved and fired again.  Returns the bundle paths written.
+        """
+        paths: List[Path] = []
+        if self.incident_dir is None or not self.policy.on_alert:
+            return paths
+        for transition in transitions:
+            rule = transition.rule
+            if transition.new_state != "firing" or rule.severity != "critical":
+                continue
+            paths.append(self.dump(
+                f"alert:{rule.name}",
+                extra={
+                    "alert": {
+                        "rule": rule.as_dict(),
+                        "old_state": transition.old_state,
+                        "value": transition.value,
+                        "at": transition.at,
+                    }
+                },
+            ))
+        return paths
 
     # -- bundles --------------------------------------------------------
     @property

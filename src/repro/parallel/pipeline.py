@@ -350,6 +350,16 @@ def _worker_main(
                 _, sync_id = message
                 stats = registry.snapshot() if registry is not None else {}
                 out_queue.put(("stats", sync_id, shard_id, stats))
+            elif kind == "dump":
+                # Alert-triggered forensics: dump this shard's recorder
+                # window at a consistent between-chunks cut (the request
+                # rides the chunk FIFO like stats/snapshot syncs).
+                _, sync_id, reason = message
+                path = (
+                    str(recorder.dump(reason)) if recorder is not None
+                    else None
+                )
+                out_queue.put(("dump", sync_id, shard_id, path))
             elif kind == "stop":
                 final_stats = (
                     registry.snapshot() if registry is not None else None
@@ -742,6 +752,8 @@ class ParallelPipeline:
         self._snapshots: Dict[int, List] = {}
         self._stat_views: Dict[int, Dict[int, dict]] = {}
         self._barrier_acks: Dict[int, Set[int]] = {}
+        # sync_id -> {shard_id: bundle path or None} for dump requests.
+        self._dump_acks: Dict[int, Dict[int, Optional[str]]] = {}
 
         # Master-side telemetry: always registered (the counters are a
         # few adds per *chunk*, not per item), rendered by repro stats.
@@ -1331,6 +1343,9 @@ class ParallelPipeline:
             elif kind == "stats":
                 _, sync_id, shard_id, stats_snap = message
                 self._stat_views.setdefault(sync_id, {})[shard_id] = stats_snap
+            elif kind == "dump":
+                _, sync_id, shard_id, path = message
+                self._dump_acks.setdefault(sync_id, {})[shard_id] = path
             elif kind == "done":
                 (_, shard_id, items, reports, stats_snap, trace_events,
                  report_records) = message
@@ -1498,6 +1513,47 @@ class ParallelPipeline:
         return self._aggregate_worker_stats(
             [views[s] for s in range(self.num_shards)]
         )
+
+    def request_incident_dump(self, reason: str) -> List[str]:
+        """Ask every recording shard worker for an incident bundle.
+
+        The request rides each worker's chunk FIFO (like the stats and
+        snapshot syncs), so every shard dumps a consistent
+        between-chunks cut of its recorder window into
+        ``incident_dir/shard-<id>/``.  Returns the bundle paths, in
+        shard order.
+
+        A no-op returning ``[]`` when the pipeline was built without
+        ``record=True`` or runs the thread engine (which has no
+        per-shard recorders) — callers such as the alert engine's
+        trigger hook need not special-case either configuration.
+        """
+        if not self._started:
+            raise PipelineError("pipeline is not running")
+        if self._threads or not self.record:
+            return []
+        sync_id = self._sync_id
+        self._sync_id += 1
+        for shard_id in range(self.num_shards):
+            self._put(shard_id, ("dump", sync_id, str(reason)))
+        deadline = time.monotonic() + self.stall_timeout
+        while len(self._dump_acks.get(sync_id, {})) < self.num_shards:
+            if self._drain(block=True):
+                deadline = time.monotonic() + self.stall_timeout
+            else:
+                self._check_workers()
+                if time.monotonic() > deadline:
+                    self._fail(
+                        PipelineStallError(
+                            f"dump sync {sync_id} incomplete after "
+                            f"{self.stall_timeout}s"
+                        )
+                    )
+        acks = self._dump_acks.pop(sync_id)
+        return [
+            acks[shard] for shard in sorted(acks)
+            if acks[shard] is not None
+        ]
 
     def _aggregate_worker_stats(
         self, per_shard: List[Dict[str, float]]

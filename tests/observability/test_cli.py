@@ -300,3 +300,117 @@ class TestRecordCommand:
         listing = capsys.readouterr().out
         assert "engine=batch" in listing
         assert "reason=explicit" in listing
+
+
+class TestTopCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.command == "top"
+        assert args.every == 4
+        assert not args.once
+        assert args.rules is None
+        assert args.window == 120.0
+
+    def test_top_once_plain_frame_under_dumb_term(self, capsys, monkeypatch):
+        """CI criterion: TERM=dumb `repro top --once` emits one plain
+        frame — no ANSI escapes, no cursor games."""
+        monkeypatch.setenv("TERM", "dumb")
+        rc = main(["top", *STATS_ARGS, "--once"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "\x1b[" not in out
+        assert "repro top · internet" in out
+        assert "verdict:" in out
+        assert "throughput" in out
+        assert "alerts (" in out  # the default pack is attached
+
+    def test_top_no_alerts_drops_the_alert_block(self, capsys, monkeypatch):
+        monkeypatch.setenv("TERM", "dumb")
+        rc = main(["top", *STATS_ARGS, "--once", "--no-alerts"])
+        assert rc == 0
+        assert "alerts (" not in capsys.readouterr().out
+
+    def test_top_bad_rules_path_fails_fast(self, capsys):
+        rc = main(["top", *STATS_ARGS, "--once", "--rules", "/nope.json"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAlertsCommand:
+    def test_parser_defaults(self):
+        from repro.observability.cli import build_alerts_parser
+
+        args = build_alerts_parser().parse_args(["check"])
+        assert args.alerts_command == "check"
+        assert args.tick == 5.0
+        assert args.rules is None
+        args = build_alerts_parser().parse_args(["list", "--format", "json"])
+        assert args.alerts_command == "list"
+
+    def test_list_prints_the_default_pack(self, capsys):
+        rc = main(["alerts", "list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "report-rate-drift" in out
+        assert "worker-death" in out
+        assert "[critical]" in out
+
+    def test_list_json_round_trips(self, capsys):
+        from repro.observability.alerts import parse_rules
+
+        rc = main(["alerts", "list", "--format", "json"])
+        assert rc == 0
+        tables = json.loads(capsys.readouterr().out)
+        assert len(parse_rules(tables)) == len(tables) >= 5
+
+    def test_check_benign_run_exits_zero(self, capsys):
+        rc = main(["alerts", "check", *STATS_ARGS])
+        assert rc == 0
+        assert "ok: no firing alerts" in capsys.readouterr().out
+
+    def test_check_firing_critical_exits_two(self, tmp_path, capsys):
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps({"rule": [{
+            "name": "always-items",
+            "expr": "value(qf_items_total) > 100",
+            "severity": "critical",
+            "resolve": 50.0,
+        }]}))
+        rc = main([
+            "alerts", "check", *STATS_ARGS, "--rules", str(rules),
+            "--format", "json",
+        ])
+        assert rc == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["firing"] == ["always-items"]
+        assert any(
+            "inactive -> firing" in t for t in payload["transitions"]
+        )
+
+    def test_check_firing_warning_exits_one(self, tmp_path, capsys):
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps({"rule": [{
+            "name": "warn-items",
+            "expr": "value(qf_items_total) > 100",
+            "severity": "warning",
+            "resolve": 50.0,
+        }]}))
+        rc = main(["alerts", "check", *STATS_ARGS, "--rules", str(rules)])
+        assert rc == 1
+        assert "FIRING [warning] warn-items" in capsys.readouterr().out
+
+    def test_check_bad_rules_exit_three(self, capsys):
+        rc = main(["alerts", "check", "--rules", "/nope.toml"])
+        assert rc == 3
+        assert "error:" in capsys.readouterr().err
+
+
+def test_watch_prom_degrades_to_plain_lines_off_tty(capsys):
+    """Satellite: watch without a TTY appends plain snapshots — no ANSI
+    control sequences anywhere in the stream."""
+    rc = main(["watch", *STATS_ARGS, "--format", "prom"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "\x1b[" not in out
+    assert out.count("# --- after") >= 1
+    assert "# --- final ---" in out

@@ -423,3 +423,110 @@ class TestIncidents:
         assert recorder.dumps_total == 10
         # Every listing observed a consistent prefix of the dumps.
         assert all(0 <= count <= 10 for count in scraped)
+
+
+class TestAlertsRoute:
+    def make_alerted_source(self):
+        from repro.observability.alerts import AlertRule
+        from repro.observability.timeseries import MetricStore
+
+        now = {"t": 0.0}
+        store = MetricStore(clock=lambda: now["t"])
+        rules = [AlertRule(
+            name="items-high", expr="value(qf_items_total) > 100",
+            severity="critical", resolve=50.0,
+        )]
+        source = FilterServeSource(fed_filter(), rules=rules, store=store)
+        return source, now
+
+    def test_alerts_route_serves_engine_state(self):
+        source, now = self.make_alerted_source()
+        source.tick(now=0.0)
+        with HealthServer(source) as server:
+            status, payload = get_json(server.url + "/alerts")
+        assert status == 200
+        assert payload["rules"] == 1
+        assert payload["firing"] == ["items-high"]
+        (alert,) = payload["alerts"]
+        assert alert["state"] == "firing"
+        assert alert["rule"]["expr"] == "value(qf_items_total) > 100"
+
+    def test_alerts_stub_without_engine(self):
+        with serve_filter(fed_filter()) as server:
+            status, payload = get_json(server.url + "/alerts")
+        assert status == 200
+        assert payload == {
+            "evaluated_at": None, "rules": 0, "firing": [], "alerts": [],
+        }
+
+    def test_routes_listing_includes_alerts(self):
+        with serve_filter(fed_filter()) as server:
+            try:
+                get(server.url + "/bogus")
+            except urllib.error.HTTPError as err:
+                payload = json.loads(err.read().decode())
+            else:  # pragma: no cover
+                pytest.fail("expected a 404")
+        assert "/alerts" in payload["routes"]
+
+    def test_firing_rule_folds_into_healthz_and_metrics(self):
+        """Acceptance slice: /healthz goes 503 naming the rule, and
+        /metrics exports qf_alert_state / qf_alerts_fired_total."""
+        source, now = self.make_alerted_source()
+        source.tick(now=0.0)
+        with HealthServer(source) as server:
+            try:
+                get(server.url + "/healthz")
+            except urllib.error.HTTPError as err:
+                assert err.code == 503
+                payload = json.loads(err.read().decode())
+            else:  # pragma: no cover
+                pytest.fail("firing critical rule must 503")
+            _, metrics, _ = get(server.url + "/metrics")
+        assert payload["verdict"] == "critical"
+        assert any(
+            "rule items-high firing" in reason
+            for reason in payload["reasons"]
+        )
+        assert ('qf_alert_state{rule="items-high",severity="critical"} 2'
+                in metrics)
+        assert 'qf_alerts_fired_total{rule="items-high"} 1' in metrics
+        assert "qf_store_points_ingested_total" in metrics
+
+    def test_tick_returns_transitions_and_respects_throttle(self):
+        from repro.observability.alerts import AlertRule
+        from repro.observability.timeseries import MetricStore
+
+        now = {"t": 0.0}
+        store = MetricStore(step_seconds=10.0, clock=lambda: now["t"])
+        source = FilterServeSource(
+            fed_filter(),
+            rules=[AlertRule(
+                name="items-high", expr="value(qf_items_total) > 100",
+                resolve=50.0,
+            )],
+            store=store,
+        )
+        transitions = source.tick(now=0.0)
+        assert [t.new_state for t in transitions] == ["firing"]
+        # Within step_seconds the collect is throttled, so no
+        # re-evaluation happens either.
+        assert source.tick(now=3.0) == []
+        assert store.collections_skipped == 1
+
+
+class TestProcessGauges:
+    def test_metrics_include_process_family(self):
+        source = FilterServeSource(fed_filter())
+        snapshot = source.metrics_snapshot()
+        assert snapshot["qf_process_rss_bytes"] > 0
+        assert snapshot["qf_uptime_seconds"] >= 0
+        assert snapshot["qf_gc_collections_total"] >= 0
+
+    def test_process_gauges_stay_off_the_filter_registry(self):
+        """The separate registry protects aggregate == shard-sum
+        invariants: the filter's own registry must not grow process
+        samples."""
+        source = FilterServeSource(fed_filter())
+        assert "qf_process_rss_bytes" not in source.registry.snapshot()
+        assert "qf_process_rss_bytes" in source.process_registry.snapshot()

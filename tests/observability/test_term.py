@@ -1,0 +1,165 @@
+"""Terminal helpers and dashboard frames: flicker-free ANSI, degrade."""
+
+import io
+
+import pytest
+
+from repro.observability.dashboard import Dashboard, rate_series
+from repro.observability.term import (
+    CLEAR_SCREEN,
+    HIDE_CURSOR,
+    SHOW_CURSOR,
+    LiveScreen,
+    ansi_capable,
+    format_duration,
+    format_quantity,
+    sparkline,
+)
+from repro.observability.timeseries import MetricStore
+
+
+class FakeTty(io.StringIO):
+    def isatty(self):
+        return True
+
+
+class TestAnsiCapable:
+    def test_non_tty_is_not_capable(self):
+        assert not ansi_capable(io.StringIO())
+
+    def test_tty_with_normal_term(self, monkeypatch):
+        monkeypatch.setenv("TERM", "xterm-256color")
+        assert ansi_capable(FakeTty())
+
+    @pytest.mark.parametrize("term", ["dumb", ""])
+    def test_dumb_or_empty_term_degrades(self, monkeypatch, term):
+        monkeypatch.setenv("TERM", term)
+        assert not ansi_capable(FakeTty())
+
+
+class TestLiveScreen:
+    def frames(self, *texts):
+        stream = FakeTty()
+        screen = LiveScreen(stream)
+        for text in texts:
+            screen.render(text)
+        screen.close()
+        return stream.getvalue()
+
+    def test_first_frame_clears_once(self):
+        out = self.frames("one\ntwo")
+        assert out.count(CLEAR_SCREEN) == 1
+        assert out.startswith(HIDE_CURSOR)
+        assert out.endswith(SHOW_CURSOR)
+
+    def test_later_frames_never_clear_screen_again(self):
+        """The flicker fix: repaint via cursor-home + per-line erase,
+        never a second full-screen clear."""
+        out = self.frames("frame one", "frame two", "frame three")
+        assert out.count(CLEAR_SCREEN) == 1
+        # Every line is erased to the right so shorter lines leave no
+        # residue from longer predecessors.
+        assert out.count("\x1b[K") >= 3
+        # Leftover lines below a shorter frame are erased too.
+        assert "\x1b[J" in out
+
+    def test_context_manager_restores_cursor(self):
+        stream = FakeTty()
+        with LiveScreen(stream) as screen:
+            screen.render("hello")
+        assert stream.getvalue().endswith(SHOW_CURSOR)
+
+
+class TestSparkline:
+    def test_width_and_normalisation(self):
+        out = sparkline([0.0, 1.0, 2.0, 3.0], width=4)
+        assert len(out) == 4
+        assert out[0] == "▁" and out[-1] == "█"
+
+    def test_ascii_mode_has_no_unicode(self):
+        out = sparkline([0.0, 5.0, 10.0], width=3, ascii_only=True)
+        assert out.isascii()
+
+    def test_empty_and_flat_inputs(self):
+        assert sparkline([]) == ""
+        flat = sparkline([2.0, 2.0, 2.0], width=3)
+        assert flat == flat[0] * 3
+
+    def test_takes_trailing_values(self):
+        out = sparkline([9.0, 9.0, 0.0, 1.0], width=2)
+        assert out[0] < out[-1]
+
+
+class TestFormatters:
+    def test_format_quantity(self):
+        assert format_quantity(1_500_000_000) == "1.5G"
+        assert format_quantity(2_500_000) == "2.5M"
+        assert format_quantity(1_500) == "1.5k"
+        assert format_quantity(42.0) == "42"
+
+    def test_format_duration(self):
+        assert format_duration(0.25) == "250ms"
+        assert format_duration(42.0) == "42s"
+        assert format_duration(125.0) == "2m5s"
+        assert format_duration(3_700.0) == "1h1m"
+
+
+class TestDashboard:
+    def make_store(self):
+        store = MetricStore(clock=lambda: 9.0)
+        for tick in range(10):
+            store.collect(
+                {
+                    "qf_items_total": tick * 1000.0,
+                    "qf_reports_total": tick * 2.0,
+                    "qf_threshold": 300.0,
+                    "qf_drift_z": 0.5,
+                },
+                now=float(tick),
+            )
+        return store
+
+    def test_frame_contains_the_operator_essentials(self):
+        dash = Dashboard(self.make_store(), title="t", ascii_only=True)
+        frame = dash.render(now=9.0)
+        assert "T=300" in frame
+        assert "throughput" in frame and "items/s" in frame
+        assert "reports" in frame
+        assert "drift z 0.5" in frame
+        # ascii_only governs the sparklines (the header separator is
+        # cosmetic): no block-drawing characters in the frame.
+        assert not any(ch in frame for ch in "▁▂▃▄▅▆▇█")
+
+    def test_frame_shows_alert_states(self):
+        from repro.observability.alerts import AlertEngine, AlertRule
+
+        store = self.make_store()
+        engine = AlertEngine(store, [AlertRule(
+            name="hot", expr="value(qf_items_total) > 100",
+            severity="critical", resolve=50.0,
+        )])
+        engine.evaluate(now=9.0)
+        dash = Dashboard(store, engine=engine, ascii_only=True)
+        frame = dash.render(now=9.0)
+        assert "1 firing" in frame
+        assert "hot" in frame and "critical" in frame
+
+    def test_rate_series_clamps_resets(self):
+        store = MetricStore(clock=lambda: 3.0)
+        for tick, value in enumerate([0.0, 100.0, 0.0, 50.0]):
+            store.collect({"c_total": value}, now=float(tick))
+        rates = rate_series(store, "c_total", 100.0, now=3.0)
+        assert rates == [100.0, 0.0, 50.0]
+
+    def test_reason_lines_capped(self):
+        from repro.observability.health import HealthReport, HealthSignal
+
+        signals = tuple(
+            HealthSignal(name=f"s{i}", verdict="degraded", value=1.0,
+                         reason=f"reason {i}")
+            for i in range(9)
+        )
+        report = HealthReport(verdict="degraded", signals=signals)
+        dash = Dashboard(self.make_store(), ascii_only=True)
+        frame = dash.render(report=report, now=9.0)
+        assert "... and 3 more" in frame

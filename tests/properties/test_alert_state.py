@@ -1,0 +1,140 @@
+"""Property tests: the alert state machine under irregular schedules.
+
+Random walks of (time gap, metric value) steps drive a single-rule
+engine; the invariants the operators rely on must hold along every
+path:
+
+* ``pending`` never skips to ``resolved``, and ``firing`` never drops
+  straight to ``inactive`` — every edge is one the docs' state table
+  allows.
+* ``pending`` promotes to ``firing`` only after the condition has held
+  *continuously* for the rule's ``for:`` duration.
+* ``firing`` leaves only via ``resolved``, and only once the value has
+  recovered past the resolve hysteresis level (not merely below the
+  threshold).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability.alerts import AlertEngine, AlertRule
+from repro.observability.timeseries import MetricStore
+
+#: Every edge the state machine is allowed to take (old, new).
+ALLOWED_EDGES = {
+    ("inactive", "pending"),
+    ("inactive", "firing"),     # for: == 0 promotes immediately
+    ("pending", "firing"),
+    ("pending", "inactive"),    # condition failed before for: elapsed
+    ("firing", "resolved"),
+    ("resolved", "inactive"),
+    ("resolved", "pending"),    # re-breach while relaxing
+    ("resolved", "firing"),
+}
+
+steps = st.lists(
+    st.tuples(
+        st.floats(min_value=0.1, max_value=30.0,
+                  allow_nan=False, allow_infinity=False),
+        st.floats(min_value=0.0, max_value=10.0,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    min_size=2,
+    max_size=60,
+)
+
+
+def run_machine(step_list, for_seconds, resolve):
+    """Drive one rule through the steps; return the edge history."""
+    rule = AlertRule(
+        name="walk",
+        expr="value(m) > 5",
+        for_seconds=for_seconds,
+        resolve=resolve,
+    )
+    now = {"t": 0.0}
+    store = MetricStore(clock=lambda: now["t"])
+    engine = AlertEngine(store, [rule])
+    history = []
+    held_since = None  # first tick of the current continuous breach
+    for dt, value in step_list:
+        now["t"] += dt
+        store.collect({"m": value}, now=now["t"])
+        breached = value > 5
+        if breached and held_since is None:
+            held_since = now["t"]
+        transitions = engine.evaluate(now=now["t"])
+        if not breached:
+            held_since = None
+        for transition in transitions:
+            history.append(
+                (transition.old_state, transition.new_state,
+                 now["t"], value, held_since)
+            )
+    return history
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    step_list=steps,
+    for_seconds=st.sampled_from([0.0, 5.0, 17.5, 60.0]),
+    resolve=st.sampled_from([None, 2.0, 4.999]),
+)
+def test_state_machine_invariants(step_list, for_seconds, resolve):
+    history = run_machine(step_list, for_seconds, resolve)
+
+    for old, new, at, value, held_since in history:
+        # 1. Only documented edges, ever.
+        assert (old, new) in ALLOWED_EDGES, f"illegal edge {old}->{new}"
+
+        # 2. for: is honoured under irregular intervals — a promotion
+        # to firing requires the breach to have held continuously for
+        # the full duration (measured from its first breached tick).
+        if new == "firing":
+            assert held_since is not None
+            assert at - held_since >= for_seconds
+
+        # 3. With a for: duration, nothing reaches firing without
+        # passing through pending first.
+        if for_seconds > 0 and new == "firing":
+            assert old == "pending"
+
+        # 4. Hysteresis: resolution requires recovery past the resolve
+        # level when one is set, and past the threshold otherwise.
+        if (old, new) == ("firing", "resolved"):
+            if resolve is not None:
+                assert value <= resolve
+            else:
+                assert not value > 5
+
+
+@settings(max_examples=60, deadline=None)
+@given(step_list=steps)
+def test_pending_never_skips_to_resolved(step_list):
+    history = run_machine(step_list, for_seconds=10.0, resolve=2.0)
+    assert ("pending", "resolved") not in {
+        (old, new) for old, new, *_ in history
+    }
+    assert ("firing", "inactive") not in {
+        (old, new) for old, new, *_ in history
+    }
+
+
+@settings(max_examples=60, deadline=None)
+@given(step_list=steps)
+def test_engine_state_matches_transition_history(step_list):
+    """The cached state always equals the last transition's endpoint."""
+    rule = AlertRule(name="walk", expr="value(m) > 5", for_seconds=5.0,
+                     resolve=2.0)
+    now = {"t": 0.0}
+    store = MetricStore(clock=lambda: now["t"])
+    engine = AlertEngine(store, [rule])
+    last_state = "inactive"
+    for dt, value in step_list:
+        now["t"] += dt
+        store.collect({"m": value}, now=now["t"])
+        transitions = engine.evaluate(now=now["t"])
+        for transition in transitions:
+            assert transition.old_state == last_state
+            last_state = transition.new_state
+        assert engine.states()["walk"] == last_state

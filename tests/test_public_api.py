@@ -34,6 +34,8 @@ PUBLIC_MODULES = [
     "repro.detection.shadow",
     "repro.observability", "repro.observability.registry",
     "repro.observability.health", "repro.observability.server",
+    "repro.observability.timeseries", "repro.observability.alerts",
+    "repro.observability.term", "repro.observability.dashboard",
     "repro.streams", "repro.streams.model", "repro.streams.zipf",
     "repro.streams.caida_like", "repro.streams.cloud_like",
     "repro.streams.drift", "repro.streams.bursty",
